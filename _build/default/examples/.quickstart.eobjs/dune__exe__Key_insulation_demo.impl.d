@@ -1,0 +1,1 @@
+examples/key_insulation_demo.ml: Hashing Hashtbl Key_insulation List Pairing Printf String Tre

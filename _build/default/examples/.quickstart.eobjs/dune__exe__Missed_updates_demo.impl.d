@@ -1,0 +1,1 @@
+examples/missed_updates_demo.ml: Hashing List Pairing Printf Resilient_tre Time_tree Tre

@@ -1,0 +1,1 @@
+examples/missed_updates_demo.mli:

@@ -1,0 +1,1 @@
+examples/multi_server_demo.ml: Array Bigint Curve Hashing List Multi_server Pairing Printf Tre

@@ -1,0 +1,1 @@
+examples/policy_lock_demo.ml: Hashing List Pairing Policy_lock Printf Tre

@@ -1,0 +1,1 @@
+examples/programming_contest.ml: Client Float Hashing List Pairing Passive_server Printf Simnet String Timeline Tre

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hashing Pairing Printf String Tre Tre_fo

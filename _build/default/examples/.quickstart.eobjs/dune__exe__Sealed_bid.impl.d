@@ -1,0 +1,1 @@
+examples/sealed_bid.ml: Client Hashing List Pairing Passive_server Printf Simnet String Timeline Tre

@@ -1,0 +1,1 @@
+lib/baselines/cot_server.ml: Baseline_report Simnet

@@ -1,0 +1,1 @@
+lib/baselines/cot_server.mli: Baseline_report Simnet

@@ -1,0 +1,1 @@
+lib/baselines/may_escrow.ml: Baseline_report Float Simnet String Timeline

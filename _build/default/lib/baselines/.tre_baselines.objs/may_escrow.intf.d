@@ -1,0 +1,1 @@
+lib/baselines/may_escrow.mli: Baseline_report Simnet Timeline

@@ -1,0 +1,1 @@
+lib/baselines/mont_ibe.ml: Baseline_report Curve Hashing Id_tre List Pairing Simnet String Timeline

@@ -1,0 +1,1 @@
+lib/baselines/mont_ibe.mli: Baseline_report Curve Id_tre Pairing Simnet Timeline

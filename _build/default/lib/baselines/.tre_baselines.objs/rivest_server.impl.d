@@ -1,0 +1,1 @@
+lib/baselines/rivest_server.ml: Array Baseline_report Bigint Curve Hashing List Pairing Printf Simnet String Timeline Tre

@@ -1,0 +1,1 @@
+lib/baselines/rivest_server.mli: Baseline_report Pairing Simnet Timeline

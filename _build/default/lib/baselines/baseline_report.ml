@@ -1,0 +1,32 @@
+type leak =
+  | Sender_identity
+  | Receiver_identity
+  | Message_content
+  | Release_time
+
+type t = {
+  scheme : string;
+  server_messages : int;
+  server_bytes : int;
+  server_state_bytes : int;
+  sender_server_interactions : int;
+  receiver_server_interactions : int;
+  leaks : leak list;
+}
+
+let leak_to_string = function
+  | Sender_identity -> "sender-id"
+  | Receiver_identity -> "receiver-id"
+  | Message_content -> "message"
+  | Release_time -> "release-time"
+
+let leaks_to_string = function
+  | [] -> "none"
+  | leaks -> String.concat "," (List.map leak_to_string leaks)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%-18s msgs=%-8d bytes=%-10d state=%-10d sender-int=%-6d recv-int=%-6d leaks=%s"
+    t.scheme t.server_messages t.server_bytes t.server_state_bytes
+    t.sender_server_interactions t.receiver_server_interactions
+    (leaks_to_string t.leaks)

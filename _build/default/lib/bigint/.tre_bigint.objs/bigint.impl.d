@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Buffer Bytes Char Format Hashing List Nat Printf Stdlib String

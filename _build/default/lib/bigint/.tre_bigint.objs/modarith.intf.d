@@ -1,0 +1,1 @@
+lib/bigint/modarith.mli: Bigint

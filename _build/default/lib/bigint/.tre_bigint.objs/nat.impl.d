@@ -1,0 +1,1 @@
+lib/bigint/nat.ml: Array Bytes Char List Stdlib String

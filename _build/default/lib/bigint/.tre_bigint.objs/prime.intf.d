@@ -1,0 +1,1 @@
+lib/bigint/prime.mli: Bigint Hashing

@@ -1,0 +1,112 @@
+let small_primes =
+  (* Sieve of Eratosthenes below 1000, computed once at load. *)
+  let limit = 1000 in
+  let sieve = Array.make (limit + 1) true in
+  sieve.(0) <- false;
+  sieve.(1) <- false;
+  for i = 2 to limit do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j <= limit do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  List.filter (fun i -> sieve.(i)) (List.init (limit + 1) Fun.id)
+
+let fixed_rng () =
+  Hashing.Drbg.create ~seed:"deterministic-miller-rabin" ()
+
+(* One Miller-Rabin round with witness a on n = d * 2^s + 1. *)
+let mr_round n d s a =
+  let x = Modarith.powmod a d n in
+  let n1 = Bigint.pred n in
+  if Bigint.equal x Bigint.one || Bigint.equal x n1 then true
+  else begin
+    let rec squares x i =
+      if i >= s - 1 then false
+      else begin
+        let x = Bigint.erem (Bigint.sqr x) n in
+        if Bigint.equal x n1 then true else squares x (i + 1)
+      end
+    in
+    squares x 0
+  end
+
+let is_probably_prime ?(rounds = 40) ?rng n =
+  if Bigint.sign n <= 0 then false
+  else begin
+    match Bigint.to_int_opt n with
+    | Some v when v <= 1000 -> List.mem v small_primes
+    | _ ->
+        if Bigint.is_even n then false
+        else begin
+          let divisible_by_small =
+            List.exists
+              (fun p ->
+                p > 2 && Bigint.is_zero (Bigint.erem n (Bigint.of_int p)))
+              small_primes
+          in
+          if divisible_by_small then false
+          else begin
+            let rng = match rng with Some r -> r | None -> fixed_rng () in
+            let n1 = Bigint.pred n in
+            let rec split d s =
+              if Bigint.is_even d then split (Bigint.shift_right d 1) (s + 1)
+              else (d, s)
+            in
+            let d, s = split n1 0 in
+            let rec rounds_left i =
+              if i = 0 then true
+              else begin
+                let a =
+                  Bigint.random_in_range rng ~lo:Bigint.two ~hi:(Bigint.pred n1)
+                in
+                if mr_round n d s a then rounds_left (i - 1) else false
+              end
+            in
+            rounds_left rounds
+          end
+        end
+  end
+
+let gen_prime ?rng ~bits () =
+  if bits < 2 then invalid_arg "Prime.gen_prime: bits < 2";
+  let rng = match rng with Some r -> r | None -> Hashing.Drbg.default () in
+  let rec search () =
+    let candidate = Bigint.random_bits rng bits in
+    (* Force the top bit (exact width) and the bottom bit (odd). *)
+    let candidate =
+      if Bigint.test_bit candidate (bits - 1) then candidate
+      else Bigint.add candidate (Bigint.shift_left Bigint.one (bits - 1))
+    in
+    let candidate = if Bigint.is_even candidate then Bigint.succ candidate else candidate in
+    if Bigint.bit_length candidate = bits && is_probably_prime ~rng candidate then candidate
+    else search ()
+  in
+  search ()
+
+let gen_prime_congruent ?rng ~bits ~modulus ~residue () =
+  if bits < 2 || modulus <= 0 || residue < 0 || residue >= modulus then
+    invalid_arg "Prime.gen_prime_congruent: bad arguments";
+  let rng = match rng with Some r -> r | None -> Hashing.Drbg.default () in
+  let md = Bigint.of_int modulus and rs = Bigint.of_int residue in
+  let rec search attempts =
+    if attempts > 100_000 then
+      invalid_arg "Prime.gen_prime_congruent: no prime found (bad residue class?)";
+    let candidate = Bigint.random_bits rng bits in
+    let candidate =
+      if Bigint.test_bit candidate (bits - 1) then candidate
+      else Bigint.add candidate (Bigint.shift_left Bigint.one (bits - 1))
+    in
+    (* Snap to the residue class. *)
+    let candidate = Bigint.add (Bigint.sub candidate (Bigint.erem candidate md)) rs in
+    if
+      Bigint.bit_length candidate = bits
+      && Bigint.sign candidate > 0
+      && is_probably_prime ~rng candidate
+    then candidate
+    else search (attempts + 1)
+  in
+  search 0

@@ -1,0 +1,69 @@
+type secret = Bigint.t
+type public = { g : Curve.point; pk : Curve.point }
+type signature = Curve.point
+
+let keypair prms s g = (s, { g; pk = Curve.mul prms.Pairing.curve s g })
+
+let keygen ?g prms rng =
+  let g = match g with Some g -> g | None -> prms.Pairing.g in
+  if Curve.is_infinity g then invalid_arg "Bls.keygen: identity generator";
+  keypair prms (Pairing.random_scalar prms rng) g
+
+let secret_of_scalar prms s ?g () =
+  if Bigint.sign s <= 0 || Bigint.compare s prms.Pairing.q >= 0 then
+    invalid_arg "Bls.secret_of_scalar: scalar out of range";
+  let g = match g with Some g -> g | None -> prms.Pairing.g in
+  keypair prms s g
+
+let sign prms secret msg =
+  Curve.mul prms.Pairing.curve secret (Pairing.hash_to_g1 prms msg)
+
+let verify prms public msg signature =
+  Pairing.in_g1 prms signature
+  && Pairing.pairing_equal_check prms ~lhs:(public.g, signature)
+       ~rhs:(public.pk, Pairing.hash_to_g1 prms msg)
+
+let verify_batch prms public pairs =
+  let curve = prms.Pairing.curve in
+  let messages = List.map fst pairs in
+  let distinct = List.sort_uniq String.compare messages in
+  if List.length distinct <> List.length messages then false
+  else if pairs = [] then true
+  else if not (List.for_all (fun (_, s) -> Pairing.in_g1 prms s) pairs) then false
+  else begin
+    let sum_sig =
+      List.fold_left (fun acc (_, s) -> Curve.add curve acc s) Curve.infinity pairs
+    in
+    let sum_h =
+      List.fold_left
+        (fun acc (m, _) -> Curve.add curve acc (Pairing.hash_to_g1 prms m))
+        Curve.infinity pairs
+    in
+    Pairing.pairing_equal_check prms ~lhs:(public.g, sum_sig)
+      ~rhs:(public.pk, sum_h)
+  end
+
+let signature_bytes prms = Pairing.point_bytes prms
+let signature_to_bytes prms s = Curve.to_bytes prms.Pairing.curve s
+
+let signature_of_bytes prms bytes =
+  match Curve.of_bytes prms.Pairing.curve bytes with
+  | Some p when Pairing.in_g1 prms p -> Some p
+  | Some _ | None -> None
+
+let public_to_bytes prms pub =
+  Curve.to_bytes prms.Pairing.curve pub.g ^ Curve.to_bytes prms.Pairing.curve pub.pk
+
+let public_of_bytes prms bytes =
+  let w = Pairing.point_bytes prms in
+  if String.length bytes <> 2 * w then None
+  else begin
+    let curve = prms.Pairing.curve in
+    match
+      ( Curve.of_bytes curve (String.sub bytes 0 w),
+        Curve.of_bytes curve (String.sub bytes w w) )
+    with
+    | Some g, Some pk when Pairing.in_g1 prms g && Pairing.in_g1 prms pk ->
+        Some { g; pk }
+    | _ -> None
+  end

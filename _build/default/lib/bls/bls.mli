@@ -1,0 +1,45 @@
+(** Boneh–Lynn–Shacham short signatures over the GDH group (Asiacrypt'01).
+
+    Section 5.3.1 of the paper observes that the time-bound key update
+    [s*H1(T)] "is equivalent to the short signature in [BLS]" — the
+    update is self-authenticating precisely because it is a BLS signature
+    on the release-time string under the server's key. This module is that
+    signature scheme, also usable standalone. *)
+
+type secret
+type public = { g : Curve.point; pk : Curve.point }
+(** (G, sG): the signer's generator and public point — the same shape as
+    the paper's server public key. *)
+
+type signature = Curve.point
+(** sigma = s * H1(m), one compressed G1 point. *)
+
+val keygen : ?g:Curve.point -> Pairing.params -> Hashing.Drbg.t -> secret * public
+(** Fresh keypair; the generator defaults to the system generator but may
+    be any non-identity subgroup point (servers may pick their own). *)
+
+val secret_of_scalar : Pairing.params -> Bigint.t -> ?g:Curve.point -> unit -> secret * public
+(** Deterministic keypair from an existing scalar in [1, q-1] (used by the
+    time server whose TRE secret doubles as its signing secret).
+    Raises [Invalid_argument] if the scalar is out of range. *)
+
+val sign : Pairing.params -> secret -> string -> signature
+
+val verify : Pairing.params -> public -> string -> signature -> bool
+(** e^(G, sigma) = e^(sG, H1(m)), plus subgroup membership of [sigma]. *)
+
+val verify_batch : Pairing.params -> public -> (string * signature) list -> bool
+(** Same-signer batch verification: checks
+    e^(G, sum sigma_i) = e^(sG, sum H1(m_i)) — two pairings total instead
+    of 2n. Messages must be distinct for the aggregation to be sound; the
+    function enforces this and returns [false] on duplicates. *)
+
+val signature_bytes : Pairing.params -> int
+(** Size of a serialized signature — the "short" in short signatures. *)
+
+val signature_to_bytes : Pairing.params -> signature -> string
+val signature_of_bytes : Pairing.params -> string -> signature option
+(** Rejects off-curve and out-of-subgroup encodings. *)
+
+val public_to_bytes : Pairing.params -> public -> string
+val public_of_bytes : Pairing.params -> string -> public option

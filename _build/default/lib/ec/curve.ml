@@ -1,0 +1,207 @@
+(* Affine arithmetic on E : y^2 = x^3 + a*x + b, plus Jacobian-coordinate
+   scalar multiplication. The affine formulas are the textbook
+   chord-and-tangent ones; slopes need one field inversion per operation,
+   which is fine for single additions (scalar multiplication avoids them
+   via Jacobian coordinates). *)
+
+type ctx = { fp : Fp.ctx; a : Fp.t; b : Fp.t; a_is_zero : bool }
+type point = Infinity | Affine of { x : Fp.t; y : Fp.t }
+
+let create ?(a = 1) ?(b = 0) fp =
+  let a = Fp.of_int fp a and b = Fp.of_int fp b in
+  { fp; a; b; a_is_zero = Fp.is_zero fp a }
+
+let coeff_a ctx = ctx.a
+let coeff_b ctx = ctx.b
+let field ctx = ctx.fp
+let infinity = Infinity
+let is_infinity = function Infinity -> true | Affine _ -> false
+
+(* x^3 + a*x + b *)
+let rhs ctx x =
+  let fp = ctx.fp in
+  Fp.add fp (Fp.add fp (Fp.mul fp x (Fp.sqr fp x)) (Fp.mul fp ctx.a x)) ctx.b
+
+let on_curve ctx = function
+  | Infinity -> true
+  | Affine { x; y } -> Fp.equal (Fp.sqr ctx.fp y) (rhs ctx x)
+
+let make ctx ~x ~y =
+  let p = Affine { x; y } in
+  if not (on_curve ctx p) then invalid_arg "Curve.make: point not on curve";
+  p
+
+let equal a b =
+  match (a, b) with
+  | Infinity, Infinity -> true
+  | Affine a, Affine b -> Fp.equal a.x b.x && Fp.equal a.y b.y
+  | Infinity, Affine _ | Affine _, Infinity -> false
+
+let neg ctx = function
+  | Infinity -> Infinity
+  | Affine { x; y } -> Affine { x; y = Fp.neg ctx.fp y }
+
+let double ctx = function
+  | Infinity -> Infinity
+  | Affine { y; _ } when Fp.is_zero ctx.fp y -> Infinity
+  | Affine { x; y } ->
+      let fp = ctx.fp in
+      (* lambda = (3x^2 + a) / 2y. *)
+      let x2 = Fp.sqr fp x in
+      let num = Fp.add fp (Fp.add fp (Fp.add fp x2 x2) x2) ctx.a in
+      let lambda = Fp.div fp num (Fp.add fp y y) in
+      let x3 = Fp.sub fp (Fp.sqr fp lambda) (Fp.add fp x x) in
+      let y3 = Fp.sub fp (Fp.mul fp lambda (Fp.sub fp x x3)) y in
+      Affine { x = x3; y = y3 }
+
+let add ctx a b =
+  match (a, b) with
+  | Infinity, q -> q
+  | p, Infinity -> p
+  | Affine pa, Affine pb ->
+      let fp = ctx.fp in
+      if Fp.equal pa.x pb.x then
+        if Fp.equal pa.y pb.y then double ctx a else Infinity
+      else begin
+        let lambda = Fp.div fp (Fp.sub fp pb.y pa.y) (Fp.sub fp pb.x pa.x) in
+        let x3 = Fp.sub fp (Fp.sub fp (Fp.sqr fp lambda) pa.x) pb.x in
+        let y3 = Fp.sub fp (Fp.mul fp lambda (Fp.sub fp pa.x x3)) pa.y in
+        Affine { x = x3; y = y3 }
+      end
+
+(* Scalar multiplication runs in Jacobian coordinates (X/Z^2, Y/Z^3) so
+   the whole double-and-add loop needs a single field inversion at the
+   end instead of one per step. Infinity is represented by Z = 0. *)
+type jacobian = { jx : Fp.t; jy : Fp.t; jz : Fp.t }
+
+let jac_double ctx p =
+  let fp = ctx.fp in
+  if Fp.is_zero fp p.jz || Fp.is_zero fp p.jy then
+    { jx = Fp.one fp; jy = Fp.one fp; jz = Fp.zero fp }
+  else begin
+    let y2 = Fp.sqr fp p.jy in
+    let s =
+      (* 4 * X * Y^2 *)
+      let xy2 = Fp.mul fp p.jx y2 in
+      let d = Fp.add fp xy2 xy2 in
+      Fp.add fp d d
+    in
+    let z2 = Fp.sqr fp p.jz in
+    let x2 = Fp.sqr fp p.jx in
+    let three_x2 = Fp.add fp (Fp.add fp x2 x2) x2 in
+    (* M = 3X^2 + a*Z^4; both curve families have a in {0, 1}. *)
+    let m =
+      if ctx.a_is_zero then three_x2
+      else Fp.add fp three_x2 (Fp.mul fp ctx.a (Fp.sqr fp z2))
+    in
+    let x' = Fp.sub fp (Fp.sqr fp m) (Fp.add fp s s) in
+    let y4_8 =
+      let y4 = Fp.sqr fp y2 in
+      let d = Fp.add fp y4 y4 in
+      let d = Fp.add fp d d in
+      Fp.add fp d d
+    in
+    let y' = Fp.sub fp (Fp.mul fp m (Fp.sub fp s x')) y4_8 in
+    let z' = Fp.mul fp (Fp.add fp p.jy p.jy) p.jz in
+    { jx = x'; jy = y'; jz = z' }
+  end
+
+(* Mixed addition: [p] Jacobian + (x2, y2) affine. *)
+let jac_add_affine ctx p ~x2 ~y2 =
+  let fp = ctx.fp in
+  if Fp.is_zero fp p.jz then { jx = x2; jy = y2; jz = Fp.one fp }
+  else begin
+    let z2 = Fp.sqr fp p.jz in
+    let u2 = Fp.mul fp x2 z2 in
+    let s2 = Fp.mul fp y2 (Fp.mul fp z2 p.jz) in
+    let h = Fp.sub fp u2 p.jx in
+    let r = Fp.sub fp s2 p.jy in
+    if Fp.is_zero fp h then
+      if Fp.is_zero fp r then jac_double ctx p
+      else { jx = Fp.one fp; jy = Fp.one fp; jz = Fp.zero fp }
+    else begin
+      let h2 = Fp.sqr fp h in
+      let h3 = Fp.mul fp h2 h in
+      let xh2 = Fp.mul fp p.jx h2 in
+      let x' = Fp.sub fp (Fp.sub fp (Fp.sqr fp r) h3) (Fp.add fp xh2 xh2) in
+      let y' = Fp.sub fp (Fp.mul fp r (Fp.sub fp xh2 x')) (Fp.mul fp p.jy h3) in
+      let z' = Fp.mul fp p.jz h in
+      { jx = x'; jy = y'; jz = z' }
+    end
+  end
+
+let jac_to_affine ctx p =
+  let fp = ctx.fp in
+  if Fp.is_zero fp p.jz then Infinity
+  else begin
+    let zinv = Fp.inv fp p.jz in
+    let zinv2 = Fp.sqr fp zinv in
+    Affine
+      { x = Fp.mul fp p.jx zinv2; y = Fp.mul fp p.jy (Fp.mul fp zinv2 zinv) }
+  end
+
+let mul ctx k point =
+  let k, point =
+    if Bigint.sign k >= 0 then (k, point) else (Bigint.neg k, neg ctx point)
+  in
+  match point with
+  | Infinity -> Infinity
+  | Affine { x = x2; y = y2 } ->
+      let fp = ctx.fp in
+      let bits = Bigint.bit_length k in
+      let acc = ref { jx = Fp.one fp; jy = Fp.one fp; jz = Fp.zero fp } in
+      for i = bits - 1 downto 0 do
+        acc := jac_double ctx !acc;
+        if Bigint.test_bit k i then acc := jac_add_affine ctx !acc ~x2 ~y2
+      done;
+      jac_to_affine ctx !acc
+
+let group_order ctx = Bigint.succ (Fp.modulus ctx.fp)
+
+let lift_x ctx x =
+  let fp = ctx.fp in
+  match Fp.sqrt fp (rhs ctx x) with
+  | None -> None
+  | Some y ->
+      let y' = Fp.neg fp y in
+      let a = Affine { x; y } and b = Affine { x; y = y' } in
+      if Bigint.compare (Fp.to_bigint fp y) (Fp.to_bigint fp y') <= 0 then
+        Some (a, b)
+      else Some (b, a)
+
+let byte_length ctx = 1 + Fp.byte_length ctx.fp
+
+let to_bytes ctx = function
+  | Infinity -> "\x00"
+  | Affine { x; y } ->
+      let parity = if Bigint.is_odd (Fp.to_bigint ctx.fp y) then '\x03' else '\x02' in
+      String.make 1 parity ^ Fp.to_bytes ctx.fp x
+
+let of_bytes ctx s =
+  if s = "\x00" then Some Infinity
+  else if String.length s <> byte_length ctx then None
+  else begin
+    match s.[0] with
+    | ('\x02' | '\x03') as tag -> (
+        match Fp.of_bytes ctx.fp (String.sub s 1 (String.length s - 1)) with
+        | None -> None
+        | Some x -> (
+            match lift_x ctx x with
+            | None -> None
+            | Some (a, b) -> (
+                let want_odd = tag = '\x03' in
+                let parity_of = function
+                  | Affine { y; _ } -> Bigint.is_odd (Fp.to_bigint ctx.fp y)
+                  | Infinity -> assert false
+                in
+                match (parity_of a = want_odd, parity_of b = want_odd) with
+                | true, _ -> Some a
+                | _, true -> Some b
+                | false, false -> None)))
+    | _ -> None
+  end
+
+let pp ctx fmt = function
+  | Infinity -> Format.pp_print_string fmt "O"
+  | Affine { x; y } ->
+      Format.fprintf fmt "(%a, %a)" (Fp.pp ctx.fp) x (Fp.pp ctx.fp) y

@@ -1,0 +1,57 @@
+(** Supersingular elliptic curves E : y^2 = x^3 + a*x + b over GF(p).
+
+    Two classic Type-1 families are supported (both have #E(GF(p)) = p+1
+    and a distortion map making the Tate pairing non-degenerate on a
+    single subgroup — the "Gap Diffie-Hellman group" G1 of the paper):
+
+    - (a, b) = (1, 0): y^2 = x^3 + x, supersingular for p = 3 (mod 4),
+      distortion (x, y) -> (-x, iy);
+    - (a, b) = (0, 1): y^2 = x^3 + 1, supersingular for p = 2 (mod 3),
+      distortion (x, y) -> (zeta*x, y) with zeta a primitive cube root of
+      unity in GF(p^2) (the Boneh-Franklin curve).
+
+    The distortion maps and pairings live in {!Pairing}; this module is
+    plain short-Weierstrass group arithmetic. *)
+
+type ctx
+type point = Infinity | Affine of { x : Fp.t; y : Fp.t }
+
+val create : ?a:int -> ?b:int -> Fp.ctx -> ctx
+(** Defaults (a, b) = (1, 0). Supersingularity for the given p is the
+    caller's ({!Pairing.make}'s) responsibility. *)
+
+val coeff_a : ctx -> Fp.t
+val coeff_b : ctx -> Fp.t
+val field : ctx -> Fp.ctx
+
+val infinity : point
+val is_infinity : point -> bool
+val make : ctx -> x:Fp.t -> y:Fp.t -> point
+(** Raises [Invalid_argument] if (x, y) is not on the curve. *)
+
+val on_curve : ctx -> point -> bool
+val equal : point -> point -> bool
+val neg : ctx -> point -> point
+val add : ctx -> point -> point -> point
+val double : ctx -> point -> point
+val mul : ctx -> Bigint.t -> point -> point
+(** Scalar multiplication; negative scalars negate the point. *)
+
+val group_order : ctx -> Bigint.t
+(** p + 1, the full curve order. *)
+
+val lift_x : ctx -> Fp.t -> (point * point) option
+(** The two points with the given x-coordinate, if x^3 + x is a square;
+    the first has the lexicographically smaller y encoding. *)
+
+val to_bytes : ctx -> point -> string
+(** Compressed SEC1-style encoding: 0x00 for infinity (1 byte),
+    0x02/0x03 (y parity) followed by x otherwise. *)
+
+val of_bytes : ctx -> string -> point option
+(** Rejects malformed, off-curve, and non-canonical encodings. *)
+
+val byte_length : ctx -> int
+(** Length of a non-infinity compressed encoding. *)
+
+val pp : ctx -> Format.formatter -> point -> unit

@@ -1,0 +1,1 @@
+lib/field/fp2.mli: Bigint Format Fp

@@ -1,0 +1,70 @@
+module Mont = Modarith.Mont
+
+type ctx = {
+  p : Bigint.t;
+  mont : Mont.ctx;
+  sqrt_exp : Bigint.t; (* (p+1)/4 *)
+  euler_exp : Bigint.t; (* (p-1)/2 *)
+  bytes : int;
+}
+
+type t = Mont.elt
+
+let create p =
+  if Bigint.compare p (Bigint.of_int 3) < 0 || Bigint.is_even p then
+    invalid_arg "Fp.create: modulus must be odd and >= 3";
+  if not (Bigint.equal (Bigint.erem p (Bigint.of_int 4)) (Bigint.of_int 3)) then
+    invalid_arg "Fp.create: modulus must be 3 mod 4";
+  {
+    p;
+    mont = Mont.create p;
+    sqrt_exp = Bigint.shift_right (Bigint.succ p) 2;
+    euler_exp = Bigint.shift_right (Bigint.pred p) 1;
+    bytes = (Bigint.bit_length p + 7) / 8;
+  }
+
+let modulus ctx = ctx.p
+let byte_length ctx = ctx.bytes
+let zero ctx = Mont.zero ctx.mont
+let one ctx = Mont.one ctx.mont
+let of_bigint ctx v = Mont.of_bigint ctx.mont v
+let of_int ctx v = of_bigint ctx (Bigint.of_int v)
+let to_bigint ctx e = Mont.to_bigint ctx.mont e
+let equal = Mont.equal
+let is_zero ctx e = Mont.equal e (Mont.zero ctx.mont)
+let add ctx = Mont.add ctx.mont
+let sub ctx = Mont.sub ctx.mont
+let neg ctx = Mont.neg ctx.mont
+let mul ctx = Mont.mul ctx.mont
+let sqr ctx = Mont.sqr ctx.mont
+
+let inv ctx e =
+  if is_zero ctx e then raise Division_by_zero;
+  Mont.inv ctx.mont e
+
+let div ctx a b = mul ctx a (inv ctx b)
+
+let pow ctx e n =
+  if Bigint.sign n >= 0 then Mont.pow ctx.mont e n
+  else Mont.pow ctx.mont (inv ctx e) (Bigint.neg n)
+
+let is_square ctx e =
+  is_zero ctx e || equal (pow ctx e ctx.euler_exp) (one ctx)
+
+let sqrt ctx e =
+  if is_zero ctx e then Some e
+  else begin
+    let candidate = pow ctx e ctx.sqrt_exp in
+    if equal (sqr ctx candidate) e then Some candidate else None
+  end
+
+let to_bytes ctx e = Bigint.to_bytes_be ~pad_to:ctx.bytes (to_bigint ctx e)
+
+let of_bytes ctx s =
+  if String.length s <> ctx.bytes then None
+  else begin
+    let v = Bigint.of_bytes_be s in
+    if Bigint.compare v ctx.p >= 0 then None else Some (of_bigint ctx v)
+  end
+
+let pp ctx fmt e = Bigint.pp fmt (to_bigint ctx e)

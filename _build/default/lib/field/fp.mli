@@ -1,0 +1,58 @@
+(** The prime field GF(p), p an odd prime with p = 3 (mod 4).
+
+    Elements are kept in Montgomery form internally; a [ctx] carries the
+    modulus and its precomputations. The congruence condition gives both a
+    square-root shortcut (x^((p+1)/4)) and i^2 = -1 irreducible for
+    {!Fp2}. *)
+
+type ctx
+type t
+(** A field element, tied to the [ctx] that created it. *)
+
+val create : Bigint.t -> ctx
+(** [create p] builds a context for GF(p).
+    Raises [Invalid_argument] if [p < 3], [p] even, or [p mod 4 <> 3]
+    (primality is the caller's responsibility — checked by parameter
+    generation). *)
+
+val modulus : ctx -> Bigint.t
+val byte_length : ctx -> int
+(** Bytes needed for a canonical serialization of one element. *)
+
+val zero : ctx -> t
+val one : ctx -> t
+val of_bigint : ctx -> Bigint.t -> t
+(** Any sign; reduced mod p. *)
+
+val of_int : ctx -> int -> t
+val to_bigint : ctx -> t -> Bigint.t
+(** Canonical representative in [0, p). *)
+
+val equal : t -> t -> bool
+val is_zero : ctx -> t -> bool
+val add : ctx -> t -> t -> t
+val sub : ctx -> t -> t -> t
+val neg : ctx -> t -> t
+val mul : ctx -> t -> t -> t
+val sqr : ctx -> t -> t
+val inv : ctx -> t -> t
+(** Raises [Division_by_zero] on zero. *)
+
+val div : ctx -> t -> t -> t
+val pow : ctx -> t -> Bigint.t -> t
+(** Exponent may be negative (inverts the base). *)
+
+val is_square : ctx -> t -> bool
+(** Euler criterion; [true] for zero. *)
+
+val sqrt : ctx -> t -> t option
+(** A square root if one exists ([p = 3 (mod 4)] shortcut). The returned
+    root is the principal one [x^((p+1)/4)]; its negation is the other. *)
+
+val to_bytes : ctx -> t -> string
+(** Fixed-width big-endian canonical encoding. *)
+
+val of_bytes : ctx -> string -> t option
+(** Rejects wrong width and non-canonical (>= p) encodings. *)
+
+val pp : ctx -> Format.formatter -> t -> unit

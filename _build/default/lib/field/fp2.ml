@@ -1,0 +1,62 @@
+type t = { re : Fp.t; im : Fp.t }
+
+let make ~re ~im = { re; im }
+let of_fp ctx x = { re = x; im = Fp.zero ctx }
+let zero ctx = { re = Fp.zero ctx; im = Fp.zero ctx }
+let one ctx = { re = Fp.one ctx; im = Fp.zero ctx }
+let equal a b = Fp.equal a.re b.re && Fp.equal a.im b.im
+let is_zero ctx a = Fp.is_zero ctx a.re && Fp.is_zero ctx a.im
+let is_one ctx a = equal a (one ctx)
+let add ctx a b = { re = Fp.add ctx a.re b.re; im = Fp.add ctx a.im b.im }
+let sub ctx a b = { re = Fp.sub ctx a.re b.re; im = Fp.sub ctx a.im b.im }
+let neg ctx a = { re = Fp.neg ctx a.re; im = Fp.neg ctx a.im }
+
+(* Karatsuba-style 3-multiplication product with i^2 = -1. *)
+let mul ctx a b =
+  let t0 = Fp.mul ctx a.re b.re in
+  let t1 = Fp.mul ctx a.im b.im in
+  let t2 = Fp.mul ctx (Fp.add ctx a.re a.im) (Fp.add ctx b.re b.im) in
+  { re = Fp.sub ctx t0 t1; im = Fp.sub ctx (Fp.sub ctx t2 t0) t1 }
+
+let mul_fp ctx s a = { re = Fp.mul ctx s a.re; im = Fp.mul ctx s a.im }
+
+(* (a+bi)^2 = (a+b)(a-b) + 2ab i. *)
+let sqr ctx a =
+  let re = Fp.mul ctx (Fp.add ctx a.re a.im) (Fp.sub ctx a.re a.im) in
+  let ab = Fp.mul ctx a.re a.im in
+  { re; im = Fp.add ctx ab ab }
+
+let conj ctx a = { a with im = Fp.neg ctx a.im }
+let norm ctx a = Fp.add ctx (Fp.sqr ctx a.re) (Fp.sqr ctx a.im)
+
+let inv ctx a =
+  let n = norm ctx a in
+  if Fp.is_zero ctx n then raise Division_by_zero;
+  let ninv = Fp.inv ctx n in
+  { re = Fp.mul ctx a.re ninv; im = Fp.neg ctx (Fp.mul ctx a.im ninv) }
+
+let pow ctx base n =
+  let base, n =
+    if Bigint.sign n >= 0 then (base, n) else (inv ctx base, Bigint.neg n)
+  in
+  let bits = Bigint.bit_length n in
+  let acc = ref (one ctx) in
+  for i = bits - 1 downto 0 do
+    acc := sqr ctx !acc;
+    if Bigint.test_bit n i then acc := mul ctx !acc base
+  done;
+  !acc
+
+let to_bytes ctx a = Fp.to_bytes ctx a.re ^ Fp.to_bytes ctx a.im
+
+let of_bytes ctx s =
+  let w = Fp.byte_length ctx in
+  if String.length s <> 2 * w then None
+  else begin
+    match (Fp.of_bytes ctx (String.sub s 0 w), Fp.of_bytes ctx (String.sub s w w)) with
+    | Some re, Some im -> Some { re; im }
+    | _ -> None
+  end
+
+let pp ctx fmt a =
+  Format.fprintf fmt "(%a + %a*i)" (Fp.pp ctx) a.re (Fp.pp ctx) a.im

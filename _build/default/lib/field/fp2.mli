@@ -1,0 +1,43 @@
+(** The quadratic extension GF(p^2) = GF(p)[i]/(i^2 + 1).
+
+    This is the target group G2 of the modified Tate pairing: pairing
+    values live in the order-q subgroup of GF(p^2)*. Irreducibility of
+    i^2 + 1 is guaranteed by {!Fp}'s p = 3 (mod 4) requirement. *)
+
+type t = { re : Fp.t; im : Fp.t }
+
+val make : re:Fp.t -> im:Fp.t -> t
+val of_fp : Fp.ctx -> Fp.t -> t
+(** Embed GF(p) as the real axis. *)
+
+val zero : Fp.ctx -> t
+val one : Fp.ctx -> t
+val equal : t -> t -> bool
+val is_zero : Fp.ctx -> t -> bool
+val is_one : Fp.ctx -> t -> bool
+val add : Fp.ctx -> t -> t -> t
+val sub : Fp.ctx -> t -> t -> t
+val neg : Fp.ctx -> t -> t
+val mul : Fp.ctx -> t -> t -> t
+val mul_fp : Fp.ctx -> Fp.t -> t -> t
+(** Scale by a base-field element. *)
+
+val sqr : Fp.ctx -> t -> t
+val conj : Fp.ctx -> t -> t
+(** Conjugation a - bi, i.e. the Frobenius x -> x^p. *)
+
+val norm : Fp.ctx -> t -> Fp.t
+(** a^2 + b^2 in GF(p). *)
+
+val inv : Fp.ctx -> t -> t
+(** Raises [Division_by_zero] on zero. *)
+
+val pow : Fp.ctx -> t -> Bigint.t -> t
+(** Exponent may be negative. *)
+
+val to_bytes : Fp.ctx -> t -> string
+(** Canonical [re || im] fixed-width encoding — the input to the paper's
+    H2 hash. *)
+
+val of_bytes : Fp.ctx -> string -> t option
+val pp : Fp.ctx -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hashing/base64.ml: Buffer Char String

@@ -1,0 +1,1 @@
+lib/hashing/drbg.ml: Buffer Char Fun Hkdf Hmac Printf Sha256 String Sys

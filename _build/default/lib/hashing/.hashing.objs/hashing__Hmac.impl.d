@@ -1,0 +1,1 @@
+lib/hashing/hmac.ml: Bytes Char Sha256 String

@@ -1,0 +1,1 @@
+lib/hashing/kdf.ml: Buffer Bytes Char Sha256 String

@@ -1,0 +1,89 @@
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create (((n + 2) / 3) * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] and b2 = Char.code s.[!i + 2] in
+    Buffer.add_char out alphabet.[b0 lsr 2];
+    Buffer.add_char out alphabet.[((b0 land 3) lsl 4) lor (b1 lsr 4)];
+    Buffer.add_char out alphabet.[((b1 land 15) lsl 2) lor (b2 lsr 6)];
+    Buffer.add_char out alphabet.[b2 land 63];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let b0 = Char.code s.[!i] in
+      Buffer.add_char out alphabet.[b0 lsr 2];
+      Buffer.add_char out alphabet.[(b0 land 3) lsl 4];
+      Buffer.add_string out "=="
+  | 2 ->
+      let b0 = Char.code s.[!i] and b1 = Char.code s.[!i + 1] in
+      Buffer.add_char out alphabet.[b0 lsr 2];
+      Buffer.add_char out alphabet.[((b0 land 3) lsl 4) lor (b1 lsr 4)];
+      Buffer.add_char out alphabet.[(b1 land 15) lsl 2];
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+let value c =
+  match c with
+  | 'A' .. 'Z' -> Char.code c - Char.code 'A'
+  | 'a' .. 'z' -> Char.code c - Char.code 'a' + 26
+  | '0' .. '9' -> Char.code c - Char.code '0' + 52
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> -1
+
+let decode s =
+  (* Strip whitespace first so armored input works. *)
+  let compact = Buffer.create (String.length s) in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> ()
+      | _ -> Buffer.add_char compact c)
+    s;
+  let s = Buffer.contents compact in
+  let n = String.length s in
+  if n mod 4 <> 0 then None
+  else begin
+    let out = Buffer.create (n / 4 * 3) in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let quad = String.sub s !i 4 in
+      let pad =
+        if quad.[3] = '=' then if quad.[2] = '=' then 2 else 1 else 0
+      in
+      (* '=' may only appear as trailing padding of the final quad. *)
+      if pad > 0 && !i + 4 <> n then ok := false
+      else begin
+        let v j =
+          if j >= 4 - pad then 0
+          else begin
+            let v = value quad.[j] in
+            if v < 0 then begin
+              ok := false;
+              0
+            end
+            else v
+          end
+        in
+        let b = (v 0 lsl 18) lor (v 1 lsl 12) lor (v 2 lsl 6) lor v 3 in
+        (* Canonicality: padded-away bits must be zero. *)
+        (match pad with
+        | 2 -> if b land 0xFFFF <> 0 then ok := false
+        | 1 -> if b land 0xFF <> 0 then ok := false
+        | _ -> ());
+        if !ok then begin
+          Buffer.add_char out (Char.chr ((b lsr 16) land 0xFF));
+          if pad < 2 then Buffer.add_char out (Char.chr ((b lsr 8) land 0xFF));
+          if pad < 1 then Buffer.add_char out (Char.chr (b land 0xFF))
+        end
+      end;
+      i := !i + 4
+    done;
+    if !ok then Some (Buffer.contents out) else None
+  end

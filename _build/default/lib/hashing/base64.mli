@@ -1,0 +1,9 @@
+(** Base64 (RFC 4648, standard alphabet with padding).
+
+    Used by the command-line tool's ASCII-armored key/ciphertext files. *)
+
+val encode : string -> string
+val decode : string -> string option
+(** [None] on characters outside the alphabet, bad padding, or
+    non-canonical trailing bits. Whitespace (space, tab, newline, CR) is
+    skipped, so armored multi-line input decodes directly. *)

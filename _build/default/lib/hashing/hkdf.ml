@@ -1,0 +1,21 @@
+let hash_len = Sha256.digest_size
+
+let extract ?salt ikm =
+  let salt = match salt with Some s -> s | None -> String.make hash_len '\x00' in
+  Hmac.mac ~key:salt ikm
+
+let expand ~prk ~info len =
+  if len < 0 || len > 255 * hash_len then invalid_arg "Hkdf.expand: bad length";
+  let buf = Buffer.create len in
+  let rec go t i =
+    if Buffer.length buf >= len then ()
+    else begin
+      let t' = Hmac.mac_concat ~key:prk [ t; info; String.make 1 (Char.chr i) ] in
+      Buffer.add_string buf t';
+      go t' (i + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 len
+
+let derive ?salt ~info ikm len = expand ~prk:(extract ?salt ikm) ~info len

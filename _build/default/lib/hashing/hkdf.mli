@@ -1,0 +1,15 @@
+(** HKDF-SHA256 (RFC 5869) — extract-then-expand key derivation.
+
+    The hybrid baseline (DESIGN.md, footnote-3 construction) uses it to
+    combine the two sub-keys K1 and K2 into one symmetric key. *)
+
+val extract : ?salt:string -> string -> string
+(** [extract ?salt ikm] is the 32-byte pseudorandom key. An absent salt is
+    the all-zero string, per the RFC. *)
+
+val expand : prk:string -> info:string -> int -> string
+(** [expand ~prk ~info len] derives [len] bytes ([len <= 255 * 32]).
+    Raises [Invalid_argument] if [len] is out of range. *)
+
+val derive : ?salt:string -> info:string -> string -> int -> string
+(** [derive ?salt ~info ikm len] = extract then expand. *)

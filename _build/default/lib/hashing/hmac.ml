@@ -1,0 +1,27 @@
+let block = Sha256.block_size
+
+let pad_key key =
+  let k = if String.length key > block then Sha256.digest key else key in
+  let padded = Bytes.make block '\x00' in
+  Bytes.blit_string k 0 padded 0 (String.length k);
+  Bytes.unsafe_to_string padded
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let mac_concat ~key parts =
+  let k0 = pad_key key in
+  let inner = Sha256.digest_concat (xor_with k0 0x36 :: parts) in
+  Sha256.digest_concat [ xor_with k0 0x5c; inner ]
+
+let mac ~key msg = mac_concat ~key [ msg ]
+
+let equal a b =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to String.length a - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end

@@ -1,0 +1,15 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+
+    Used by {!Drbg} (HMAC-DRBG) and available for the authenticated variants
+    of the example tools. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte HMAC-SHA256 tag of [msg] under [key].
+    Keys of any length are accepted (hashed down if longer than one block). *)
+
+val mac_concat : key:string -> string list -> string
+(** Tag of the concatenation of the parts, without concatenating. *)
+
+val equal : string -> string -> bool
+(** Constant-time comparison of two equal-length strings (returns [false]
+    on length mismatch); use for tag verification. *)

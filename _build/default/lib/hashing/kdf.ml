@@ -1,0 +1,22 @@
+let mask seed n =
+  if n < 0 then invalid_arg "Kdf.mask";
+  let buf = Buffer.create n in
+  let ctr = Bytes.create 4 in
+  let i = ref 0 in
+  while Buffer.length buf < n do
+    Bytes.set ctr 0 (Char.chr ((!i lsr 24) land 0xFF));
+    Bytes.set ctr 1 (Char.chr ((!i lsr 16) land 0xFF));
+    Bytes.set ctr 2 (Char.chr ((!i lsr 8) land 0xFF));
+    Bytes.set ctr 3 (Char.chr (!i land 0xFF));
+    Buffer.add_string buf
+      (Sha256.digest_concat [ seed; Bytes.unsafe_to_string ctr ]);
+    incr i
+  done;
+  String.sub (Buffer.contents buf) 0 n
+
+let xor a b =
+  if String.length a <> String.length b then invalid_arg "Kdf.xor";
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let xor_mask ~seed m = xor m (mask seed (String.length m))

@@ -1,0 +1,19 @@
+(** Counter-mode mask generation over SHA-256 (MGF1-style).
+
+    This instantiates the paper's random oracle
+    [H2 : G2 -> {0,1}^n]: the pairing value is serialized and expanded to
+    exactly the plaintext length, then XORed with the message
+    ([C = <rG, M xor H2(K)>], section 5.1). It also provides the generic
+    XOR-pad used by the symmetric layer of the hybrid baseline. *)
+
+val mask : string -> int -> string
+(** [mask seed n] deterministically expands [seed] to [n] bytes:
+    [SHA256(seed || ctr)] for ctr = 0, 1, ... (32-bit big-endian). *)
+
+val xor : string -> string -> string
+(** Byte-wise XOR of two equal-length strings.
+    Raises [Invalid_argument] on length mismatch. *)
+
+val xor_mask : seed:string -> string -> string
+(** [xor_mask ~seed m] = [xor m (mask seed (length m))] — the one-time-pad
+    style encryption/decryption step; it is an involution. *)

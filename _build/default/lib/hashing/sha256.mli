@@ -1,0 +1,36 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    This is the single hash primitive of the whole library: it instantiates
+    the paper's random oracles [H1] (via {!Hash_to_field}) and [H2] (via
+    {!Kdf}), authenticates nothing by itself, and is tested against the NIST
+    known-answer vectors. *)
+
+type ctx
+(** Incremental hashing context. Contexts are mutable and single-use. *)
+
+val init : unit -> ctx
+(** Fresh context for an empty message. *)
+
+val update : ctx -> string -> unit
+(** [update ctx s] absorbs the bytes of [s]. *)
+
+val update_bytes : ctx -> bytes -> int -> int -> unit
+(** [update_bytes ctx b off len] absorbs [len] bytes of [b] starting at
+    [off]. Raises [Invalid_argument] if the range is out of bounds. *)
+
+val finalize : ctx -> string
+(** Pads, finishes, and returns the 32-byte digest. The context must not be
+    used afterwards. *)
+
+val digest : string -> string
+(** One-shot hash: 32-byte digest of the argument. *)
+
+val digest_concat : string list -> string
+(** Hash of the concatenation of the list elements, without building the
+    concatenation. *)
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64 — the compression-function block size, needed by HMAC. *)

@@ -1,0 +1,1 @@
+lib/pairing/pairing.ml: Bigint Char Curve Fp Fp2 Hashing Hashtbl Lazy List Prime Printf String

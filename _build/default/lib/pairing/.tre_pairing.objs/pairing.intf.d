@@ -1,0 +1,1 @@
+lib/pairing/pairing.mli: Bigint Curve Fp Fp2 Hashing

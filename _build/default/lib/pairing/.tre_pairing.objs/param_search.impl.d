@@ -1,0 +1,1 @@
+lib/pairing/param_search.ml: Bigint Hashing Prime

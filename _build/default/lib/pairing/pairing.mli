@@ -1,0 +1,123 @@
+(** The bilinear (Gap Diffie-Hellman) group of the paper, Section 4.
+
+    G1 is the order-q subgroup of the supersingular curve
+    E : y^2 = x^3 + x over GF(p) (p = 3 mod 4, p + 1 = h*q); G2 is the
+    order-q subgroup of GF(p^2)*. [pairing] is the modified Tate pairing
+    e^(P, Q) = e(P, phi(Q)) with the distortion map phi(x,y) = (-x, iy),
+    which is bilinear, non-degenerate and efficiently computable — and
+    makes DDH in G1 easy ({!ddh}) while CDH/BDH stay hard: exactly the
+    GDH-group setting the schemes are defined over. *)
+
+type family =
+  | Y2_x3_x  (** E: y^2 = x^3 + x, p = 3 (mod 4), distortion (x,y) -> (-x, iy) *)
+  | Y2_x3_1
+      (** E: y^2 = x^3 + 1, p = 11 (mod 12), distortion (x,y) -> (zeta x, y)
+          — the Boneh-Franklin curve. Supported as a reference second
+          instantiation of the paper's "any GDH group"; its Miller loop is
+          the straightforward affine one with denominators, so it is
+          slower than {!Y2_x3_x}. *)
+
+type params = private {
+  name : string;
+  family : family;
+  p : Bigint.t;  (** field prime, = 3 (mod 4) *)
+  q : Bigint.t;  (** prime order of G1 and G2 *)
+  cofactor : Bigint.t;  (** h with p + 1 = h * q *)
+  fp : Fp.ctx;
+  curve : Curve.ctx;
+  g : Curve.point;  (** the system generator G of G1 *)
+  final_exp : Bigint.t;  (** (p^2 - 1) / q *)
+  zeta : Fp2.t;  (** primitive cube root of unity; only used by {!Y2_x3_1} *)
+}
+
+val make :
+  ?family:family -> name:string -> p:Bigint.t -> q:Bigint.t -> unit -> params
+(** Build and validate a parameter set: checks p, q probable primes,
+    the family's congruence on p (3 mod 4 for {!Y2_x3_x}, 11 mod 12 for
+    {!Y2_x3_1}), q | p + 1, q^2 does not divide p + 1 (so G1 is cyclic
+    of order exactly q), and derives a generator by hashing a fixed seed.
+    [family] defaults to {!Y2_x3_x}. Raises [Invalid_argument] on any
+    violation. *)
+
+(** {1 Named parameter sets}
+
+    Generated once by [bin/paramgen.ml] (kept in the repo for audit) and
+    validated again by {!make} at first use. *)
+
+val toy64 : unit -> params
+(** 64-bit q, ~80-bit p: fast, for unit tests only. *)
+
+val toy64b : unit -> params
+(** Like {!toy64} but on the {!Y2_x3_1} (Boneh–Franklin) curve family. *)
+
+val mid128b : unit -> params
+(** Like {!mid128} on the {!Y2_x3_1} family. *)
+
+val mid128 : unit -> params
+(** 128-bit q, ~256-bit p: medium, integration tests and quick benches. *)
+
+val std160 : unit -> params
+(** 160-bit q, 512-bit p — the Boneh–Franklin-era security level the
+    paper's setting assumed. *)
+
+val by_name : string -> params option
+val all_names : string list
+
+(** {1 Group operations} *)
+
+val random_scalar : params -> Hashing.Drbg.t -> Bigint.t
+(** Uniform in [1, q-1] — the paper's Z_q^*. *)
+
+val pairing : params -> Curve.point -> Curve.point -> Fp2.t
+(** The modified Tate pairing of two G1 points; result in the order-q
+    subgroup of GF(p^2)*. [pairing p G G] is a generator of G2. *)
+
+val pairing_product : params -> (Curve.point * Curve.point) list -> Fp2.t
+(** [prod_i e^(P_i, Q_i)] with a single shared final exponentiation —
+    measurably cheaper than multiplying separate pairings whenever more
+    than one pairing feeds one equation (verification equations,
+    multi-server decryption). *)
+
+val pairing_check : params -> (Curve.point * Curve.point) list -> bool
+(** [prod_i e^(P_i, Q_i) = 1]? The natural form of all the scheme's
+    verification equations. *)
+
+val pairing_equal_check :
+  params -> lhs:Curve.point * Curve.point -> rhs:Curve.point * Curve.point -> bool
+(** [e^(a,b) = e^(c,d)]? via [e^(a,b) * e^(-c,d) = 1] — one product, one
+    final exponentiation. *)
+
+val gt_mul : params -> Fp2.t -> Fp2.t -> Fp2.t
+val gt_pow : params -> Fp2.t -> Bigint.t -> Fp2.t
+val gt_inv : params -> Fp2.t -> Fp2.t
+val gt_equal : Fp2.t -> Fp2.t -> bool
+val gt_one : params -> Fp2.t
+
+val in_g1 : params -> Curve.point -> bool
+(** On-curve and killed by q (subgroup membership). *)
+
+val ddh : params -> Curve.point -> Curve.point -> Curve.point -> Curve.point -> bool
+(** [ddh prms p a b c] decides whether (p, a, b, c) is a DDH tuple, i.e.
+    c = xy.p when a = x.p, b = y.p — via e^(a, b) = e^(p, c). This is the
+    polynomial-time DDH solver that makes G1 a {e Gap} DH group. *)
+
+(** {1 The paper's random oracles} *)
+
+val hash_to_g1 : params -> string -> Curve.point
+(** H1 : \{0,1\}* -> G1*: try-and-increment to a curve point, then
+    cofactor multiplication into the subgroup; never returns infinity. *)
+
+val h2 : params -> Fp2.t -> int -> string
+(** H2 : G2 -> \{0,1\}^n, instantiated as a KDF over the canonical
+    serialization of the pairing value; [n] is the plaintext length in
+    bytes, so [Kdf.xor] of a message with its H2 image implements the
+    paper's [M xor H2(K)]. *)
+
+val scalar_bytes : params -> int
+(** Serialized width of a scalar (bytes of q). *)
+
+val point_bytes : params -> int
+(** Serialized width of a compressed non-infinity G1 point. *)
+
+val gt_bytes : params -> int
+(** Serialized width of a G2 element. *)

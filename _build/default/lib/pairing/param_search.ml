@@ -1,0 +1,18 @@
+let generate ?rng ?(h_multiple = 4) ~qbits ~pbits () =
+  if pbits < qbits + 3 then invalid_arg "Param_search.generate: pbits too small";
+  if h_multiple < 4 || h_multiple mod 4 <> 0 then
+    invalid_arg "Param_search.generate: h_multiple must be a positive multiple of 4";
+  let rng = match rng with Some r -> r | None -> Hashing.Drbg.default () in
+  let q = Prime.gen_prime ~rng ~bits:qbits () in
+  let hbits = pbits - qbits in
+  let step = Bigint.of_int h_multiple in
+  let rec search () =
+    (* h = h_multiple * k keeps p = h*q - 1 in the wanted residue class:
+       4 | h gives p = 3 (mod 4); additionally 3 | h gives p = 2 (mod 3). *)
+    let k = Bigint.succ (Bigint.random_bits rng (hbits - 2)) in
+    let h = Bigint.mul step k in
+    let p = Bigint.pred (Bigint.mul h q) in
+    if Bigint.bit_length p = pbits && Prime.is_probably_prime ~rng p then p
+    else search ()
+  in
+  (search (), q)

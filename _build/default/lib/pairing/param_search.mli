@@ -1,0 +1,20 @@
+(** Search for pairing-friendly supersingular parameters.
+
+    Finds (p, q): q a [qbits]-bit prime, p = h*q - 1 a [pbits]-bit prime
+    with h = 0 (mod 4) — hence p = 3 (mod 4) and q | p + 1, which is
+    exactly what {!Pairing.make} requires. Used by [bin/paramgen] to
+    produce the named parameter sets checked into the library, and kept
+    here so the search itself is testable. *)
+
+val generate :
+  ?rng:Hashing.Drbg.t ->
+  ?h_multiple:int ->
+  qbits:int ->
+  pbits:int ->
+  unit ->
+  Bigint.t * Bigint.t
+(** [(p, q)]. Requires [pbits >= qbits + 3]. The default [rng] is the
+    process-global DRBG. [h_multiple] (default 4) constrains the cofactor:
+    h = 0 (mod 4) gives p = 3 (mod 4) (the y^2 = x^3 + x family);
+    h = 0 (mod 12) additionally gives p = 2 (mod 3) (the y^2 = x^3 + 1
+    family). Must itself be a multiple of 4. *)

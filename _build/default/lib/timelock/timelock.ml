@@ -1,0 +1,90 @@
+type puzzle = {
+  n : Bigint.t;
+  a : Bigint.t;
+  t : int;
+  key_blob : string;
+  body : string;
+}
+
+let key_bytes = 32
+
+let mask_of_point n v len =
+  (* Domain-separated KDF over the canonical encoding of v mod n. *)
+  let width = (Bigint.bit_length n + 7) / 8 in
+  Hashing.Kdf.mask ("RSW|" ^ Bigint.to_bytes_be ~pad_to:width (Bigint.erem v n)) len
+
+let create ?rng ~modulus_bits ~squarings msg =
+  if modulus_bits < 64 then invalid_arg "Timelock.create: modulus too small";
+  if squarings < 1 then invalid_arg "Timelock.create: squarings < 1";
+  let rng = match rng with Some r -> r | None -> Hashing.Drbg.default () in
+  let half = modulus_bits / 2 in
+  let p = Prime.gen_prime ~rng ~bits:half () in
+  let q =
+    let rec distinct () =
+      let q = Prime.gen_prime ~rng ~bits:(modulus_bits - half) () in
+      if Bigint.equal p q then distinct () else q
+    in
+    distinct ()
+  in
+  let n = Bigint.mul p q in
+  let phi = Bigint.mul (Bigint.pred p) (Bigint.pred q) in
+  let a = Bigint.two in
+  (* Trapdoor: e = 2^t mod phi(n), then b = a^e mod n in one exponentiation. *)
+  let e = Modarith.powmod Bigint.two (Bigint.of_int squarings) phi in
+  let b = Modarith.powmod a e n in
+  let key = Hashing.Drbg.generate rng key_bytes in
+  {
+    n;
+    a;
+    t = squarings;
+    key_blob = Hashing.Kdf.xor key (mask_of_point n b key_bytes);
+    body = Hashing.Kdf.xor msg (Hashing.Kdf.mask ("RSW-DEM|" ^ key) (String.length msg));
+  }
+
+let solve_count puzzle =
+  (* The sequential path: t squarings mod n, no shortcut without phi(n). *)
+  let ctx = Modarith.Mont.create puzzle.n in
+  let acc = ref (Modarith.Mont.of_bigint ctx puzzle.a) in
+  for _ = 1 to puzzle.t do
+    acc := Modarith.Mont.sqr ctx !acc
+  done;
+  let b = Modarith.Mont.to_bigint ctx !acc in
+  let key = Hashing.Kdf.xor puzzle.key_blob (mask_of_point puzzle.n b key_bytes) in
+  let msg =
+    Hashing.Kdf.xor puzzle.body
+      (Hashing.Kdf.mask ("RSW-DEM|" ^ key) (String.length puzzle.body))
+  in
+  (msg, puzzle.t)
+
+let solve puzzle = fst (solve_count puzzle)
+
+let calibrate ?(modulus_bits = 512) ?(sample = 2000) () =
+  let rng = Hashing.Drbg.create ~seed:"timelock-calibration" () in
+  let p = Prime.gen_prime ~rng ~bits:(modulus_bits / 2) () in
+  let q = Prime.gen_prime ~rng ~bits:(modulus_bits - (modulus_bits / 2)) () in
+  let n = Bigint.mul p q in
+  let ctx = Modarith.Mont.create n in
+  let acc = ref (Modarith.Mont.of_bigint ctx Bigint.two) in
+  let start = Sys.time () in
+  for _ = 1 to sample do
+    acc := Modarith.Mont.sqr ctx !acc
+  done;
+  let elapsed = Sys.time () -. start in
+  ignore (Sys.opaque_identity !acc);
+  if elapsed <= 0.0 then float_of_int sample *. 1e6
+  else float_of_int sample /. elapsed
+
+let squarings_for ~rate ~seconds =
+  if rate <= 0.0 || seconds < 0.0 then invalid_arg "Timelock.squarings_for";
+  max 1 (int_of_float (rate *. seconds))
+
+type precision = {
+  intended_delay : float;
+  actual_release : float;
+  error : float;
+}
+
+let release_precision ~intended_delay ~speed_factor ~start_delay =
+  if speed_factor <= 0.0 then invalid_arg "Timelock.release_precision";
+  let actual = start_delay +. (intended_delay /. speed_factor) in
+  { intended_delay; actual_release = actual; error = actual -. intended_delay }

@@ -1,0 +1,60 @@
+(** The Rivest–Shamir–Wagner time-lock puzzle (§2.1's baseline).
+
+    A message is locked so that recovering it takes [t] {e sequential}
+    squarings mod n = pq; the creator shortcuts with the trapdoor
+    phi(n) (reducing the exponent 2^t mod phi(n)), the solver cannot.
+    Implemented in full — modulus generation on our own Miller–Rabin
+    primes, trapdoor encryption, sequential solving — so experiment E4 can
+    measure the paper's criticism directly: release time is {e relative}
+    (to when solving starts), {e machine-dependent} (squarings/second),
+    and costs the receiver continuous CPU, whereas the server-based TRE
+    releases at an absolute instant for free. *)
+
+type puzzle = {
+  n : Bigint.t;  (** RSA modulus *)
+  a : Bigint.t;  (** base, fixed to 2 *)
+  t : int;  (** number of sequential squarings *)
+  key_blob : string;  (** K xor KDF(a^(2^t) mod n) *)
+  body : string;  (** M xor KDF(K) *)
+}
+
+val create :
+  ?rng:Hashing.Drbg.t -> modulus_bits:int -> squarings:int -> string -> puzzle
+(** Lock a message. Uses the phi(n) trapdoor, so creation cost is one
+    modular exponentiation regardless of [squarings].
+    Requires [modulus_bits >= 64] and [squarings >= 1]. *)
+
+val solve : puzzle -> string
+(** Recover the message by [t] sequential squarings — the intended
+    (slow) path. *)
+
+val solve_count : puzzle -> string * int
+(** Like {!solve} but also returns the number of squarings performed (for
+    the benchmark's cost accounting). *)
+
+(** {1 Calibration and the release-precision model (experiment E4)} *)
+
+val calibrate : ?modulus_bits:int -> ?sample:int -> unit -> float
+(** Measured squarings per second on this machine at the given modulus
+    size (default 512 bits, 2000 sample squarings). *)
+
+val squarings_for : rate:float -> seconds:float -> int
+(** Puzzle difficulty targeting [seconds] on a machine achieving [rate]. *)
+
+type precision = {
+  intended_delay : float;  (** what the sender wanted *)
+  actual_release : float;  (** when the message actually becomes readable *)
+  error : float;  (** actual - intended *)
+}
+
+val release_precision :
+  intended_delay:float ->
+  speed_factor:float ->
+  start_delay:float ->
+  precision
+(** The §2.1 criticism as arithmetic: a solver running at [speed_factor]
+    times the calibrated machine, starting [start_delay] after receipt,
+    reads the message at [start_delay + intended_delay / speed_factor].
+    A perfectly calibrated, immediately-started solver has zero error;
+    everyone else does not — and can never be {e forced} to be late or
+    early by the sender. *)

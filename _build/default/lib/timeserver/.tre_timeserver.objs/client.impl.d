@@ -1,0 +1,1 @@
+lib/timeserver/client.ml: Hashtbl List Pairing Passive_server Simnet String Tre

@@ -1,0 +1,1 @@
+lib/timeserver/client.mli: Pairing Passive_server Simnet Tre

@@ -1,0 +1,1 @@
+lib/timeserver/event_queue.ml: Array

@@ -1,0 +1,1 @@
+lib/timeserver/passive_server.ml: Char Hashing Hashtbl List Pairing Simnet String Timeline Tre

@@ -1,0 +1,1 @@
+lib/timeserver/passive_server.mli: Pairing Simnet Timeline Tre

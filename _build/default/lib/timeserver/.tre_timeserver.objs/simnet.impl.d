@@ -1,0 +1,1 @@
+lib/timeserver/simnet.ml: Char Event_queue Float Hashing List String

@@ -1,0 +1,1 @@
+lib/timeserver/simnet.mli: Hashing

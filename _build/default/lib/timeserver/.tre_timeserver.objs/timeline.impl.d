@@ -1,0 +1,1 @@
+lib/timeserver/timeline.ml: Float Printf String

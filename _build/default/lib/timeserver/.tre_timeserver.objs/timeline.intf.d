@@ -1,0 +1,1 @@
+lib/timeserver/timeline.mli: Tre

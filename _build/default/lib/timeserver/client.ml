@@ -1,0 +1,82 @@
+type delivery = {
+  plaintext : string;
+  release_label : Tre.time;
+  decrypted_at : float;
+}
+
+type t = {
+  prms : Pairing.params;
+  net : Simnet.t;
+  name : string;
+  server : Tre.Server.public;
+  secret : Tre.User.secret;
+  public : Tre.User.public;
+  updates : (Tre.time, Tre.update) Hashtbl.t;
+  mutable pending : Tre.ciphertext list;
+  mutable delivered : delivery list; (* newest first *)
+  mutable rejected : int;
+}
+
+let create prms ~net ~server ~name =
+  let secret, public = Tre.User.keygen prms server (Simnet.rng net) in
+  {
+    prms;
+    net;
+    name;
+    server;
+    secret;
+    public;
+    updates = Hashtbl.create 16;
+    pending = [];
+    delivered = [];
+    rejected = 0;
+  }
+
+let name t = t.name
+let public_key t = t.public
+let secret t = t.secret
+
+let try_decrypt t ct =
+  match Hashtbl.find_opt t.updates ct.Tre.release_time with
+  | None -> false
+  | Some upd ->
+      let plaintext = Tre.decrypt t.prms t.secret upd ct in
+      t.delivered <-
+        {
+          plaintext;
+          release_label = ct.Tre.release_time;
+          decrypted_at = Simnet.now t.net;
+        }
+        :: t.delivered;
+      true
+
+let drain_pending t =
+  t.pending <- List.filter (fun ct -> not (try_decrypt t ct)) t.pending
+
+let handler t upd =
+  if Tre.verify_update t.prms t.server upd then begin
+    Hashtbl.replace t.updates upd.Tre.update_time upd;
+    drain_pending t
+  end
+  else t.rejected <- t.rejected + 1
+
+let enqueue_ciphertext t ct =
+  if not (try_decrypt t ct) then t.pending <- ct :: t.pending
+
+let fetch_missing t net server lbl =
+  (* Anonymous pull of public data: request then response, both traced. *)
+  Simnet.send net ~src:t.name ~dst:(Passive_server.name server)
+    ~kind:"archive-request" ~bytes:(String.length lbl) (fun () ->
+      match Passive_server.archive_lookup server net lbl with
+      | None -> ()
+      | Some upd ->
+          Simnet.send net
+            ~src:(Passive_server.name server)
+            ~dst:t.name ~kind:"archive-response"
+            ~bytes:(Passive_server.update_size server)
+            (fun () -> handler t upd))
+
+let deliveries t = List.rev t.delivered
+let pending_count t = List.length t.pending
+let updates_cached t = Hashtbl.length t.updates
+let rejected_updates t = t.rejected

@@ -1,0 +1,74 @@
+(* Binary min-heap of timestamped events. Ties are broken by insertion
+   sequence so same-time events run in schedule order (deterministic
+   simulation). *)
+
+type 'a entry = { at : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.heap) in
+  let bigger = Array.make cap t.heap.(0) in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t ~at payload =
+  let entry = { at; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.heap.(!smallest) in
+          t.heap.(!smallest) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.at, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).at

@@ -1,0 +1,86 @@
+exception Future_update_refused
+
+type t = {
+  prms : Pairing.params;
+  name : string;
+  timeline : Timeline.t;
+  secret : Tre.Server.secret;
+  public : Tre.Server.public;
+  issued : (Tre.time, Tre.update) Hashtbl.t;
+  max_skew : float;
+  skew_rng : Hashing.Drbg.t;
+  mutable updates_issued : int;
+  mutable bytes_broadcast : int;
+}
+
+let create ?(max_skew = 0.0) prms ~net ~timeline ~name =
+  if max_skew < 0.0 then invalid_arg "Passive_server.create: negative skew";
+  let secret, public = Tre.Server.keygen prms (Simnet.rng net) in
+  {
+    prms;
+    name;
+    timeline;
+    secret;
+    public;
+    issued = Hashtbl.create 64;
+    max_skew;
+    skew_rng = Hashing.Drbg.create ~seed:(name ^ "-clock-skew") ();
+    updates_issued = 0;
+    bytes_broadcast = 0;
+  }
+
+(* The section-3 trust model: the server's clock is consistent within a
+   bound, so each broadcast may fire up to [max_skew] late (never early:
+   a correct server must not release an update before its time). *)
+let skew t =
+  if t.max_skew = 0.0 then 0.0
+  else begin
+    let raw = Hashing.Drbg.generate t.skew_rng 4 in
+    let v =
+      (Char.code raw.[0] lsl 24) lor (Char.code raw.[1] lsl 16)
+      lor (Char.code raw.[2] lsl 8) lor Char.code raw.[3]
+    in
+    t.max_skew *. float_of_int v /. 4294967296.0
+  end
+
+let name t = t.name
+let max_skew t = t.max_skew
+let public t = t.public
+let timeline t = t.timeline
+let secret t = t.secret
+let update_size t = 4 + 16 + Pairing.point_bytes t.prms (* framing + label + point *)
+
+let issue t epoch =
+  let label = Timeline.label t.timeline epoch in
+  match Hashtbl.find_opt t.issued label with
+  | Some upd -> upd
+  | None ->
+      let upd = Tre.issue_update t.prms t.secret label in
+      Hashtbl.replace t.issued label upd;
+      upd
+
+(* One broadcast per epoch boundary; server-side cost is a single signing
+   plus a single channel write, independent of |recipients|. *)
+let start t ~net ~first_epoch ~epochs ~recipients =
+  for e = first_epoch to first_epoch + epochs - 1 do
+    let at = Timeline.start_of t.timeline e +. skew t in
+    Simnet.schedule net ~at (fun () ->
+        let upd = issue t e in
+        t.updates_issued <- t.updates_issued + 1;
+        t.bytes_broadcast <- t.bytes_broadcast + update_size t;
+        Simnet.broadcast net ~src:t.name ~kind:"key-update" ~bytes:(update_size t)
+          (List.map (fun (nm, handler) -> (nm, fun () -> handler upd)) recipients))
+  done
+
+let archive_lookup t net lbl =
+  match Timeline.epoch_of_label t.timeline lbl with
+  | None -> None
+  | Some epoch ->
+      if Timeline.start_of t.timeline epoch > Simnet.now net then
+        raise Future_update_refused;
+      (* Footnote 4: regenerate from s on demand; consistent with any
+         previously broadcast copy because issuing is deterministic. *)
+      Some (issue t epoch)
+
+let updates_issued t = t.updates_issued
+let bytes_broadcast t = t.bytes_broadcast

@@ -1,0 +1,66 @@
+(** The paper's passive time server, as a running (simulated) process.
+
+    Once started it does exactly one thing: at each epoch boundary it
+    broadcasts the single time-bound key update for that epoch — a
+    constant amount of work {e independent of the number of users}, which
+    is the scalability claim measured by experiment E3. It keeps a public
+    archive of {e past} updates (§3, §6: "keep a list of old key updates
+    ... at a publicly accessible place") so receivers who missed a
+    broadcast can recover, and it enforces the §3 trust assumption
+    operationally: {!archive_lookup} refuses to produce an update whose
+    release time has not yet arrived.
+
+    The server holds no user state whatsoever: the type contains the key
+    material, the timeline and counters — nothing about senders or
+    receivers (the broadcast subscriber list lives in the caller's hands,
+    modelling a radio channel the server does not observe). *)
+
+type t
+
+exception Future_update_refused
+(** Raised when an archive lookup asks for an epoch that has not started
+    — the one thing a correct time server must never do (§3). *)
+
+val create :
+  ?max_skew:float ->
+  Pairing.params -> net:Simnet.t -> timeline:Timeline.t -> name:string -> t
+(** Key material is drawn from the network's DRBG (reproducible).
+    [max_skew] (default 0) models the §3 trust assumption that the server's
+    clock is only consistent "within a reasonable error bound": each
+    broadcast fires up to [max_skew] seconds {e late} — never early, since
+    a correct server must not release an update before its time. *)
+
+val max_skew : t -> float
+
+val name : t -> string
+val public : t -> Tre.Server.public
+val timeline : t -> Timeline.t
+
+val start :
+  t ->
+  net:Simnet.t ->
+  first_epoch:int ->
+  epochs:int ->
+  recipients:(string * (Tre.update -> unit)) list ->
+  unit
+(** Schedule the per-epoch broadcasts. [recipients] is the physical reach
+    of the broadcast channel — the server neither reads nor stores it
+    beyond handing it to the network layer. *)
+
+val archive_lookup : t -> Simnet.t -> Tre.time -> Tre.update option
+(** The public webpage of old updates. [None] for labels from a foreign
+    timeline; raises {!Future_update_refused} for epochs still in the
+    future. Implementation note mirroring footnote 4 of the paper: the
+    server can regenerate any past update from [s] alone, so the archive
+    needs no storage beyond the secret — but we also keep the issued list
+    so tests can audit that regeneration matches what was broadcast. *)
+
+val updates_issued : t -> int
+val bytes_broadcast : t -> int
+val update_size : t -> int
+(** Wire size of one update — the per-epoch broadcast cost. *)
+
+(**/**)
+
+val secret : t -> Tre.Server.secret
+(** For collusion experiments in tests only. *)

@@ -1,0 +1,17 @@
+type t = { origin : string; granularity : float }
+
+let create ?(origin = "utc") ~granularity () =
+  if granularity <= 0.0 then invalid_arg "Timeline.create: granularity <= 0";
+  { origin; granularity }
+
+let granularity t = t.granularity
+let epoch_at t instant = int_of_float (Float.floor (instant /. t.granularity))
+let label t epoch = Printf.sprintf "%s#%d" t.origin epoch
+
+let epoch_of_label t lbl =
+  match String.index_opt lbl '#' with
+  | Some i when String.sub lbl 0 i = t.origin ->
+      int_of_string_opt (String.sub lbl (i + 1) (String.length lbl - i - 1))
+  | Some _ | None -> None
+
+let start_of t epoch = float_of_int epoch *. t.granularity

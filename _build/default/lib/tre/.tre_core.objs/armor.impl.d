@@ -1,0 +1,1 @@
+lib/tre/armor.ml: Buffer Hashing List Option Printf String

@@ -1,0 +1,1 @@
+lib/tre/armor.mli:

@@ -1,0 +1,1 @@
+lib/tre/hybrid_baseline.ml: Bigint Curve Hashing Pairing String Tre

@@ -1,0 +1,1 @@
+lib/tre/hybrid_baseline.mli: Curve Hashing Pairing Tre

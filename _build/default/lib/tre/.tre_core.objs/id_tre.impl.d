@@ -1,0 +1,1 @@
+lib/tre/id_tre.ml: Bigint Curve Hashing Pairing String Tre

@@ -1,0 +1,1 @@
+lib/tre/id_tre.mli: Curve Hashing Pairing Tre

@@ -1,0 +1,1 @@
+lib/tre/key_insulation.ml: Curve Hashing Option Pairing String Tre

@@ -1,0 +1,1 @@
+lib/tre/key_insulation.mli: Pairing Tre

@@ -1,0 +1,1 @@
+lib/tre/multi_server.ml: Array Curve Hashing List Pairing String Tre

@@ -1,0 +1,1 @@
+lib/tre/multi_server.mli: Curve Hashing Pairing Tre

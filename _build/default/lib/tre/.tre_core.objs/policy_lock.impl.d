@@ -1,0 +1,1 @@
+lib/tre/policy_lock.ml: Curve Hashing List Pairing String Tre

@@ -1,0 +1,1 @@
+lib/tre/policy_lock.mli: Curve Hashing Pairing Tre

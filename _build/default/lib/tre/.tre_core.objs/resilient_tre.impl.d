@@ -1,0 +1,1 @@
+lib/tre/resilient_tre.ml: Curve Hashing List Pairing String Time_tree Tre

@@ -1,0 +1,1 @@
+lib/tre/resilient_tre.mli: Curve Hashing Pairing Time_tree Tre

@@ -1,0 +1,1 @@
+lib/tre/shamir.ml: Bigint List Modarith Pairing

@@ -1,0 +1,1 @@
+lib/tre/shamir.mli: Bigint Hashing Pairing

@@ -1,0 +1,1 @@
+lib/tre/threshold_server.ml: Array Bigint Curve List Pairing Shamir Tre

@@ -1,0 +1,1 @@
+lib/tre/threshold_server.mli: Curve Hashing Pairing Tre

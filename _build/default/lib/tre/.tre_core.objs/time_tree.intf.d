@@ -1,0 +1,1 @@
+lib/tre/time_tree.mli:

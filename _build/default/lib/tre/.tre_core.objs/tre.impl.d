@@ -1,0 +1,1 @@
+lib/tre/tre.ml: Bigint Char Curve Hashing Option Pairing String

@@ -1,0 +1,1 @@
+lib/tre/tre.mli: Bigint Curve Hashing Pairing

@@ -1,0 +1,1 @@
+lib/tre/tre_fo.ml: Curve Hashing Pairing Printf String Tre

@@ -1,0 +1,1 @@
+lib/tre/tre_fo.mli: Curve Hashing Pairing Tre

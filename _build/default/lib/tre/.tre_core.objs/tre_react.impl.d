@@ -1,0 +1,1 @@
+lib/tre/tre_react.ml: Curve Hashing Pairing String Tre

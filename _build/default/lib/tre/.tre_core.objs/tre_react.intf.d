@@ -1,0 +1,1 @@
+lib/tre/tre_react.mli: Curve Hashing Pairing Tre

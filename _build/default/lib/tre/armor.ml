@@ -1,0 +1,71 @@
+let begin_marker kind params = Printf.sprintf "-----BEGIN TRE %s (%s)-----" kind params
+let end_marker kind = Printf.sprintf "-----END TRE %s-----" kind
+
+let wrap ~kind ~params payload =
+  let b64 = Hashing.Base64.encode payload in
+  let buf = Buffer.create (String.length b64 + 128) in
+  Buffer.add_string buf (begin_marker kind params);
+  Buffer.add_char buf '\n';
+  let n = String.length b64 in
+  let i = ref 0 in
+  while !i < n do
+    let take = min 64 (n - !i) in
+    Buffer.add_string buf (String.sub b64 !i take);
+    Buffer.add_char buf '\n';
+    i := !i + take
+  done;
+  Buffer.add_string buf (end_marker kind);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Parse "-----BEGIN TRE <KIND> (<params>)-----". *)
+let parse_begin line =
+  let prefix = "-----BEGIN TRE " and suffix = "-----" in
+  let pl = String.length prefix and sl = String.length suffix in
+  if
+    String.length line > pl + sl
+    && String.sub line 0 pl = prefix
+    && String.sub line (String.length line - sl) sl = suffix
+  then begin
+    let middle = String.sub line pl (String.length line - pl - sl) in
+    match (String.index_opt middle '(', String.rindex_opt middle ')') with
+    | Some o, Some c when o < c ->
+        let kind = String.trim (String.sub middle 0 o) in
+        let params = String.sub middle (o + 1) (c - o - 1) in
+        if kind = "" then None else Some (kind, params)
+    | _ -> None
+  end
+  else None
+
+let unwrap text =
+  let lines = String.split_on_char '\n' (String.concat "\n" (String.split_on_char '\r' text)) in
+  let rec find_begin = function
+    | [] -> None
+    | line :: rest -> (
+        match parse_begin (String.trim line) with
+        | Some hdr -> Some (hdr, rest)
+        | None -> find_begin rest)
+  in
+  match find_begin lines with
+  | None -> None
+  | Some ((kind, params), rest) ->
+      let stop = end_marker kind in
+      let rec collect acc = function
+        | [] -> None
+        | line :: rest ->
+            if String.trim line = stop then Some (List.rev acc)
+            else collect (String.trim line :: acc) rest
+      in
+      Option.bind (collect [] rest) (fun body ->
+          Option.map
+            (fun payload -> (kind, params, payload))
+            (Hashing.Base64.decode (String.concat "" body)))
+
+let unwrap_expecting ~kind ~params text =
+  match unwrap text with
+  | None -> Error "not a valid TRE armored object"
+  | Some (k, p, payload) ->
+      if k <> kind then Error (Printf.sprintf "expected %s, found %s" kind k)
+      else if p <> params then
+        Error (Printf.sprintf "parameter-set mismatch: expected %s, found %s" params p)
+      else Ok payload

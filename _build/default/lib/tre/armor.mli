@@ -1,0 +1,25 @@
+(** ASCII armor for keys, updates and ciphertexts (PEM-like).
+
+    {[
+      -----BEGIN TRE CIPHERTEXT (mid128)-----
+      pZ8x...
+      -----END TRE CIPHERTEXT-----
+    ]}
+
+    The parameter-set name rides in the header so tools can refuse
+    cross-parameter material early. Payloads are Base64 of the binary
+    codecs in {!Tre}. *)
+
+val wrap : kind:string -> params:string -> string -> string
+(** [kind] is an uppercase label like ["CIPHERTEXT"]; [params] the
+    parameter-set name. *)
+
+val unwrap : string -> (string * string * string) option
+(** [Some (kind, params, payload)] for well-formed armor (leading and
+    trailing junk outside the markers is tolerated, mismatched BEGIN/END
+    kinds are not). *)
+
+val unwrap_expecting :
+  kind:string -> params:string -> string -> (string, string) result
+(** Unwrap and check both the kind and the parameter-set name; the error
+    is a human-readable reason. *)

@@ -1,0 +1,50 @@
+(** The generic hybrid construction of the paper's footnote 3 — the
+    baseline for the "50% reduction in most cases" claim (§1).
+
+    "We could use a public key encryption scheme to encrypt a sub-key K1
+    and use an identity based encryption scheme to encrypt another sub-key
+    K2. These two sub-keys are then combined to feed into a symmetric key
+    encryption scheme for encrypting the actual messages."
+
+    Instantiated over the same GDH group so the comparison is apples to
+    apples: the PKE is hashed ElGamal in G1, the IBE is Boneh–Franklin
+    BasicIdent with the release time as the identity (its extraction key
+    for "identity" T is exactly the time server's update s*H1(T), so the
+    same passive server serves both schemes). The receiver needs his
+    ElGamal secret AND the time update, giving timed release — at the cost
+    of two encapsulations where TRE needs one: 2 G1 points + 2 key blobs
+    of overhead vs 1 point, and 1 pairing + 4 scalar mults vs 1 pairing +
+    2 scalar mults to encrypt. Experiment E2 measures exactly this. *)
+
+type receiver_secret
+type receiver_public = Curve.point
+(** ElGamal xG. *)
+
+type ciphertext = {
+  u1 : Curve.point;  (** ElGamal r1*G *)
+  c1 : string;  (** K1 xor KDF(r1 * xG) *)
+  u2 : Curve.point;  (** IBE r2*G *)
+  c2 : string;  (** K2 xor H2(e^(sG, H1(T))^r2) *)
+  body : string;  (** M xor KDF(K1, K2) *)
+  release_time : Tre.time;
+}
+
+val receiver_keygen :
+  Pairing.params -> Hashing.Drbg.t -> receiver_secret * receiver_public
+
+val encrypt :
+  Pairing.params ->
+  Tre.Server.public ->
+  receiver_public ->
+  release_time:Tre.time ->
+  Hashing.Drbg.t ->
+  string ->
+  ciphertext
+
+val decrypt :
+  Pairing.params -> receiver_secret -> Tre.update -> ciphertext -> string
+(** Needs both the ElGamal secret and the time-bound update — neither
+    alone recovers the message (asserted by tests). Raises
+    {!Tre.Update_mismatch} on a wrong-time update. *)
+
+val ciphertext_overhead : Pairing.params -> int

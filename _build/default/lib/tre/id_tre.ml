@@ -1,0 +1,69 @@
+type identity = string
+type time = string
+
+exception Update_mismatch
+
+module Server = struct
+  type secret = { s : Bigint.t; gen : Curve.point }
+  type public = { g : Curve.point; sg : Curve.point }
+
+  let keygen ?g prms rng =
+    let gen = match g with Some g -> g | None -> prms.Pairing.g in
+    if Curve.is_infinity gen || not (Pairing.in_g1 prms gen) then
+      invalid_arg "Id_tre.Server: generator must be a non-identity G1 point";
+    let s = Pairing.random_scalar prms rng in
+    ({ s; gen }, { g = gen; sg = Curve.mul prms.Pairing.curve s gen })
+
+  let extract prms sec id =
+    Curve.mul prms.Pairing.curve sec.s (Pairing.hash_to_g1 prms id)
+
+  let issue_update prms sec t =
+    { Tre.update_time = t;
+      update_value = Curve.mul prms.Pairing.curve sec.s (Pairing.hash_to_g1 prms t) }
+end
+
+let verify_update prms (pub : Server.public) upd =
+  Pairing.in_g1 prms upd.Tre.update_value
+  && Pairing.pairing_equal_check prms
+       ~lhs:(pub.Server.sg, Pairing.hash_to_g1 prms upd.Tre.update_time)
+       ~rhs:(pub.Server.g, upd.Tre.update_value)
+
+let verify_private_key prms (pub : Server.public) id d =
+  Pairing.in_g1 prms d
+  && Pairing.pairing_equal_check prms ~lhs:(pub.Server.g, d)
+       ~rhs:(pub.Server.sg, Pairing.hash_to_g1 prms id)
+
+type ciphertext = { u : Curve.point; v : string; release_time : time }
+
+let session_key prms (srv_sg : Curve.point) ~id ~release_time ~r =
+  let curve = prms.Pairing.curve in
+  let ke =
+    Curve.add curve (Pairing.hash_to_g1 prms id) (Pairing.hash_to_g1 prms release_time)
+  in
+  Pairing.pairing prms (Curve.mul curve r srv_sg) ke
+
+let encrypt prms (srv : Server.public) id ~release_time rng msg =
+  let r = Pairing.random_scalar prms rng in
+  let k = session_key prms srv.Server.sg ~id ~release_time ~r in
+  {
+    u = Curve.mul prms.Pairing.curve r srv.Server.g;
+    v = Hashing.Kdf.xor msg (Pairing.h2 prms k (String.length msg));
+    release_time;
+  }
+
+let decrypt prms ~private_key upd ct =
+  if upd.Tre.update_time <> ct.release_time then raise Update_mismatch;
+  let kd = Curve.add prms.Pairing.curve private_key upd.Tre.update_value in
+  let k = Pairing.pairing prms ct.u kd in
+  Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
+
+let escrow_decrypt prms (sec : Server.secret) id ct =
+  (* The server derives the user's private key and the update by itself —
+     inherent key escrow of identity-based schemes. *)
+  let d = Server.extract prms sec id in
+  let upd = Server.issue_update prms sec ct.release_time in
+  let kd = Curve.add prms.Pairing.curve d upd.Tre.update_value in
+  let k = Pairing.pairing prms ct.u kd in
+  Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
+
+let ciphertext_overhead prms = 4 + Pairing.point_bytes prms

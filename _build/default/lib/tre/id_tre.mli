@@ -1,0 +1,59 @@
+(** Identity-based Timed Release Encryption (§5.2; the idea of Chen et al.).
+
+    The receiver's public key is his identity string; the trusted server
+    both extracts user private keys s*H1(ID) and broadcasts the time-bound
+    updates s*H1(T). Decryption combines the two by point addition:
+    K_D = s*H1(ID) + s*H1(T) = s*(H1(ID) + H1(T)).
+
+    Kept as a comparison point: it shares TRE's single-update scalability
+    but, like all identity-based schemes, has inherent key escrow — the
+    server can decrypt everything (§5.2, and the motivation for TRE in
+    §2.2/§3). The escrow is demonstrated, not hidden: see {!escrow_decrypt}. *)
+
+type identity = string
+type time = string
+
+exception Update_mismatch
+
+module Server : sig
+  type secret
+  type public = { g : Curve.point; sg : Curve.point }
+
+  val keygen : ?g:Curve.point -> Pairing.params -> Hashing.Drbg.t -> secret * public
+  val extract : Pairing.params -> secret -> identity -> Curve.point
+  (** User Key Generation: the private key s*H1(ID), delivered to the user
+      over a secure channel (a structural cost TRE avoids). *)
+
+  val issue_update : Pairing.params -> secret -> time -> Tre.update
+end
+
+val verify_update : Pairing.params -> Server.public -> Tre.update -> bool
+
+val verify_private_key :
+  Pairing.params -> Server.public -> identity -> Curve.point -> bool
+(** A user checks the extracted key: e^(G, d) = e^(sG, H1(ID)). *)
+
+type ciphertext = { u : Curve.point; v : string; release_time : time }
+
+val encrypt :
+  Pairing.params ->
+  Server.public ->
+  identity ->
+  release_time:time ->
+  Hashing.Drbg.t ->
+  string ->
+  ciphertext
+(** K_E = H1(ID) + H1(T); K = e^(sG, K_E)^r; C = <rG, M xor H2(K)>. *)
+
+val decrypt :
+  Pairing.params -> private_key:Curve.point -> Tre.update -> ciphertext -> string
+(** K_D = d_ID + I_T; K' = e^(U, K_D). Raises {!Update_mismatch} on a
+    wrong-time update. *)
+
+val escrow_decrypt : Pairing.params -> Server.secret -> identity -> ciphertext -> string
+(** What the paper warns about: the server alone decrypts any user's
+    ciphertext (it can derive both d_ID and I_T). Exists so the test
+    suite can assert the escrow weakness is real in ID-TRE and absent in
+    TRE. *)
+
+val ciphertext_overhead : Pairing.params -> int

@@ -1,0 +1,23 @@
+type epoch_key = { epoch : Tre.time; k : Curve.point }
+
+let derive prms a (upd : Tre.update) =
+  {
+    epoch = upd.Tre.update_time;
+    k = Curve.mul prms.Pairing.curve (Tre.User.secret_to_scalar a) upd.Tre.update_value;
+  }
+
+let epoch ek = ek.epoch
+
+let decrypt prms ek (ct : Tre.ciphertext) =
+  if ek.epoch <> ct.Tre.release_time then raise Tre.Update_mismatch;
+  (* K' = e^(U, a * s * H1(T)) = e^(G, H1(T))^ras — no use of [a] here. *)
+  let k = Pairing.pairing prms ct.Tre.u ek.k in
+  Hashing.Kdf.xor ct.Tre.v (Pairing.h2 prms k (String.length ct.Tre.v))
+
+let to_bytes prms ek =
+  Tre.update_to_bytes prms { Tre.update_time = ek.epoch; update_value = ek.k }
+
+let of_bytes prms s =
+  Option.map
+    (fun (u : Tre.update) -> { epoch = u.Tre.update_time; k = u.Tre.update_value })
+    (Tre.update_of_bytes prms s)

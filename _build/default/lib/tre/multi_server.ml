@@ -1,0 +1,68 @@
+exception Invalid_receiver_key
+exception Update_mismatch
+exception Wrong_update_count
+
+type receiver_public = { ag : Curve.point; k_new : Curve.point }
+
+type ciphertext = {
+  us : Curve.point array;
+  v : string;
+  release_time : Tre.time;
+}
+
+let sum_server_points prms servers =
+  List.fold_left
+    (fun acc (srv : Tre.Server.public) ->
+      Curve.add prms.Pairing.curve acc srv.Tre.Server.sg)
+    Curve.infinity servers
+
+let receiver_public_of_secret prms servers a =
+  if servers = [] then invalid_arg "Multi_server: empty server list";
+  let curve = prms.Pairing.curve in
+  let scalar = Tre.User.secret_to_scalar a in
+  {
+    ag = Curve.mul curve scalar prms.Pairing.g;
+    k_new = Curve.mul curve scalar (sum_server_points prms servers);
+  }
+
+let receiver_keygen prms servers rng =
+  let a = Tre.User.secret_of_scalar prms (Pairing.random_scalar prms rng) in
+  (a, receiver_public_of_secret prms servers a)
+
+let validate_receiver_key prms servers (pk : receiver_public) =
+  servers <> []
+  && Pairing.in_g1 prms pk.ag
+  && Pairing.in_g1 prms pk.k_new
+  && (not (Curve.is_infinity pk.ag))
+  && Pairing.pairing_equal_check prms
+       ~lhs:(prms.Pairing.g, pk.k_new)
+       ~rhs:(pk.ag, sum_server_points prms servers)
+
+let encrypt prms servers pk ~release_time rng msg =
+  if not (validate_receiver_key prms servers pk) then raise Invalid_receiver_key;
+  let curve = prms.Pairing.curve in
+  let r = Pairing.random_scalar prms rng in
+  let us =
+    Array.of_list
+      (List.map (fun (srv : Tre.Server.public) -> Curve.mul curve r srv.Tre.Server.g) servers)
+  in
+  let k =
+    Pairing.pairing prms (Curve.mul curve r pk.k_new)
+      (Pairing.hash_to_g1 prms release_time)
+  in
+  { us; v = Hashing.Kdf.xor msg (Pairing.h2 prms k (String.length msg)); release_time }
+
+let decrypt prms a updates ct =
+  if List.length updates <> Array.length ct.us then raise Wrong_update_count;
+  List.iter
+    (fun (u : Tre.update) ->
+      if u.Tre.update_time <> ct.release_time then raise Update_mismatch)
+    updates;
+  let scalar = Tre.User.secret_to_scalar a in
+  (* K = (prod_i e^(rG_i, s_i H1(T)))^a — one shared final exponentiation
+     and one GT exponentiation regardless of N. *)
+  let pairs = List.mapi (fun i (u : Tre.update) -> (ct.us.(i), u.Tre.update_value)) updates in
+  let k = Pairing.gt_pow prms (Pairing.pairing_product prms pairs) scalar in
+  Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
+
+let ciphertext_overhead prms ~n_servers = 4 + (n_servers * Pairing.point_bytes prms)

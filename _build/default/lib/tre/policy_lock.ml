@@ -1,0 +1,60 @@
+exception Invalid_receiver_key
+exception Missing_witness
+
+type condition = string
+type witness = Tre.update
+
+type ciphertext = {
+  u : Curve.point;
+  v : string;
+  conditions : condition list;
+}
+
+let issue_witness = Tre.issue_update
+let verify_witness = Tre.verify_update
+
+let normalize conditions = List.sort_uniq String.compare conditions
+
+(* sum_i H1(C_i) — the combined lock point. *)
+let combined_hash prms conditions =
+  List.fold_left
+    (fun acc c -> Curve.add prms.Pairing.curve acc (Pairing.hash_to_g1 prms c))
+    Curve.infinity conditions
+
+let encrypt prms srv (pk : Tre.User.public) ~conditions rng msg =
+  let conditions = normalize conditions in
+  if conditions = [] then invalid_arg "Policy_lock.encrypt: no conditions";
+  if not (Tre.validate_receiver_key prms srv pk) then raise Invalid_receiver_key;
+  let curve = prms.Pairing.curve in
+  let r = Pairing.random_scalar prms rng in
+  let k =
+    Pairing.pairing prms
+      (Curve.mul curve r pk.Tre.User.asg)
+      (combined_hash prms conditions)
+  in
+  {
+    u = Curve.mul curve r srv.Tre.Server.g;
+    v = Hashing.Kdf.xor msg (Pairing.h2 prms k (String.length msg));
+    conditions;
+  }
+
+let decrypt prms a witnesses ct =
+  (* Pick one witness per required condition; sum them into s * sum H1(C_i). *)
+  let find c =
+    match
+      List.find_opt (fun (w : witness) -> w.Tre.update_time = c) witnesses
+    with
+    | Some w -> w.Tre.update_value
+    | None -> raise Missing_witness
+  in
+  let curve = prms.Pairing.curve in
+  let combined_sig =
+    List.fold_left
+      (fun acc c -> Curve.add curve acc (find c))
+      Curve.infinity ct.conditions
+  in
+  let scalar = Tre.User.secret_to_scalar a in
+  let k = Pairing.gt_pow prms (Pairing.pairing prms ct.u combined_sig) scalar in
+  Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
+
+let ciphertext_overhead prms = 4 + Pairing.point_bytes prms

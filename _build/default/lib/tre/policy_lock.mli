@@ -1,0 +1,52 @@
+(** Policy-lock encryption — the generalization of §5.3.2.
+
+    The time server is just a witness signing statements; nothing in the
+    construction requires the statement to be "it is now time T". A sender
+    may lock a message under {e any} condition strings ("It is an
+    emergency", "The receiver has completed task X", ...); the witness
+    publishes sigma(C) = s*H1(C) when a condition becomes true, and the
+    receiver needs the witness signatures for {e all} the conditions plus
+    his private key.
+
+    Conjunction comes for free from the pairing's additivity:
+    K = e^(r*asG, sum_i H1(C_i)) and sum_i sigma(C_i) = s * sum_i H1(C_i),
+    so one ciphertext of the same size locks under any number of
+    conditions — the same trick that gives ID-TRE its combined key. *)
+
+exception Invalid_receiver_key
+exception Missing_witness
+(** Raised by {!decrypt} when the witness set does not cover exactly the
+    ciphertext's conditions. *)
+
+type condition = string
+
+type witness = Tre.update
+(** sigma(C) = s*H1(C): identical object to a time-bound key update — time
+    release is the special case [C = "it is now T"]. *)
+
+type ciphertext = {
+  u : Curve.point;
+  v : string;
+  conditions : condition list;  (** sorted, duplicate-free *)
+}
+
+val issue_witness : Pairing.params -> Tre.Server.secret -> condition -> witness
+val verify_witness : Pairing.params -> Tre.Server.public -> witness -> bool
+
+val encrypt :
+  Pairing.params ->
+  Tre.Server.public ->
+  Tre.User.public ->
+  conditions:condition list ->
+  Hashing.Drbg.t ->
+  string ->
+  ciphertext
+(** Conditions are deduplicated and sorted; at least one is required.
+    Raises [Invalid_argument] on an empty list. *)
+
+val decrypt :
+  Pairing.params -> Tre.User.secret -> witness list -> ciphertext -> string
+(** The witness list must contain a witness for every condition of the
+    ciphertext (extras are ignored). *)
+
+val ciphertext_overhead : Pairing.params -> int

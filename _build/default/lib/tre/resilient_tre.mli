@@ -1,0 +1,68 @@
+(** Missing-update-resilient TRE — the paper's §6 future work, realized
+    with the base scheme's own machinery.
+
+    In plain TRE an update s*H1(T) opens release time T only; a receiver
+    who misses a broadcast must fetch it from the archive. Here epochs are
+    the leaves of a {!Time_tree}, and at epoch e the server broadcasts the
+    updates for the {e canonical cover} of [0..e] — at most depth+1 BLS
+    signatures. Because a tree node enters a cover only once every leaf
+    below it has passed, signing a cover node releases exactly the epochs
+    it spans and nothing in the future.
+
+    A sender encrypting for release epoch e' attaches one small header per
+    ancestor of leaf e' (depth+1 headers of 32 bytes): header_nu masks the
+    message key with H2(e^(r*asG, H1(nu))). For any e >= e', exactly one
+    ancestor of e' lies in the cover of [0..e], so the {b latest broadcast
+    alone} always suffices — missing any number of earlier updates is
+    harmless, which is precisely the resilience §6 asks for. For e < e',
+    no ancestor is covered and every header stays locked (under the same
+    BDH argument as the base scheme, since each header is a base-scheme
+    ciphertext for a node label).
+
+    Costs (measured in experiment E10): ciphertext grows by
+    (depth+1) * 32-byte headers; the per-epoch broadcast carries up to
+    depth+1 updates instead of 1 — still independent of the number of
+    receivers, so the scalability story is unchanged. *)
+
+type header = { node_label : string; blob : string }
+
+type ciphertext = {
+  u : Curve.point;  (** rG *)
+  headers : header list;  (** one per ancestor of the release leaf *)
+  body : string;  (** M xor KDF(message key) *)
+  release_epoch : int;
+}
+
+val encrypt :
+  Pairing.params ->
+  Time_tree.t ->
+  Tre.Server.public ->
+  Tre.User.public ->
+  release_epoch:int ->
+  Hashing.Drbg.t ->
+  string ->
+  ciphertext
+(** Raises {!Tre.Invalid_receiver_key} / [Invalid_argument] on bad key or
+    epoch. *)
+
+val issue_cover :
+  Pairing.params -> Time_tree.t -> Tre.Server.secret -> epoch:int -> Tre.update list
+(** The server's per-epoch broadcast: one BLS update per cover node of
+    [0..epoch]; at most [Time_tree.depth t + 1] elements. *)
+
+val verify_cover :
+  Pairing.params -> Time_tree.t -> Tre.Server.public -> epoch:int -> Tre.update list -> bool
+(** All updates verify and the labels are exactly the canonical cover. *)
+
+val decrypt :
+  Pairing.params ->
+  Time_tree.t ->
+  Tre.User.secret ->
+  cover:Tre.update list ->
+  ciphertext ->
+  string option
+(** Decrypt with {e any} broadcast cover from epoch >= the release epoch;
+    [None] when the cover predates the release epoch (no ancestor is
+    covered — the time lock). *)
+
+val ciphertext_overhead : Pairing.params -> Time_tree.t -> int

@@ -1,0 +1,45 @@
+type share = { index : int; value : Bigint.t }
+
+let split prms rng ~secret ~k ~n =
+  let q = prms.Pairing.q in
+  if k < 1 || k > n then invalid_arg "Shamir.split: need 1 <= k <= n";
+  if Bigint.compare (Bigint.of_int n) q >= 0 then invalid_arg "Shamir.split: n >= q";
+  if Bigint.sign secret < 0 || Bigint.compare secret q >= 0 then
+    invalid_arg "Shamir.split: secret out of range";
+  (* f(x) = secret + c1 x + ... + c_{k-1} x^{k-1}, coefficients uniform. *)
+  let coeffs = secret :: List.init (k - 1) (fun _ -> Bigint.random_below rng q) in
+  let eval x =
+    List.fold_right
+      (fun c acc -> Bigint.erem (Bigint.add c (Bigint.mul acc x)) q)
+      coeffs Bigint.zero
+  in
+  List.init n (fun i ->
+      let index = i + 1 in
+      { index; value = eval (Bigint.of_int index) })
+
+let lagrange_at_zero prms indices =
+  let q = prms.Pairing.q in
+  if List.exists (fun i -> i < 1) indices then
+    invalid_arg "Shamir.lagrange_at_zero: indices must be >= 1";
+  if List.length (List.sort_uniq compare indices) <> List.length indices then
+    invalid_arg "Shamir.lagrange_at_zero: duplicate indices";
+  List.map
+    (fun i ->
+      (* lambda_i = prod_{j <> i} j / (j - i) mod q *)
+      List.fold_left
+        (fun acc j ->
+          if j = i then acc
+          else begin
+            let num = Bigint.of_int j in
+            let den = Modarith.invmod (Bigint.of_int (j - i)) q in
+            Bigint.erem (Bigint.mul acc (Bigint.mul num den)) q
+          end)
+        Bigint.one indices)
+    indices
+
+let reconstruct prms shares =
+  let q = prms.Pairing.q in
+  let lambdas = lagrange_at_zero prms (List.map (fun s -> s.index) shares) in
+  List.fold_left2
+    (fun acc share lambda -> Bigint.erem (Bigint.add acc (Bigint.mul lambda share.value)) q)
+    Bigint.zero shares lambdas

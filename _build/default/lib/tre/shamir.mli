@@ -1,0 +1,24 @@
+(** Shamir secret sharing over Z_q (the pairing scalar field).
+
+    Substrate for {!Threshold_server}: the time server's secret s is split
+    so that any k of n share-servers can produce key updates while k-1
+    learn nothing. Shares are points (i, f(i)) on a random degree-(k-1)
+    polynomial with f(0) = s. *)
+
+type share = { index : int; value : Bigint.t }
+(** Indices are 1-based (0 is the secret's position). *)
+
+val split :
+  Pairing.params -> Hashing.Drbg.t -> secret:Bigint.t -> k:int -> n:int -> share list
+(** Requires [1 <= k <= n < q] and [secret] in [0, q). Returns n shares,
+    any k of which reconstruct. *)
+
+val lagrange_at_zero : Pairing.params -> int list -> Bigint.t list
+(** The Lagrange coefficients lambda_i (mod q) such that
+    f(0) = sum_i lambda_i * f(i) for the given pairwise-distinct indices.
+    Raises [Invalid_argument] on duplicates or indices < 1. *)
+
+val reconstruct : Pairing.params -> share list -> Bigint.t
+(** Interpolate the secret from >= k shares (exactly the given ones are
+    used, so passing fewer than k yields a wrong value, not an error —
+    secrecy, not integrity). *)

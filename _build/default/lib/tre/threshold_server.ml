@@ -1,0 +1,66 @@
+type system = {
+  public : Tre.Server.public;
+  share_commitments : (int * Curve.point) array;
+  k : int;
+  n : int;
+}
+
+type share_server = { index : int; share : Bigint.t }
+
+type partial = { server_index : int; value : Curve.point }
+
+let setup prms rng ~k ~n =
+  let g = prms.Pairing.g in
+  let s = Pairing.random_scalar prms rng in
+  let shares = Shamir.split prms rng ~secret:s ~k ~n in
+  let curve = prms.Pairing.curve in
+  let system =
+    {
+      public = { Tre.Server.g; sg = Curve.mul curve s g };
+      share_commitments =
+        Array.of_list
+          (List.map (fun (sh : Shamir.share) ->
+               (sh.Shamir.index, Curve.mul curve sh.Shamir.value g))
+             shares);
+      k;
+      n;
+    }
+  in
+  let servers =
+    List.map
+      (fun (sh : Shamir.share) -> { index = sh.Shamir.index; share = sh.Shamir.value })
+      shares
+  in
+  (system, servers)
+
+let issue_partial prms srv t =
+  {
+    server_index = srv.index;
+    value = Curve.mul prms.Pairing.curve srv.share (Pairing.hash_to_g1 prms t);
+  }
+
+let verify_partial prms system t partial =
+  match
+    Array.find_opt (fun (i, _) -> i = partial.server_index) system.share_commitments
+  with
+  | None -> false
+  | Some (_, commitment) ->
+      Pairing.in_g1 prms partial.value
+      && Pairing.pairing_equal_check prms
+           ~lhs:(prms.Pairing.g, partial.value)
+           ~rhs:(commitment, Pairing.hash_to_g1 prms t)
+
+let combine prms system t partials =
+  if List.length partials < system.k then
+    invalid_arg "Threshold_server.combine: fewer than k partials";
+  (* Use the first k (Lagrange needs exactly the participating set). *)
+  let chosen = List.filteri (fun i _ -> i < system.k) partials in
+  let indices = List.map (fun p -> p.server_index) chosen in
+  let lambdas = Shamir.lagrange_at_zero prms indices in
+  let curve = prms.Pairing.curve in
+  let value =
+    List.fold_left2
+      (fun acc p lambda -> Curve.add curve acc (Curve.mul curve lambda p.value))
+      Curve.infinity chosen lambdas
+  in
+  { Tre.update_time = t; update_value = value }

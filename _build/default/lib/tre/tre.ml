@@ -1,0 +1,216 @@
+type time = string
+
+exception Invalid_receiver_key
+exception Update_mismatch
+
+(* Uniform-enough scalar in [1, q-1] from a seed string (password keygen,
+   FO transform). The 2x-width reduction makes the mod-q bias negligible. *)
+let scalar_of_seed prms seed =
+  let q1 = Bigint.pred prms.Pairing.q in
+  let width = 2 * ((Bigint.bit_length prms.Pairing.q + 7) / 8) in
+  let raw = Bigint.of_bytes_be (Hashing.Kdf.mask seed width) in
+  Bigint.succ (Bigint.erem raw q1)
+
+let check_scalar prms s =
+  if Bigint.sign s <= 0 || Bigint.compare s prms.Pairing.q >= 0 then
+    invalid_arg "Tre: scalar out of range [1, q-1]"
+
+module Server = struct
+  type secret = { s : Bigint.t; gen : Curve.point }
+  type public = { g : Curve.point; sg : Curve.point }
+
+  let check_generator prms g =
+    if Curve.is_infinity g || not (Pairing.in_g1 prms g) then
+      invalid_arg "Tre.Server: generator must be a non-identity G1 point"
+
+  let secret_of_scalar prms ?g s =
+    check_scalar prms s;
+    let gen = match g with Some g -> g | None -> prms.Pairing.g in
+    check_generator prms gen;
+    { s; gen }
+
+  let public_of_secret prms { s; gen } =
+    { g = gen; sg = Curve.mul prms.Pairing.curve s gen }
+
+  let keygen ?g prms rng =
+    let secret = secret_of_scalar prms ?g (Pairing.random_scalar prms rng) in
+    (secret, public_of_secret prms secret)
+
+  let secret_to_scalar sec = sec.s
+end
+
+type update = { update_time : time; update_value : Curve.point }
+
+let issue_update prms (sec : Server.secret) t =
+  { update_time = t;
+    update_value = Curve.mul prms.Pairing.curve sec.Server.s (Pairing.hash_to_g1 prms t) }
+
+let verify_update prms (pub : Server.public) upd =
+  Pairing.in_g1 prms upd.update_value
+  && Pairing.pairing_equal_check prms
+       ~lhs:(pub.Server.sg, Pairing.hash_to_g1 prms upd.update_time)
+       ~rhs:(pub.Server.g, upd.update_value)
+
+module User = struct
+  type secret = Bigint.t
+  type public = { ag : Curve.point; asg : Curve.point }
+
+  let secret_of_scalar prms a =
+    check_scalar prms a;
+    a
+
+  let secret_to_scalar a = a
+
+  let public_of_secret prms (srv : Server.public) a =
+    let curve = prms.Pairing.curve in
+    { ag = Curve.mul curve a srv.Server.g; asg = Curve.mul curve a srv.Server.sg }
+
+  let keygen prms srv rng =
+    let a = Pairing.random_scalar prms rng in
+    (a, public_of_secret prms srv a)
+
+  let keygen_from_password prms srv ~password =
+    let a = scalar_of_seed prms ("TRE-password-key|" ^ password) in
+    (a, public_of_secret prms srv a)
+
+  let rebind prms a (new_srv : Server.public) = public_of_secret prms new_srv a
+end
+
+let validate_receiver_key prms (srv : Server.public) (pk : User.public) =
+  Pairing.in_g1 prms pk.User.ag
+  && Pairing.in_g1 prms pk.User.asg
+  && (not (Curve.is_infinity pk.User.ag))
+  && Pairing.pairing_equal_check prms
+       ~lhs:(pk.User.ag, srv.Server.sg)
+       ~rhs:(srv.Server.g, pk.User.asg)
+
+let verify_server_change prms ~(certified : User.public) ~(new_server : Server.public)
+    ~(candidate : User.public) =
+  (* The CA vouches for certified.ag; the candidate must carry the same aG
+     and a consistent as'G' for the new server. *)
+  Curve.equal certified.User.ag candidate.User.ag
+  && validate_receiver_key prms new_server candidate
+
+type ciphertext = { u : Curve.point; v : string; release_time : time }
+
+let encrypt_prevalidated prms (srv : Server.public) (pk : User.public) ~release_time rng
+    msg =
+  let curve = prms.Pairing.curve in
+  let r = Pairing.random_scalar prms rng in
+  let u = Curve.mul curve r srv.Server.g in
+  (* K = e^(r * asG, H1(T)) = e^(G, H1(T))^{ras} *)
+  let k =
+    Pairing.pairing prms
+      (Curve.mul curve r pk.User.asg)
+      (Pairing.hash_to_g1 prms release_time)
+  in
+  { u; v = Hashing.Kdf.xor msg (Pairing.h2 prms k (String.length msg)); release_time }
+
+let encrypt prms srv pk ~release_time rng msg =
+  if not (validate_receiver_key prms srv pk) then raise Invalid_receiver_key;
+  encrypt_prevalidated prms srv pk ~release_time rng msg
+
+let decrypt prms (a : User.secret) upd ct =
+  if upd.update_time <> ct.release_time then raise Update_mismatch;
+  (* K' = e^(U, sigma_S(T))^a *)
+  let k = Pairing.gt_pow prms (Pairing.pairing prms ct.u upd.update_value) a in
+  Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
+
+(* --- serialization ---
+
+   Wire framing: a 4-byte big-endian length prefix for the variable-length
+   time label; points use the curve's compressed encoding. Infinity points
+   are rejected on decode wherever the scheme forbids them. *)
+
+let u32_to_bytes n =
+  String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+
+let u32_of_bytes s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let point_to_padded prms pt =
+  (* Infinity encodes as 1 byte; pad to fixed width for framing. *)
+  let w = Pairing.point_bytes prms in
+  let raw = Curve.to_bytes prms.Pairing.curve pt in
+  if String.length raw = w then raw else raw ^ String.make (w - 1) '\x00'
+
+let point_of_padded prms s off =
+  let w = Pairing.point_bytes prms in
+  if off + w > String.length s then None
+  else if s.[off] = '\x00' then Some (Curve.infinity, off + w)
+  else begin
+    match Curve.of_bytes prms.Pairing.curve (String.sub s off w) with
+    | Some p -> Some (p, off + w)
+    | None -> None
+  end
+
+let ciphertext_to_bytes prms ct =
+  u32_to_bytes (String.length ct.release_time)
+  ^ ct.release_time ^ point_to_padded prms ct.u ^ ct.v
+
+let ciphertext_of_bytes prms s =
+  if String.length s < 4 then None
+  else begin
+    let tlen = u32_of_bytes s 0 in
+    if String.length s < 4 + tlen + Pairing.point_bytes prms then None
+    else begin
+      let release_time = String.sub s 4 tlen in
+      match point_of_padded prms s (4 + tlen) with
+      | Some (u, off) when Pairing.in_g1 prms u && not (Curve.is_infinity u) ->
+          Some { u; v = String.sub s off (String.length s - off); release_time }
+      | Some _ | None -> None
+    end
+  end
+
+let update_to_bytes prms upd =
+  u32_to_bytes (String.length upd.update_time)
+  ^ upd.update_time ^ point_to_padded prms upd.update_value
+
+let update_of_bytes prms s =
+  if String.length s < 4 then None
+  else begin
+    let tlen = u32_of_bytes s 0 in
+    if String.length s <> 4 + tlen + Pairing.point_bytes prms then None
+    else begin
+      let update_time = String.sub s 4 tlen in
+      match point_of_padded prms s (4 + tlen) with
+      | Some (v, _) when Pairing.in_g1 prms v && not (Curve.is_infinity v) ->
+          Some { update_time; update_value = v }
+      | Some _ | None -> None
+    end
+  end
+
+let two_points_to_bytes prms a b =
+  point_to_padded prms a ^ point_to_padded prms b
+
+let two_points_of_bytes prms s =
+  if String.length s <> 2 * Pairing.point_bytes prms then None
+  else begin
+    match point_of_padded prms s 0 with
+    | None -> None
+    | Some (a, off) -> (
+        match point_of_padded prms s off with
+        | Some (b, _)
+          when Pairing.in_g1 prms a && Pairing.in_g1 prms b
+               && (not (Curve.is_infinity a))
+               && not (Curve.is_infinity b) ->
+            Some (a, b)
+        | Some _ | None -> None)
+  end
+
+let user_public_to_bytes prms (pk : User.public) =
+  two_points_to_bytes prms pk.User.ag pk.User.asg
+
+let user_public_of_bytes prms s =
+  Option.map (fun (ag, asg) -> { User.ag; asg }) (two_points_of_bytes prms s)
+
+let server_public_to_bytes prms (pk : Server.public) =
+  two_points_to_bytes prms pk.Server.g pk.Server.sg
+
+let server_public_of_bytes prms s =
+  Option.map (fun (g, sg) -> { Server.g; sg }) (two_points_of_bytes prms s)
+
+let ciphertext_overhead prms = 4 + Pairing.point_bytes prms

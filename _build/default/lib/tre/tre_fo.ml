@@ -1,0 +1,73 @@
+exception Decryption_failed
+
+type ciphertext = {
+  u : Curve.point;
+  v : string;
+  w : string;
+  release_time : Tre.time;
+}
+
+let seed_bytes = 32
+
+(* H3: derive the encryption scalar from (seed, message, time). *)
+let h3 prms ~seed ~msg ~release_time =
+  Tre.scalar_of_seed prms
+    (Printf.sprintf "TRE-FO-H3|%d|%s%s%s" (String.length seed) seed release_time msg)
+
+(* H4: the data-encapsulation mask. *)
+let h4 seed n = Hashing.Kdf.mask ("TRE-FO-H4|" ^ seed) n
+
+let session_key prms (pk : Tre.User.public) ~release_time ~r =
+  Pairing.pairing prms
+    (Curve.mul prms.Pairing.curve r pk.Tre.User.asg)
+    (Pairing.hash_to_g1 prms release_time)
+
+let encrypt prms srv pk ~release_time rng msg =
+  if not (Tre.validate_receiver_key prms srv pk) then raise Tre.Invalid_receiver_key;
+  let seed = Hashing.Drbg.generate rng seed_bytes in
+  let r = h3 prms ~seed ~msg ~release_time in
+  let k = session_key prms pk ~release_time ~r in
+  {
+    u = Curve.mul prms.Pairing.curve r srv.Tre.Server.g;
+    v = Hashing.Kdf.xor seed (Pairing.h2 prms k seed_bytes);
+    w = Hashing.Kdf.xor msg (h4 seed (String.length msg));
+    release_time;
+  }
+
+let decrypt prms (srv : Tre.Server.public) (pk : Tre.User.public) a upd ct =
+  if upd.Tre.update_time <> ct.release_time then raise Tre.Update_mismatch;
+  if String.length ct.v <> seed_bytes then raise Decryption_failed;
+  let k =
+    Pairing.gt_pow prms
+      (Pairing.pairing prms ct.u upd.Tre.update_value)
+      (Tre.User.secret_to_scalar a)
+  in
+  let seed = Hashing.Kdf.xor ct.v (Pairing.h2 prms k seed_bytes) in
+  let msg = Hashing.Kdf.xor ct.w (h4 seed (String.length ct.w)) in
+  (* Full re-encryption check: recompute r, U and V from the recovered
+     (seed, msg) and compare. *)
+  let r = h3 prms ~seed ~msg ~release_time:ct.release_time in
+  if not (Curve.equal ct.u (Curve.mul prms.Pairing.curve r srv.Tre.Server.g)) then
+    raise Decryption_failed;
+  let k' = session_key prms pk ~release_time:ct.release_time ~r in
+  if Hashing.Kdf.xor seed (Pairing.h2 prms k' seed_bytes) <> ct.v then
+    raise Decryption_failed;
+  msg
+
+let ciphertext_to_bytes prms ct =
+  Tre.ciphertext_to_bytes prms
+    { Tre.u = ct.u; v = ct.v ^ ct.w; release_time = ct.release_time }
+
+let ciphertext_of_bytes prms s =
+  match Tre.ciphertext_of_bytes prms s with
+  | Some base when String.length base.Tre.v >= seed_bytes ->
+      Some
+        {
+          u = base.Tre.u;
+          v = String.sub base.Tre.v 0 seed_bytes;
+          w = String.sub base.Tre.v seed_bytes (String.length base.Tre.v - seed_bytes);
+          release_time = base.Tre.release_time;
+        }
+  | Some _ | None -> None
+
+let ciphertext_overhead prms = Tre.ciphertext_overhead prms + seed_bytes

@@ -1,0 +1,70 @@
+exception Decryption_failed
+
+type ciphertext = {
+  u : Curve.point;
+  c1 : string;
+  c2 : string;
+  tag : string;
+  release_time : Tre.time;
+}
+
+let r_bytes = 32
+let tag_bytes = 32
+
+let mask_g r n = Hashing.Kdf.mask ("TRE-REACT-G|" ^ r) n
+
+let tag_h ~r ~msg ~u_bytes ~c1 ~c2 =
+  Hashing.Sha256.digest_concat
+    [ "TRE-REACT-H|"; r; msg; u_bytes; c1; c2 ]
+
+let encrypt prms (srv : Tre.Server.public) pk ~release_time rng msg =
+  if not (Tre.validate_receiver_key prms srv pk) then raise Tre.Invalid_receiver_key;
+  let curve = prms.Pairing.curve in
+  let seed = Hashing.Drbg.generate rng r_bytes in
+  let r = Pairing.random_scalar prms rng in
+  let u = Curve.mul curve r srv.Tre.Server.g in
+  let k =
+    Pairing.pairing prms
+      (Curve.mul curve r pk.Tre.User.asg)
+      (Pairing.hash_to_g1 prms release_time)
+  in
+  let c1 = Hashing.Kdf.xor seed (Pairing.h2 prms k r_bytes) in
+  let c2 = Hashing.Kdf.xor msg (mask_g seed (String.length msg)) in
+  let u_bytes = Curve.to_bytes curve u in
+  { u; c1; c2; tag = tag_h ~r:seed ~msg ~u_bytes ~c1 ~c2; release_time }
+
+let decrypt prms a upd ct =
+  if upd.Tre.update_time <> ct.release_time then raise Tre.Update_mismatch;
+  if String.length ct.c1 <> r_bytes || String.length ct.tag <> tag_bytes then
+    raise Decryption_failed;
+  let k =
+    Pairing.gt_pow prms
+      (Pairing.pairing prms ct.u upd.Tre.update_value)
+      (Tre.User.secret_to_scalar a)
+  in
+  let seed = Hashing.Kdf.xor ct.c1 (Pairing.h2 prms k r_bytes) in
+  let msg = Hashing.Kdf.xor ct.c2 (mask_g seed (String.length ct.c2)) in
+  let u_bytes = Curve.to_bytes prms.Pairing.curve ct.u in
+  let expected = tag_h ~r:seed ~msg ~u_bytes ~c1:ct.c1 ~c2:ct.c2 in
+  if not (Hashing.Hmac.equal expected ct.tag) then raise Decryption_failed;
+  msg
+
+let ciphertext_to_bytes prms ct =
+  Tre.ciphertext_to_bytes prms
+    { Tre.u = ct.u; v = ct.c1 ^ ct.tag ^ ct.c2; release_time = ct.release_time }
+
+let ciphertext_of_bytes prms s =
+  match Tre.ciphertext_of_bytes prms s with
+  | Some base when String.length base.Tre.v >= r_bytes + tag_bytes ->
+      let v = base.Tre.v in
+      Some
+        {
+          u = base.Tre.u;
+          c1 = String.sub v 0 r_bytes;
+          tag = String.sub v r_bytes tag_bytes;
+          c2 = String.sub v (r_bytes + tag_bytes) (String.length v - r_bytes - tag_bytes);
+          release_time = base.Tre.release_time;
+        }
+  | Some _ | None -> None
+
+let ciphertext_overhead prms = Tre.ciphertext_overhead prms + r_bytes + tag_bytes

@@ -1,0 +1,18 @@
+  $ tre_cli() { ../bin/tre_cli.exe "$@"; }
+  $ tre_cli server-keygen --params toy64 --out srv
+  $ tre_cli user-keygen --server srv.pub --out alice
+  $ tre_cli validate-key --server srv.pub --to alice.pub
+  $ echo "the eagle lands at midnight" > msg.txt
+  $ tre_cli encrypt --server srv.pub --to alice.pub --time "2026-01-01" --in msg.txt --out msg.tre
+  $ tre_cli info msg.tre | sed 's/payload:.*[0-9]* bytes/payload:    N bytes/'
+  $ tre_cli issue-update --server-key srv.key --time "2026-01-01" --out upd.tre
+  $ tre_cli verify-update --server srv.pub --update upd.tre
+  $ tre_cli decrypt --key alice.key --update upd.tre --in msg.tre --out msg.out
+  $ cat msg.out
+  $ tre_cli issue-update --server-key srv.key --time "2027-01-01" --out upd2.tre
+  $ tre_cli decrypt --key alice.key --update upd2.tre --in msg.tre --out bad.out
+  $ tre_cli encrypt --server srv.pub --to alice.pub --time "2026-01-01" --in msg.txt --out msg2.tre --cca
+  $ tre_cli decrypt --key alice.key --update upd.tre --in msg2.tre --out msg2.out --cca --server srv.pub --to alice.pub
+  $ cat msg2.out
+  $ tre_cli server-keygen --params toy64 --out srv2
+  $ tre_cli validate-key --server srv2.pub --to alice.pub

@@ -1,0 +1,1 @@
+test/test_anonymity.ml: Alcotest Baseline_report Client Hashing List May_escrow Mont_ibe Pairing Passive_server Printf Simnet String Timeline Tre

@@ -1,0 +1,1 @@
+test/test_armor.ml: Alcotest Armor Char Hashing List Pairing QCheck2 QCheck_alcotest String Tre

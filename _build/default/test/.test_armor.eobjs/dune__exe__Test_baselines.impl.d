@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baseline_report Cot_server Hashtbl List May_escrow Mont_ibe Pairing Printf Rivest_server Simnet String Timeline

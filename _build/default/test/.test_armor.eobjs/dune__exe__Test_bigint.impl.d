@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Char Hashing List Modarith Prime Printf QCheck2 QCheck_alcotest Stdlib String

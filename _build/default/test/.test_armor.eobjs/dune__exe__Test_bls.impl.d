@@ -1,0 +1,1 @@
+test/test_bls.ml: Alcotest Bigint Bls Curve Hashing List Pairing Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_curve.ml: Alcotest Bigint Curve Fp Hashing Hashtbl List Pairing Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Armor Bls Char Curve Fp Hashing Key_insulation List Pairing Printf String Tre Tre_fo Tre_react

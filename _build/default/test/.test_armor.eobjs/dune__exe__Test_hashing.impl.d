@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Bytes Char Drbg Hashing Hex Hkdf Hmac Kdf List Printf QCheck2 QCheck_alcotest Sha256 String

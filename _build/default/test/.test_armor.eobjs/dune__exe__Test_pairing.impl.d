@@ -1,0 +1,1 @@
+test/test_pairing.ml: Alcotest Bigint Curve Fp2 Hashing List Pairing Param_search Prime Printf QCheck2 QCheck_alcotest String Tre

@@ -1,0 +1,1 @@
+test/test_resilient.ml: Alcotest Array Hashing Hashtbl List Pairing Printf QCheck2 QCheck_alcotest Resilient_tre Time_tree Tre

@@ -1,0 +1,1 @@
+test/test_threshold.ml: Alcotest Bigint Curve Hashing Hashtbl List Pairing Printf QCheck2 QCheck_alcotest Shamir String Threshold_server Tre

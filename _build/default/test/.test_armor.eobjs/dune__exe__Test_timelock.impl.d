@@ -1,0 +1,1 @@
+test/test_timelock.ml: Alcotest Hashing List Sys Timelock

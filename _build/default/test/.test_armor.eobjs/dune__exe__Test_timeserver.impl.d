@@ -1,0 +1,1 @@
+test/test_timeserver.ml: Alcotest Client Event_queue Hashing List Pairing Passive_server Printf Simnet Timeline Tre

@@ -1,0 +1,1 @@
+test/test_tre.ml: Alcotest Bigint Bls Curve Hashing List Pairing QCheck2 QCheck_alcotest String Tre

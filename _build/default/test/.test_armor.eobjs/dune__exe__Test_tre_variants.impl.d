@@ -1,0 +1,1 @@
+test/test_tre_variants.ml: Alcotest Array Bigint Char Curve Hashing Hybrid_baseline Id_tre Key_insulation List Multi_server Pairing Policy_lock Printf String Tre Tre_fo Tre_react

@@ -1,0 +1,61 @@
+End-to-end CLI flow: keygen, encrypt, update, decrypt, tamper rejection.
+
+  $ tre_cli() { ../bin/tre_cli.exe "$@"; }
+
+  $ tre_cli server-keygen --params toy64 --out srv
+  wrote srv.key (keep offline!) and srv.pub
+
+  $ tre_cli user-keygen --server srv.pub --out alice
+  wrote alice.key and alice.pub (bound to this time server)
+
+  $ tre_cli validate-key --server srv.pub --to alice.pub
+  valid: key is bound to this server
+
+  $ echo "the eagle lands at midnight" > msg.txt
+  $ tre_cli encrypt --server srv.pub --to alice.pub --time "2026-01-01" --in msg.txt --out msg.tre
+  encrypted 28 bytes for release at "2026-01-01" -> msg.tre
+
+An armored ciphertext names its kind, parameters and release time:
+
+  $ tre_cli info msg.tre | sed 's/payload:.*[0-9]* bytes/payload:    N bytes/'
+  kind:       CIPHERTEXT
+  parameters: toy64
+  payload:    N bytes
+  release at: "2026-01-01"
+
+The time server issues the (self-authenticated) update when the time comes:
+
+  $ tre_cli issue-update --server-key srv.key --time "2026-01-01" --out upd.tre
+  issued time-bound key update for "2026-01-01" -> upd.tre
+  $ tre_cli verify-update --server srv.pub --update upd.tre
+  valid update for time "2026-01-01" (self-authenticated BLS signature)
+
+  $ tre_cli decrypt --key alice.key --update upd.tre --in msg.tre --out msg.out
+  decrypted 28 bytes -> msg.out
+  $ cat msg.out
+  the eagle lands at midnight
+
+A wrong-time update is refused:
+
+  $ tre_cli issue-update --server-key srv.key --time "2027-01-01" --out upd2.tre
+  issued time-bound key update for "2027-01-01" -> upd2.tre
+  $ tre_cli decrypt --key alice.key --update upd2.tre --in msg.tre --out bad.out
+  tre-cli: update is for a different time than the ciphertext (need "2026-01-01")
+  [1]
+
+The CCA (Fujisaki-Okamoto) mode roundtrips and rejects tampering:
+
+  $ tre_cli encrypt --server srv.pub --to alice.pub --time "2026-01-01" --in msg.txt --out msg2.tre --cca
+  encrypted 28 bytes for release at "2026-01-01" -> msg2.tre
+  $ tre_cli decrypt --key alice.key --update upd.tre --in msg2.tre --out msg2.out --cca --server srv.pub --to alice.pub
+  decrypted 28 bytes -> msg2.out
+  $ cat msg2.out
+  the eagle lands at midnight
+
+Key material from a different server is rejected early:
+
+  $ tre_cli server-keygen --params toy64 --out srv2
+  wrote srv2.key (keep offline!) and srv2.pub
+  $ tre_cli validate-key --server srv2.pub --to alice.pub
+  INVALID: e(aG, sG) <> e(G, asG) - do not encrypt to this key
+  [1]

@@ -1,0 +1,125 @@
+(* The anonymity and passivity properties of §1/§3, asserted over network
+   traces: in a full TRE run the server receives nothing, sends only
+   user-independent broadcasts, and the trace it could observe is
+   independent of who communicates what to whom and when it unlocks.
+   Contrast runs of the baselines leak exactly what §2.2 says they leak. *)
+
+let prms = Pairing.toy64 ()
+
+let tre_trace ~n_clients ~n_messages =
+  let net = Simnet.create ~seed:"anon" ~latency:0.01 ~jitter:0.0 () in
+  let tl = Timeline.create ~granularity:10.0 () in
+  let server = Passive_server.create prms ~net ~timeline:tl ~name:"server" in
+  let clients =
+    List.init n_clients (fun i ->
+        Client.create prms ~net ~server:(Passive_server.public server)
+          ~name:(Printf.sprintf "client-%d" i))
+  in
+  let recipients = List.map (fun c -> (Client.name c, Client.handler c)) clients in
+  Passive_server.start server ~net ~first_epoch:1 ~epochs:3 ~recipients;
+  let rng = Hashing.Drbg.create ~seed:"senders" () in
+  for i = 0 to n_messages - 1 do
+    let receiver = List.nth clients (i mod n_clients) in
+    let ct =
+      Tre.encrypt prms (Passive_server.public server)
+        (Client.public_key receiver)
+        ~release_time:(Timeline.label tl ((i mod 3) + 1))
+        rng
+        (Printf.sprintf "message %d" i)
+    in
+    (* Sender-to-receiver transfer happens entirely off the server. *)
+    Simnet.send net ~src:(Printf.sprintf "sender-%d" i) ~dst:(Client.name receiver)
+      ~kind:"ciphertext"
+      ~bytes:(String.length (Tre.ciphertext_to_bytes prms ct))
+      (fun () -> Client.enqueue_ciphertext receiver ct)
+  done;
+  Simnet.run net;
+  (net, clients)
+
+let test_server_receives_nothing () =
+  let net, clients = tre_trace ~n_clients:4 ~n_messages:12 in
+  Alcotest.(check int) "zero messages to the server" 0
+    (List.length (Simnet.sent_to net "server"));
+  (* And everything still got delivered. *)
+  let total = List.fold_left (fun acc c -> acc + List.length (Client.deliveries c)) 0 clients in
+  Alcotest.(check int) "all delivered" 12 total
+
+let test_server_output_is_user_independent () =
+  (* The server's entire output is broadcasts whose content and schedule
+     do not depend on users: traces of a 1-client and a 5-client run have
+     identical server-originated message sequences. *)
+  let server_view net =
+    List.map
+      (fun (m : Simnet.message) -> (m.Simnet.kind, m.Simnet.dst, m.Simnet.bytes))
+      (Simnet.sent_by net "server")
+  in
+  let net1, _ = tre_trace ~n_clients:1 ~n_messages:2 in
+  let net5, _ = tre_trace ~n_clients:5 ~n_messages:10 in
+  Alcotest.(check bool) "identical server behaviour" true
+    (server_view net1 = server_view net5)
+
+let test_no_release_time_reaches_server () =
+  (* Nothing carrying a release-time label ever flows toward the server;
+     release times appear only in ciphertexts exchanged among users and in
+     the server's own (time-label-only) broadcasts. *)
+  let net, _ = tre_trace ~n_clients:3 ~n_messages:6 in
+  List.iter
+    (fun (m : Simnet.message) ->
+      if m.Simnet.dst = "server" then Alcotest.fail "server contacted")
+    (Simnet.trace net)
+
+let test_escrow_baseline_leaks () =
+  (* May's escrow: the trace itself shows sender->server deposits. *)
+  let net = Simnet.create ~seed:"escrow-anon" () in
+  let tl = Timeline.create ~granularity:10.0 () in
+  let agent = May_escrow.create ~net ~timeline:tl ~name:"agent" in
+  let got = ref [] in
+  May_escrow.deposit agent ~sender:"alice" ~receiver:"bob"
+    ~deliver:(fun m -> got := m :: !got)
+    ~release_epoch:2 "the plaintext itself";
+  Simnet.run net;
+  Alcotest.(check (list string)) "delivered" [ "the plaintext itself" ] !got;
+  Alcotest.(check bool) "sender visible in trace" true
+    (List.exists
+       (fun (m : Simnet.message) -> m.Simnet.src = "alice" && m.Simnet.dst = "agent")
+       (Simnet.trace net));
+  let report = May_escrow.report agent in
+  Alcotest.(check string) "leak set maximal" "sender-id,receiver-id,message,release-time"
+    (Baseline_report.leaks_to_string report.Baseline_report.leaks)
+
+let test_mont_ibe_leaks_receivers () =
+  let net = Simnet.create ~seed:"mont-anon" () in
+  let tl = Timeline.create ~granularity:10.0 () in
+  let vault = Mont_ibe.create prms ~net ~timeline:tl ~name:"vault" in
+  Mont_ibe.register vault ~identity:"bob" (fun _ _ -> ());
+  Mont_ibe.register vault ~identity:"carol" (fun _ _ -> ());
+  Simnet.run net;
+  Alcotest.(check int) "server knows its users" 2 (Mont_ibe.registered_users vault);
+  Alcotest.(check bool) "enrollment visible" true
+    (List.exists
+       (fun (m : Simnet.message) -> m.Simnet.kind = "ibe-enroll")
+       (Simnet.trace net))
+
+let test_tre_report_row () =
+  (* The TRE row of the E3 table: zero interactions, empty leak set. *)
+  let net, _ = tre_trace ~n_clients:10 ~n_messages:10 in
+  let to_server = List.length (Simnet.sent_to net "server") in
+  Alcotest.(check int) "interactions" 0 to_server;
+  Alcotest.(check string) "no leaks" "none" (Baseline_report.leaks_to_string [])
+
+let () =
+  Alcotest.run "anonymity"
+    [
+      ( "tre",
+        [
+          Alcotest.test_case "server receives nothing" `Quick test_server_receives_nothing;
+          Alcotest.test_case "user-independent output" `Quick test_server_output_is_user_independent;
+          Alcotest.test_case "no release time to server" `Quick test_no_release_time_reaches_server;
+          Alcotest.test_case "report row" `Quick test_tre_report_row;
+        ] );
+      ( "baseline-leaks",
+        [
+          Alcotest.test_case "escrow leaks all" `Quick test_escrow_baseline_leaks;
+          Alcotest.test_case "mont-ibe leaks receivers" `Quick test_mont_ibe_leaks_receivers;
+        ] );
+    ]

@@ -1,0 +1,130 @@
+(* Base64 (RFC 4648 vectors + canonicality) and the PEM-like armor used by
+   the CLI, including golden wire-format vectors that pin serialization. *)
+
+module B64 = Hashing.Base64
+
+let test_b64_rfc4648_vectors () =
+  List.iter
+    (fun (plain, enc) ->
+      Alcotest.(check string) ("encode " ^ plain) enc (B64.encode plain);
+      Alcotest.(check (option string)) ("decode " ^ enc) (Some plain) (B64.decode enc))
+    [
+      ("", ""); ("f", "Zg=="); ("fo", "Zm8="); ("foo", "Zm9v"); ("foob", "Zm9vYg==");
+      ("fooba", "Zm9vYmE="); ("foobar", "Zm9vYmFy");
+    ]
+
+let test_b64_binary_roundtrip () =
+  let all = String.init 256 Char.chr in
+  Alcotest.(check (option string)) "roundtrip" (Some all) (B64.decode (B64.encode all))
+
+let test_b64_whitespace_tolerated () =
+  Alcotest.(check (option string)) "wrapped lines" (Some "foobar")
+    (B64.decode "Zm9v\nYmFy\n")
+
+let test_b64_rejects () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check (option string)) ("reject " ^ bad) None (B64.decode bad))
+    [
+      "Zm9vYmF";        (* bad length *)
+      "Zm9v!mFy";       (* bad char *)
+      "Zg==Zg==";       (* padding mid-stream *)
+      "Zh==";           (* non-canonical trailing bits *)
+      "Zm9=";           (* non-canonical trailing bits *)
+    ]
+
+let prop_b64_roundtrip =
+  QCheck2.Test.make ~name:"base64 roundtrip" ~count:300 QCheck2.Gen.string
+    (fun s -> B64.decode (B64.encode s) = Some s)
+
+(* --- armor --- *)
+
+let test_armor_roundtrip () =
+  let payload = String.init 200 Char.chr in
+  let armored = Armor.wrap ~kind:"CIPHERTEXT" ~params:"mid128" payload in
+  Alcotest.(check (option (triple string string string)))
+    "roundtrip"
+    (Some ("CIPHERTEXT", "mid128", payload))
+    (Armor.unwrap armored)
+
+let test_armor_tolerates_surrounding_text () =
+  let payload = "hello" in
+  let armored = Armor.wrap ~kind:"KEY UPDATE" ~params:"toy64" payload in
+  let embedded = "From: mail\n\n" ^ armored ^ "\n-- \nsig\n" in
+  Alcotest.(check (option (triple string string string)))
+    "embedded"
+    (Some ("KEY UPDATE", "toy64", payload))
+    (Armor.unwrap embedded)
+
+let test_armor_rejects () =
+  Alcotest.(check bool) "garbage" true (Armor.unwrap "not armor at all" = None);
+  let armored = Armor.wrap ~kind:"X" ~params:"p" "data" in
+  let truncated = String.sub armored 0 (String.length armored - 25) in
+  Alcotest.(check bool) "missing end" true (Armor.unwrap truncated = None)
+
+let test_armor_expecting () =
+  let armored = Armor.wrap ~kind:"USER PUBLIC KEY" ~params:"mid128" "payload" in
+  (match Armor.unwrap_expecting ~kind:"USER PUBLIC KEY" ~params:"mid128" armored with
+  | Ok p -> Alcotest.(check string) "payload" "payload" p
+  | Error e -> Alcotest.fail e);
+  (match Armor.unwrap_expecting ~kind:"CIPHERTEXT" ~params:"mid128" armored with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "kind mismatch accepted");
+  match Armor.unwrap_expecting ~kind:"USER PUBLIC KEY" ~params:"toy64" armored with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "params mismatch accepted"
+
+let prop_armor_roundtrip =
+  QCheck2.Test.make ~name:"armor roundtrip" ~count:200 QCheck2.Gen.string
+    (fun payload ->
+      Armor.unwrap (Armor.wrap ~kind:"BLOB" ~params:"toy64" payload)
+      = Some ("BLOB", "toy64", payload))
+
+(* --- golden wire-format vectors ---
+
+   These pin the binary serialization: if an innocent refactor changes the
+   wire format, ciphertexts written by older builds would stop decrypting,
+   and these tests catch it. Fixed DRBG seeds make everything bit-stable. *)
+
+let test_golden_vectors () =
+  let prms = Pairing.toy64 () in
+  let rng = Hashing.Drbg.create ~seed:"golden-vector-seed" () in
+  let srv_sec, srv_pub = Tre.Server.keygen prms rng in
+  let _usr_sec, usr_pub = Tre.User.keygen prms srv_pub rng in
+  let upd = Tre.issue_update prms srv_sec "golden-time" in
+  let ct = Tre.encrypt prms srv_pub usr_pub ~release_time:"golden-time" rng "golden" in
+  Alcotest.(check string) "server public"
+    "03355221a628ccd8881e66c702505c697a99b6f528d6a745"
+    (Hashing.Hex.encode (Tre.server_public_to_bytes prms srv_pub));
+  Alcotest.(check string) "user public"
+    "032255d4080b584fb58930370208b8a34f08c64506c2f027"
+    (Hashing.Hex.encode (Tre.user_public_to_bytes prms usr_pub));
+  Alcotest.(check string) "update"
+    "0000000b676f6c64656e2d74696d650362e5960b0d61cd7e8122c8"
+    (Hashing.Hex.encode (Tre.update_to_bytes prms upd));
+  Alcotest.(check string) "ciphertext"
+    "0000000b676f6c64656e2d74696d650268104275bba910bd9dce8eb7ca83321578"
+    (Hashing.Hex.encode (Tre.ciphertext_to_bytes prms ct))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "armor"
+    [
+      ( "base64",
+        [
+          Alcotest.test_case "rfc4648" `Quick test_b64_rfc4648_vectors;
+          Alcotest.test_case "binary" `Quick test_b64_binary_roundtrip;
+          Alcotest.test_case "whitespace" `Quick test_b64_whitespace_tolerated;
+          Alcotest.test_case "rejects" `Quick test_b64_rejects;
+        ]
+        @ qc [ prop_b64_roundtrip ] );
+      ( "armor",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_armor_roundtrip;
+          Alcotest.test_case "embedded" `Quick test_armor_tolerates_surrounding_text;
+          Alcotest.test_case "rejects" `Quick test_armor_rejects;
+          Alcotest.test_case "expecting" `Quick test_armor_expecting;
+        ]
+        @ qc [ prop_armor_roundtrip ] );
+      ("golden", [ Alcotest.test_case "wire format pinned" `Quick test_golden_vectors ]);
+    ]

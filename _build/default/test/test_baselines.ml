@@ -1,0 +1,252 @@
+(* Functional tests for the §2.2 baselines: each must actually work as a
+   timed-release mechanism (its own correctness), and its cost/leak
+   accounting must reflect the structural properties the paper compares. *)
+
+let prms = Pairing.toy64 ()
+
+let fresh_world ?(seed = "baselines") () =
+  let net = Simnet.create ~seed ~latency:0.01 ~jitter:0.0 () in
+  let tl = Timeline.create ~granularity:10.0 () in
+  (net, tl)
+
+(* --- May escrow --- *)
+
+let test_escrow_releases_at_time () =
+  let net, tl = fresh_world () in
+  let agent = May_escrow.create ~net ~timeline:tl ~name:"agent" in
+  let got = ref None in
+  May_escrow.deposit agent ~sender:"alice" ~receiver:"bob"
+    ~deliver:(fun m -> got := Some (m, Simnet.now net))
+    ~release_epoch:3 "sealed bid";
+  Simnet.run_until net (Timeline.start_of tl 3 -. 0.1);
+  Alcotest.(check bool) "not before" true (!got = None);
+  Simnet.run net;
+  match !got with
+  | Some (m, at) ->
+      Alcotest.(check string) "content" "sealed bid" m;
+      Alcotest.(check bool) "at/after release" true (at >= Timeline.start_of tl 3)
+  | None -> Alcotest.fail "never delivered"
+
+let test_escrow_state_grows_with_messages () =
+  let net, tl = fresh_world () in
+  let agent = May_escrow.create ~net ~timeline:tl ~name:"agent" in
+  for i = 0 to 9 do
+    May_escrow.deposit agent ~sender:"s" ~receiver:"r" ~deliver:ignore
+      ~release_epoch:5 (Printf.sprintf "message %d with padding padding" i)
+  done;
+  Simnet.run_until net (Timeline.start_of tl 4) (* all deposited, none released *);
+  Alcotest.(check int) "stores all" 10 (May_escrow.stored_messages agent);
+  Alcotest.(check bool) "O(#messages) state" true (May_escrow.peak_state_bytes agent > 300);
+  Simnet.run net
+
+(* --- Rivest online --- *)
+
+let test_rivest_online_roundtrip () =
+  let net, tl = fresh_world () in
+  let server = Rivest_server.Online.create ~net ~timeline:tl ~name:"rsw" ~seed:"srv-seed" in
+  let received_key = ref None in
+  Rivest_server.Online.start_broadcasts server ~first_epoch:1 ~epochs:3
+    ~recipients:[ ("bob", fun e k -> if e = 2 then received_key := Some k) ];
+  let ciphertext = ref None in
+  Rivest_server.Online.encrypt_via_server server ~sender:"alice" ~release_epoch:2
+    "rsw message" (fun ct -> ciphertext := Some ct);
+  Simnet.run net;
+  (match (!ciphertext, !received_key) with
+  | Some ct, Some k ->
+      Alcotest.(check string) "decrypts" "rsw message"
+        (Rivest_server.Online.decrypt ~epoch_key:k ct)
+  | _ -> Alcotest.fail "protocol incomplete");
+  let report = Rivest_server.Online.report server in
+  Alcotest.(check int) "2 interactions per message" 2
+    report.Baseline_report.sender_server_interactions;
+  Alcotest.(check bool) "leaks content" true
+    (List.mem Baseline_report.Message_content report.Baseline_report.leaks);
+  Alcotest.(check int) "tiny server state" (String.length "srv-seed")
+    report.Baseline_report.server_state_bytes
+
+let test_rivest_online_wrong_key_fails () =
+  let net, tl = fresh_world () in
+  let server = Rivest_server.Online.create ~net ~timeline:tl ~name:"rsw" ~seed:"s" in
+  let ct = ref None in
+  Rivest_server.Online.encrypt_via_server server ~sender:"a" ~release_epoch:2 "m"
+    (fun c -> ct := Some c);
+  Simnet.run net;
+  match !ct with
+  | Some c ->
+      Alcotest.(check string) "wrong epoch key rejected" ""
+        (Rivest_server.Online.decrypt ~epoch_key:"wrong" c)
+  | None -> Alcotest.fail "no ciphertext"
+
+(* --- Rivest offline list --- *)
+
+let test_rivest_offline_roundtrip () =
+  let net, tl = fresh_world () in
+  let server =
+    Rivest_server.Offline_list.create prms ~net ~timeline:tl ~name:"rsw-off"
+      ~seed:"off-seed" ~horizon_epochs:5
+  in
+  let secret = ref None in
+  Rivest_server.Offline_list.start_secret_releases server ~first_epoch:1 ~epochs:4
+    ~recipients:[ ("bob", fun e sk -> if e = 3 then secret := Some sk) ];
+  (* Non-interactive sender-side encryption (inside the horizon). *)
+  let ct =
+    match Rivest_server.Offline_list.encrypt server ~epoch:3 "offline msg" with
+    | Some ct -> ct
+    | None -> Alcotest.fail "inside horizon"
+  in
+  Simnet.run net;
+  (match !secret with
+  | Some sk ->
+      Alcotest.(check (option string)) "decrypts" (Some "offline msg")
+        (Rivest_server.Offline_list.decrypt server ~epoch_secret:sk ct)
+  | None -> Alcotest.fail "secret never released");
+  (* Wrong epoch's secret fails the tag check. *)
+  ()
+
+let test_rivest_offline_horizon_limit () =
+  let net, tl = fresh_world () in
+  let server =
+    Rivest_server.Offline_list.create prms ~net ~timeline:tl ~name:"rsw-off"
+      ~seed:"off" ~horizon_epochs:10
+  in
+  Alcotest.(check bool) "inside horizon ok" true
+    (Rivest_server.Offline_list.public_key_for server ~epoch:9 <> None);
+  (* The paper's footnote-2 failure: a release time beyond the published
+     list cannot be used at all. *)
+  Alcotest.(check bool) "beyond horizon stuck" true
+    (Rivest_server.Offline_list.encrypt server ~epoch:10 "m" = None);
+  (* Pre-publication is O(horizon). *)
+  Alcotest.(check int) "prepublication size" (10 * Pairing.point_bytes prms)
+    (Rivest_server.Offline_list.prepublication_bytes server);
+  Simnet.run net
+
+let test_rivest_offline_wrong_secret () =
+  let net, tl = fresh_world () in
+  let server =
+    Rivest_server.Offline_list.create prms ~net ~timeline:tl ~name:"x" ~seed:"y"
+      ~horizon_epochs:4
+  in
+  let ct =
+    match Rivest_server.Offline_list.encrypt server ~epoch:2 "m" with
+    | Some c -> c
+    | None -> Alcotest.fail "encrypt failed"
+  in
+  let wrong = String.make (Pairing.scalar_bytes prms) '\x01' in
+  Alcotest.(check (option string)) "wrong secret -> None" None
+    (Rivest_server.Offline_list.decrypt server ~epoch_secret:wrong ct);
+  Simnet.run net
+
+(* --- Mont IBE --- *)
+
+let test_mont_ibe_roundtrip () =
+  let net, tl = fresh_world () in
+  let vault = Mont_ibe.create prms ~net ~timeline:tl ~name:"vault" in
+  let bob_keys = Hashtbl.create 4 in
+  Mont_ibe.register vault ~identity:"bob" (fun e d -> Hashtbl.replace bob_keys e d);
+  Simnet.run net;
+  Mont_ibe.start_epoch_deliveries vault ~first_epoch:1 ~epochs:3;
+  let ct = Mont_ibe.encrypt vault ~identity:"bob" ~release_epoch:2 "vault msg" in
+  Simnet.run net;
+  match Hashtbl.find_opt bob_keys 2 with
+  | Some d ->
+      Alcotest.(check string) "decrypts" "vault msg"
+        (Mont_ibe.decrypt vault ~epoch_private_key:d ct)
+  | None -> Alcotest.fail "epoch key not delivered"
+
+let test_mont_ibe_per_user_cost () =
+  let run n =
+    let net, tl = fresh_world ~seed:(Printf.sprintf "mont-%d" n) () in
+    let vault = Mont_ibe.create prms ~net ~timeline:tl ~name:"vault" in
+    for i = 0 to n - 1 do
+      Mont_ibe.register vault ~identity:(Printf.sprintf "u%d" i) (fun _ _ -> ())
+    done;
+    Simnet.run net;
+    Mont_ibe.start_epoch_deliveries vault ~first_epoch:1 ~epochs:4;
+    Simnet.run net;
+    (Mont_ibe.report vault).Baseline_report.server_messages
+  in
+  (* O(N) per epoch: 4 epochs x N users. *)
+  Alcotest.(check int) "1 user" 4 (run 1);
+  Alcotest.(check int) "10 users" 40 (run 10)
+
+let test_mont_ibe_wrong_epoch_key () =
+  let net, tl = fresh_world () in
+  let vault = Mont_ibe.create prms ~net ~timeline:tl ~name:"vault" in
+  let keys = Hashtbl.create 4 in
+  Mont_ibe.register vault ~identity:"bob" (fun e d -> Hashtbl.replace keys e d);
+  Simnet.run net;
+  Mont_ibe.start_epoch_deliveries vault ~first_epoch:1 ~epochs:3;
+  let ct = Mont_ibe.encrypt vault ~identity:"bob" ~release_epoch:2 "m" in
+  Simnet.run net;
+  match Hashtbl.find_opt keys 1 with
+  | Some early_key ->
+      Alcotest.(check bool) "epoch-1 key useless for epoch-2 msg" false
+        (Mont_ibe.decrypt vault ~epoch_private_key:early_key ct = "m")
+  | None -> Alcotest.fail "no key"
+
+(* --- COT --- *)
+
+let test_cot_grant_denied_then_granted () =
+  let net, _ = fresh_world () in
+  let cot = Cot_server.create ~net ~name:"cot" ~time_parameter_bits:20 in
+  Cot_server.set_current_epoch cot 5;
+  let results = ref [] in
+  Cot_server.request_decryption cot ~receiver:"bob" ~release_epoch:9 ~payload_bytes:100
+    ~granted:(fun ok -> results := ("future", ok) :: !results);
+  Cot_server.request_decryption cot ~receiver:"bob" ~release_epoch:3 ~payload_bytes:100
+    ~granted:(fun ok -> results := ("past", ok) :: !results);
+  Simnet.run net;
+  Alcotest.(check bool) "past granted" true (List.assoc "past" !results);
+  Alcotest.(check bool) "future denied" false (List.assoc "future" !results)
+
+let test_cot_interaction_cost_logarithmic () =
+  let net, _ = fresh_world () in
+  let c10 = Cot_server.create ~net ~name:"c10" ~time_parameter_bits:10 in
+  let c30 = Cot_server.create ~net ~name:"c30" ~time_parameter_bits:30 in
+  Alcotest.(check int) "2b+2 at b=10" 22 (Cot_server.rounds_per_decryption c10);
+  Alcotest.(check int) "2b+2 at b=30" 62 (Cot_server.rounds_per_decryption c30)
+
+let test_cot_dos_costs_server () =
+  let net, _ = fresh_world () in
+  let cot = Cot_server.create ~net ~name:"cot" ~time_parameter_bits:16 in
+  Cot_server.flood cot ~attacker:"mallory" ~queries:50;
+  Simnet.run net;
+  (* Every adversarial query costs the server a full protocol run. *)
+  Alcotest.(check int) "messages" (50 * Cot_server.rounds_per_decryption cot)
+    (Cot_server.protocol_messages cot);
+  let report = Cot_server.report cot in
+  Alcotest.(check bool) "state grows per session" true
+    (report.Baseline_report.server_state_bytes >= 50 * 64)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "may-escrow",
+        [
+          Alcotest.test_case "releases at time" `Quick test_escrow_releases_at_time;
+          Alcotest.test_case "state grows" `Quick test_escrow_state_grows_with_messages;
+        ] );
+      ( "rivest-online",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rivest_online_roundtrip;
+          Alcotest.test_case "wrong key" `Quick test_rivest_online_wrong_key_fails;
+        ] );
+      ( "rivest-offline",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rivest_offline_roundtrip;
+          Alcotest.test_case "horizon limit" `Quick test_rivest_offline_horizon_limit;
+          Alcotest.test_case "wrong secret" `Quick test_rivest_offline_wrong_secret;
+        ] );
+      ( "mont-ibe",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mont_ibe_roundtrip;
+          Alcotest.test_case "O(N) per epoch" `Quick test_mont_ibe_per_user_cost;
+          Alcotest.test_case "wrong epoch key" `Quick test_mont_ibe_wrong_epoch_key;
+        ] );
+      ( "cot",
+        [
+          Alcotest.test_case "grant/deny" `Quick test_cot_grant_denied_then_granted;
+          Alcotest.test_case "log cost" `Quick test_cot_interaction_cost_logarithmic;
+          Alcotest.test_case "dos" `Quick test_cot_dos_costs_server;
+        ] );
+    ]

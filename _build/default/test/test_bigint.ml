@@ -1,0 +1,375 @@
+(* Tests for the arbitrary-precision substrate: ring axioms against a
+   native-int oracle, full-width algebraic identities, Knuth division,
+   Montgomery arithmetic, primality, codecs. *)
+
+module B = Bigint
+
+let b = Alcotest.testable B.pp B.equal
+
+(* Generator of big integers from a bounded number of random bits, signed. *)
+let gen_bigint ?(max_bits = 400) () =
+  QCheck2.Gen.(
+    let* bits = int_range 0 max_bits in
+    let* bytes = string_size ~gen:char (return ((bits + 7) / 8)) in
+    let* negate = bool in
+    let v = B.of_bytes_be bytes in
+    return (if negate then B.neg v else v))
+
+let gen_positive ?(max_bits = 400) () =
+  QCheck2.Gen.map B.abs (gen_bigint ~max_bits ())
+
+(* --- oracle tests against native ints --- *)
+
+let signed_int_gen = QCheck2.Gen.int_range (-1_000_000_000) 1_000_000_000
+
+let oracle2 name f g =
+  QCheck2.Test.make ~name ~count:500 QCheck2.Gen.(pair signed_int_gen signed_int_gen)
+    (fun (x, y) -> B.to_int_opt (f (B.of_int x) (B.of_int y)) = Some (g x y))
+
+let prop_add_oracle = oracle2 "add matches int" B.add ( + )
+let prop_sub_oracle = oracle2 "sub matches int" B.sub ( - )
+let prop_mul_oracle =
+  QCheck2.Test.make ~name:"mul matches int" ~count:500
+    QCheck2.Gen.(pair (int_range (-2_000_000) 2_000_000) (int_range (-2_000_000) 2_000_000))
+    (fun (x, y) -> B.to_int_opt (B.mul (B.of_int x) (B.of_int y)) = Some (x * y))
+
+let prop_divmod_oracle =
+  QCheck2.Test.make ~name:"divmod matches int (truncating)" ~count:500
+    QCheck2.Gen.(pair signed_int_gen signed_int_gen)
+    (fun (x, y) ->
+      QCheck2.assume (y <> 0);
+      let q, r = B.divmod (B.of_int x) (B.of_int y) in
+      B.to_int_opt q = Some (x / y) && B.to_int_opt r = Some (x mod y))
+
+let prop_compare_oracle =
+  QCheck2.Test.make ~name:"compare matches int" ~count:500
+    QCheck2.Gen.(pair signed_int_gen signed_int_gen)
+    (fun (x, y) -> B.compare (B.of_int x) (B.of_int y) = Stdlib.compare x y)
+
+(* --- full-width algebraic identities --- *)
+
+let pair_big = QCheck2.Gen.(pair (gen_bigint ()) (gen_bigint ()))
+let triple_big = QCheck2.Gen.(triple (gen_bigint ()) (gen_bigint ()) (gen_bigint ()))
+
+let prop_add_comm =
+  QCheck2.Test.make ~name:"a+b = b+a" ~count:300 pair_big (fun (a, b) ->
+      B.equal (B.add a b) (B.add b a))
+
+let prop_mul_comm =
+  QCheck2.Test.make ~name:"a*b = b*a" ~count:300 pair_big (fun (a, b) ->
+      B.equal (B.mul a b) (B.mul b a))
+
+let prop_mul_assoc =
+  QCheck2.Test.make ~name:"(a*b)*c = a*(b*c)" ~count:200 triple_big
+    (fun (a, b, c) -> B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)))
+
+let prop_distrib =
+  QCheck2.Test.make ~name:"a*(b+c) = a*b + a*c" ~count:200 triple_big
+    (fun (a, b, c) -> B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_add_sub_inverse =
+  QCheck2.Test.make ~name:"(a+b)-b = a" ~count:300 pair_big (fun (a, b) ->
+      B.equal (B.sub (B.add a b) b) a)
+
+let prop_divmod_reconstruct =
+  QCheck2.Test.make ~name:"a = q*b + r, |r| < |b|, sign(r) = sign(a)" ~count:500
+    QCheck2.Gen.(pair (gen_bigint ~max_bits:600 ()) (gen_bigint ~max_bits:300 ()))
+    (fun (a, b) ->
+      QCheck2.assume (not (B.is_zero b));
+      let q, r = B.divmod a b in
+      B.equal a (B.add (B.mul q b) r)
+      && B.compare (B.abs r) (B.abs b) < 0
+      && (B.is_zero r || B.sign r = B.sign a))
+
+let prop_erem_range =
+  QCheck2.Test.make ~name:"erem in [0, |m|)" ~count:500
+    QCheck2.Gen.(pair (gen_bigint ()) (gen_bigint ~max_bits:200 ()))
+    (fun (a, m) ->
+      QCheck2.assume (not (B.is_zero m));
+      let r = B.erem a m in
+      B.sign r >= 0 && B.compare r (B.abs m) < 0
+      && B.is_zero (B.erem (B.sub a r) m))
+
+let prop_sqr =
+  QCheck2.Test.make ~name:"sqr a = a*a" ~count:300 (gen_bigint ())
+    (fun a -> B.equal (B.sqr a) (B.mul a a))
+
+let prop_karatsuba_vs_wide =
+  (* Force operands wide enough to cross the Karatsuba threshold and check
+     the identity (a+b)^2 = a^2 + 2ab + b^2 which mixes both paths. *)
+  QCheck2.Test.make ~name:"karatsuba consistency via (a+b)^2" ~count:50
+    QCheck2.Gen.(pair (gen_positive ~max_bits:3000 ()) (gen_positive ~max_bits:3000 ()))
+    (fun (a, b) ->
+      let lhs = B.sqr (B.add a b) in
+      let rhs = B.add (B.add (B.sqr a) (B.shift_left (B.mul a b) 1)) (B.sqr b) in
+      B.equal lhs rhs)
+
+let prop_shift =
+  QCheck2.Test.make ~name:"shifts are mul/div by powers of two" ~count:300
+    QCheck2.Gen.(pair (gen_positive ()) (int_range 0 200))
+    (fun (a, s) ->
+      B.equal (B.shift_left a s) (B.mul a (B.pow B.two s))
+      && B.equal (B.shift_right a s) (B.div a (B.pow B.two s)))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"of_string (to_string a) = a" ~count:300 (gen_bigint ())
+    (fun a -> B.equal (B.of_string (B.to_string a)) a)
+
+let prop_hex_roundtrip =
+  QCheck2.Test.make ~name:"of_string (to_string_hex a) = a" ~count:300 (gen_bigint ())
+    (fun a -> B.equal (B.of_string (B.to_string_hex a)) a)
+
+let prop_bytes_roundtrip =
+  QCheck2.Test.make ~name:"of_bytes_be (to_bytes_be a) = a" ~count:300 (gen_positive ())
+    (fun a -> B.equal (B.of_bytes_be (B.to_bytes_be a)) a)
+
+let prop_bit_length =
+  QCheck2.Test.make ~name:"2^(n-1) <= |a| < 2^n for n = bit_length" ~count:300
+    (gen_positive ()) (fun a ->
+      QCheck2.assume (not (B.is_zero a));
+      let n = B.bit_length a in
+      B.compare (B.abs a) (B.pow B.two (n - 1)) >= 0
+      && B.compare (B.abs a) (B.pow B.two n) < 0)
+
+(* --- modular arithmetic --- *)
+
+let prop_egcd =
+  QCheck2.Test.make ~name:"egcd: a*x + b*y = g = gcd" ~count:300 pair_big
+    (fun (a, bb) ->
+      let g, x, y = Modarith.egcd a bb in
+      B.equal g (Modarith.gcd a bb)
+      && B.equal (B.add (B.mul a x) (B.mul bb y)) g
+      && B.sign g >= 0)
+
+let prop_invmod =
+  QCheck2.Test.make ~name:"a * invmod a m = 1 (mod m)" ~count:300
+    QCheck2.Gen.(pair (gen_bigint ()) (gen_positive ~max_bits:256 ()))
+    (fun (a, m) ->
+      QCheck2.assume (B.compare m B.two > 0);
+      QCheck2.assume (B.equal (Modarith.gcd a m) B.one);
+      let inv = Modarith.invmod a m in
+      B.equal (B.erem (B.mul a inv) m) B.one)
+
+let prop_powmod_matches_naive =
+  QCheck2.Test.make ~name:"powmod = naive repeated mul" ~count:100
+    QCheck2.Gen.(
+      triple (gen_positive ~max_bits:64 ()) (int_range 0 40) (gen_positive ~max_bits:64 ()))
+    (fun (base, e, m) ->
+      QCheck2.assume (B.compare m B.two > 0);
+      let naive = B.erem (B.pow base e) m in
+      B.equal (Modarith.powmod base (B.of_int e) m) naive)
+
+let prop_powmod_even_modulus =
+  QCheck2.Test.make ~name:"powmod handles even moduli" ~count:100
+    QCheck2.Gen.(pair (gen_positive ~max_bits:64 ()) (int_range 0 30))
+    (fun (base, e) ->
+      let m = B.of_int 1024 in
+      B.equal (Modarith.powmod base (B.of_int e) m) (B.erem (B.pow base e) m))
+
+let prop_fermat =
+  (* Fermat's little theorem on a fixed 128-bit prime exercises Montgomery
+     exponentiation at full width. *)
+  let p = B.of_string "340282366920938463463374607431768211507" in
+  QCheck2.Test.make ~name:"a^(p-1) = 1 mod p (128-bit prime)" ~count:100
+    (gen_positive ~max_bits:256 ())
+    (fun a ->
+      QCheck2.assume (not (B.is_zero (B.erem a p)));
+      B.equal (Modarith.powmod a (B.pred p) p) B.one)
+
+let prop_mont_roundtrip =
+  QCheck2.Test.make ~name:"Montgomery of/to roundtrip" ~count:200
+    QCheck2.Gen.(pair (gen_bigint ()) (gen_positive ~max_bits:256 ()))
+    (fun (a, m) ->
+      QCheck2.assume (B.is_odd m && B.compare m (B.of_int 3) >= 0);
+      let ctx = Modarith.Mont.create m in
+      B.equal (Modarith.Mont.to_bigint ctx (Modarith.Mont.of_bigint ctx a)) (B.erem a m))
+
+let prop_mont_mul =
+  QCheck2.Test.make ~name:"Montgomery mul = bigint mul mod m" ~count:200
+    QCheck2.Gen.(
+      triple (gen_positive ~max_bits:300 ()) (gen_positive ~max_bits:300 ())
+        (gen_positive ~max_bits:300 ()))
+    (fun (a, bb, m) ->
+      QCheck2.assume (B.is_odd m && B.compare m (B.of_int 3) >= 0);
+      let ctx = Modarith.Mont.create m in
+      let open Modarith.Mont in
+      B.equal
+        (to_bigint ctx (mul ctx (of_bigint ctx a) (of_bigint ctx bb)))
+        (B.erem (B.mul a bb) m))
+
+let prop_mont_add_sub =
+  QCheck2.Test.make ~name:"Montgomery add/sub/neg" ~count:200
+    QCheck2.Gen.(
+      triple (gen_bigint ()) (gen_bigint ()) (gen_positive ~max_bits:200 ()))
+    (fun (a, bb, m) ->
+      QCheck2.assume (B.is_odd m && B.compare m (B.of_int 3) >= 0);
+      let ctx = Modarith.Mont.create m in
+      let open Modarith.Mont in
+      let am = of_bigint ctx a and bm = of_bigint ctx bb in
+      B.equal (to_bigint ctx (add ctx am bm)) (B.erem (B.add a bb) m)
+      && B.equal (to_bigint ctx (sub ctx am bm)) (B.erem (B.sub a bb) m)
+      && B.equal (to_bigint ctx (neg ctx am)) (B.erem (B.neg a) m))
+
+let prop_jacobi_squares =
+  (* Squares mod an odd prime have Jacobi symbol 1. *)
+  let p = B.of_string "57896044618658097711785492504343953926634992332820282019728792003956564820063" in
+  QCheck2.Test.make ~name:"jacobi (a^2 / p) = 1" ~count:100 (gen_positive ~max_bits:200 ())
+    (fun a ->
+      QCheck2.assume (not (B.is_zero (B.erem a p)));
+      Modarith.jacobi (B.erem (B.sqr a) p) p = 1)
+
+(* --- primality --- *)
+
+let test_small_primes () =
+  let known = [ 2; 3; 5; 7; 11; 101; 997 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (string_of_int p) true
+        (Prime.is_probably_prime (B.of_int p)))
+    known;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (string_of_int c) false
+        (Prime.is_probably_prime (B.of_int c)))
+    [ 0; 1; 4; 9; 100; 561 (* Carmichael *); 999 ]
+
+let test_known_large_prime () =
+  (* 2^127 - 1 is a Mersenne prime; 2^128 + 1 is composite (Fermat F7 factor known). *)
+  let m127 = B.pred (B.pow B.two 127) in
+  Alcotest.(check bool) "2^127-1 prime" true (Prime.is_probably_prime m127);
+  let f = B.succ (B.pow B.two 128) in
+  Alcotest.(check bool) "2^128+1 composite" false (Prime.is_probably_prime f)
+
+let test_negative_not_prime () =
+  Alcotest.(check bool) "-7 not prime" false (Prime.is_probably_prime (B.of_int (-7)))
+
+let test_gen_prime () =
+  let rng = Hashing.Drbg.create ~seed:"gen-prime-test" () in
+  List.iter
+    (fun bits ->
+      let p = Prime.gen_prime ~rng ~bits () in
+      Alcotest.(check int) (Printf.sprintf "%d bits" bits) bits (B.bit_length p);
+      Alcotest.(check bool) "prime" true (Prime.is_probably_prime p))
+    [ 16; 64; 128; 256 ]
+
+let test_gen_prime_congruent () =
+  let rng = Hashing.Drbg.create ~seed:"gen-prime-congruent-test" () in
+  let p = Prime.gen_prime_congruent ~rng ~bits:128 ~modulus:4 ~residue:3 () in
+  Alcotest.(check bool) "prime" true (Prime.is_probably_prime p);
+  Alcotest.check b "p mod 4 = 3" (B.of_int 3) (B.erem p (B.of_int 4))
+
+let test_knuth_division_structured_fuzz () =
+  (* The add-back branch of Knuth's Algorithm D fires with probability
+     ~2/base on random inputs, far too rare for qcheck to hit. This fuzz
+     biases towards it: dividends packed with maximal limbs and divisors
+     whose top limb is just above base/2 maximize qhat overestimation.
+     Correctness oracle: a = q*b + r with 0 <= r < b. *)
+  let rng = Hashing.Drbg.create ~seed:"knuth-addback" () in
+  let biased_limbs n ~top_heavy =
+    let raw = Hashing.Drbg.generate rng n in
+    String.init n (fun i ->
+        if top_heavy || Char.code raw.[i] land 3 <> 0 then '\xff' else raw.[i])
+  in
+  for _ = 1 to 20_000 do
+    let alen = 1 + Char.code (Hashing.Drbg.generate rng 1).[0] mod 12 in
+    let blen = 1 + Char.code (Hashing.Drbg.generate rng 1).[0] mod 8 in
+    let a = B.of_bytes_be (biased_limbs (4 * alen) ~top_heavy:false) in
+    let b = B.of_bytes_be (biased_limbs (4 * blen) ~top_heavy:true) in
+    if not (B.is_zero b) then begin
+      let q, r = B.divmod a b in
+      if not (B.equal a (B.add (B.mul q b) r)) then Alcotest.fail "reconstruction";
+      if B.sign r < 0 || B.compare r b >= 0 then Alcotest.fail "remainder range"
+    end
+  done
+
+(* --- directed edge cases --- *)
+
+let test_zero_behaviour () =
+  Alcotest.check b "0+0" B.zero (B.add B.zero B.zero);
+  Alcotest.check b "0*x" B.zero (B.mul B.zero (B.of_int 123456));
+  Alcotest.(check int) "sign 0" 0 (B.sign B.zero);
+  Alcotest.(check int) "bit_length 0" 0 (B.bit_length B.zero);
+  Alcotest.(check string) "to_string 0" "0" (B.to_string B.zero);
+  Alcotest.check b "neg 0" B.zero (B.neg B.zero);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_to_int_bounds () =
+  Alcotest.(check (option int)) "big value" None (B.to_int_opt (B.pow B.two 80));
+  Alcotest.(check (option int)) "negative" (Some (-42)) (B.to_int_opt (B.of_int (-42)))
+
+let test_decimal_padding () =
+  (* A value whose middle decimal chunk has leading zeros. *)
+  let v = B.of_string "1000000001000000001" in
+  Alcotest.(check string) "zero-padded chunks" "1000000001000000001" (B.to_string v)
+
+let test_bytes_padding () =
+  let v = B.of_int 258 in
+  Alcotest.(check string) "padded" "\x00\x00\x01\x02" (B.to_bytes_be ~pad_to:4 v);
+  Alcotest.check_raises "too small" (Invalid_argument "Nat.to_bytes_be: value too large")
+    (fun () -> ignore (B.to_bytes_be ~pad_to:1 v))
+
+let test_random_below_range () =
+  let rng = Hashing.Drbg.create ~seed:"random-below" () in
+  let bound = B.of_string "1000000000000000000000000" in
+  for _ = 1 to 100 do
+    let v = B.random_below rng bound in
+    if B.sign v < 0 || B.compare v bound >= 0 then Alcotest.fail "out of range"
+  done
+
+let test_random_bits_width () =
+  let rng = Hashing.Drbg.create ~seed:"random-bits" () in
+  for _ = 1 to 50 do
+    if B.bit_length (B.random_bits rng 100) > 100 then Alcotest.fail "too wide"
+  done
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bigint"
+    [
+      ( "oracle",
+        q
+          [
+            prop_add_oracle; prop_sub_oracle; prop_mul_oracle; prop_divmod_oracle;
+            prop_compare_oracle;
+          ] );
+      ( "algebra",
+        q
+          [
+            prop_add_comm; prop_mul_comm; prop_mul_assoc; prop_distrib;
+            prop_add_sub_inverse; prop_divmod_reconstruct; prop_erem_range; prop_sqr;
+            prop_karatsuba_vs_wide; prop_shift; prop_bit_length;
+          ] );
+      ( "codecs",
+        q [ prop_string_roundtrip; prop_hex_roundtrip; prop_bytes_roundtrip ]
+        @ [
+            Alcotest.test_case "decimal padding" `Quick test_decimal_padding;
+            Alcotest.test_case "bytes padding" `Quick test_bytes_padding;
+          ] );
+      ( "modular",
+        q
+          [
+            prop_egcd; prop_invmod; prop_powmod_matches_naive; prop_powmod_even_modulus;
+            prop_fermat; prop_mont_roundtrip; prop_mont_mul; prop_mont_add_sub;
+            prop_jacobi_squares;
+          ] );
+      ( "prime",
+        [
+          Alcotest.test_case "small primes" `Quick test_small_primes;
+          Alcotest.test_case "large known prime" `Quick test_known_large_prime;
+          Alcotest.test_case "negative" `Quick test_negative_not_prime;
+          Alcotest.test_case "gen_prime" `Slow test_gen_prime;
+          Alcotest.test_case "gen_prime_congruent" `Slow test_gen_prime_congruent;
+        ] );
+      ( "division-fuzz",
+        [ Alcotest.test_case "knuth structured fuzz" `Slow test_knuth_division_structured_fuzz ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "zero" `Quick test_zero_behaviour;
+          Alcotest.test_case "to_int bounds" `Quick test_to_int_bounds;
+          Alcotest.test_case "random_below" `Quick test_random_below_range;
+          Alcotest.test_case "random_bits" `Quick test_random_bits_width;
+        ] );
+    ]

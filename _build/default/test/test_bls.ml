@@ -1,0 +1,122 @@
+(* BLS short signatures: correctness, forgery rejection, batching, codecs. *)
+
+module B = Bigint
+
+let prms = Pairing.toy64 ()
+let rng = Hashing.Drbg.create ~seed:"bls-tests" ()
+let sk, pk = Bls.keygen prms rng
+
+let test_sign_verify () =
+  let msgs = [ ""; "a"; "hello world"; String.make 1000 'x' ] in
+  List.iter
+    (fun m ->
+      let s = Bls.sign prms sk m in
+      Alcotest.(check bool) ("verify " ^ String.escaped (String.sub m 0 (min 8 (String.length m))))
+        true (Bls.verify prms pk m s))
+    msgs
+
+let test_wrong_message_rejected () =
+  let s = Bls.sign prms sk "message one" in
+  Alcotest.(check bool) "wrong msg" false (Bls.verify prms pk "message two" s)
+
+let test_wrong_key_rejected () =
+  let _, pk2 = Bls.keygen prms rng in
+  let s = Bls.sign prms sk "msg" in
+  Alcotest.(check bool) "wrong key" false (Bls.verify prms pk2 "msg" s)
+
+let test_tampered_signature_rejected () =
+  let s = Bls.sign prms sk "msg" in
+  let tampered = Curve.add prms.Pairing.curve s prms.Pairing.g in
+  Alcotest.(check bool) "tampered" false (Bls.verify prms pk "msg" tampered)
+
+let test_infinity_signature_rejected () =
+  Alcotest.(check bool) "infinity not valid for random msg" false
+    (Bls.verify prms pk "some message" Curve.infinity)
+
+let test_custom_generator () =
+  let g2 = Curve.mul prms.Pairing.curve (B.of_int 7) prms.Pairing.g in
+  let sk2, pk2 = Bls.keygen ~g:g2 prms rng in
+  let s = Bls.sign prms sk2 "msg" in
+  Alcotest.(check bool) "custom generator verify" true (Bls.verify prms pk2 "msg" s);
+  Alcotest.(check bool) "not under default pk" false (Bls.verify prms pk "msg" s)
+
+let test_secret_of_scalar () =
+  let sk1, pk1 = Bls.secret_of_scalar prms (B.of_int 12345) () in
+  let sk2, pk2 = Bls.secret_of_scalar prms (B.of_int 12345) () in
+  Alcotest.(check bool) "deterministic" true
+    (Bls.public_to_bytes prms pk1 = Bls.public_to_bytes prms pk2);
+  let s = Bls.sign prms sk1 "m" in
+  Alcotest.(check bool) "cross verify" true (Bls.verify prms pk2 "m" (Bls.sign prms sk2 "m"));
+  Alcotest.(check bool) "verify" true (Bls.verify prms pk1 "m" s);
+  Alcotest.check_raises "zero scalar"
+    (Invalid_argument "Bls.secret_of_scalar: scalar out of range") (fun () ->
+      ignore (Bls.secret_of_scalar prms B.zero ()))
+
+let test_batch_verify () =
+  let pairs = List.init 10 (fun i ->
+      let m = Printf.sprintf "update-%d" i in
+      (m, Bls.sign prms sk m))
+  in
+  Alcotest.(check bool) "good batch" true (Bls.verify_batch prms pk pairs);
+  Alcotest.(check bool) "empty batch" true (Bls.verify_batch prms pk []);
+  (* One bad signature poisons the batch. *)
+  let poisoned =
+    ("poisoned", Bls.sign prms sk "other") :: List.tl pairs
+  in
+  Alcotest.(check bool) "poisoned batch" false (Bls.verify_batch prms pk poisoned);
+  (* Duplicate messages are refused (aggregation unsound otherwise). *)
+  let dup = List.hd pairs :: pairs in
+  Alcotest.(check bool) "duplicates refused" false (Bls.verify_batch prms pk dup)
+
+let test_signature_codec () =
+  let s = Bls.sign prms sk "roundtrip" in
+  let bytes = Bls.signature_to_bytes prms s in
+  Alcotest.(check int) "short signature width" (Bls.signature_bytes prms)
+    (String.length bytes);
+  (match Bls.signature_of_bytes prms bytes with
+  | Some s' -> Alcotest.(check bool) "roundtrip" true (Curve.equal s s')
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "garbage rejected" true
+    (Bls.signature_of_bytes prms (String.make (Bls.signature_bytes prms) '\xff') = None)
+
+let test_public_codec () =
+  let bytes = Bls.public_to_bytes prms pk in
+  (match Bls.public_of_bytes prms bytes with
+  | Some pk' ->
+      Alcotest.(check bool) "roundtrip" true
+        (Curve.equal pk.Bls.g pk'.Bls.g && Curve.equal pk.Bls.pk pk'.Bls.pk)
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "truncated rejected" true (Bls.public_of_bytes prms "xx" = None)
+
+let prop_sign_verify =
+  QCheck2.Test.make ~name:"sign/verify roundtrip" ~count:20
+    QCheck2.Gen.(small_string ~gen:printable)
+    (fun m -> Bls.verify prms pk m (Bls.sign prms sk m))
+
+let prop_signature_determinism =
+  QCheck2.Test.make ~name:"signatures deterministic" ~count:20
+    QCheck2.Gen.(small_string ~gen:printable)
+    (fun m -> Curve.equal (Bls.sign prms sk m) (Bls.sign prms sk m))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bls"
+    [
+      ( "sign-verify",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sign_verify;
+          Alcotest.test_case "wrong message" `Quick test_wrong_message_rejected;
+          Alcotest.test_case "wrong key" `Quick test_wrong_key_rejected;
+          Alcotest.test_case "tampered" `Quick test_tampered_signature_rejected;
+          Alcotest.test_case "infinity" `Quick test_infinity_signature_rejected;
+          Alcotest.test_case "custom generator" `Quick test_custom_generator;
+          Alcotest.test_case "secret_of_scalar" `Quick test_secret_of_scalar;
+        ] );
+      ("batch", [ Alcotest.test_case "batch verify" `Quick test_batch_verify ]);
+      ( "codec",
+        [
+          Alcotest.test_case "signature" `Quick test_signature_codec;
+          Alcotest.test_case "public key" `Quick test_public_codec;
+        ] );
+      ("properties", qc [ prop_sign_verify; prop_signature_determinism ]);
+    ]

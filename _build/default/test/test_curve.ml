@@ -1,0 +1,187 @@
+(* Group-law tests for the supersingular curve and its codecs, plus
+   subgroup structure checks against the toy64 pairing parameters. *)
+
+module B = Bigint
+
+let prms = Pairing.toy64 ()
+let curve = prms.Pairing.curve
+let fp = prms.Pairing.fp
+let g = prms.Pairing.g
+let q = prms.Pairing.q
+
+let point = Alcotest.testable (Curve.pp curve) Curve.equal
+
+let rng = Hashing.Drbg.create ~seed:"curve-tests" ()
+
+(* Random point of the order-q subgroup. *)
+let gen_subgroup_point =
+  QCheck2.Gen.(
+    let* k = int_range 1 1_000_000 in
+    return (Curve.mul curve (B.of_int k) g))
+
+let gen_scalar =
+  QCheck2.Gen.(map B.of_int (int_range (-1000) 1000))
+
+let test_generator_on_curve () =
+  Alcotest.(check bool) "on curve" true (Curve.on_curve curve g);
+  Alcotest.(check bool) "not infinity" false (Curve.is_infinity g);
+  Alcotest.check point "order q" Curve.infinity (Curve.mul curve q g)
+
+let test_make_rejects_off_curve () =
+  Alcotest.check_raises "off curve" (Invalid_argument "Curve.make: point not on curve")
+    (fun () -> ignore (Curve.make curve ~x:(Fp.of_int fp 1) ~y:(Fp.of_int fp 1)))
+
+let test_identity_laws () =
+  Alcotest.check point "O + G = G" g (Curve.add curve Curve.infinity g);
+  Alcotest.check point "G + O = G" g (Curve.add curve g Curve.infinity);
+  Alcotest.check point "G + (-G) = O" Curve.infinity (Curve.add curve g (Curve.neg curve g));
+  Alcotest.check point "0.G = O" Curve.infinity (Curve.mul curve B.zero g);
+  Alcotest.check point "1.G = G" g (Curve.mul curve B.one g);
+  Alcotest.check point "double O" Curve.infinity (Curve.double curve Curve.infinity)
+
+let test_two_torsion () =
+  (* (0, 0) is on the curve and is its own negation: doubling gives O. *)
+  let t = Curve.make curve ~x:(Fp.zero fp) ~y:(Fp.zero fp) in
+  Alcotest.check point "2-torsion doubles to O" Curve.infinity (Curve.double curve t)
+
+let test_group_order () =
+  Alcotest.(check bool) "p+1 = h*q" true
+    (B.equal (Curve.group_order curve) (B.mul prms.Pairing.cofactor q))
+
+let test_full_order_kills_any_point () =
+  (* Any curve point is killed by p + 1 = #E. *)
+  for i = 1 to 10 do
+    let h = Pairing.hash_to_g1 prms (Printf.sprintf "pt-%d" i) in
+    Alcotest.check point "killed" Curve.infinity
+      (Curve.mul curve (Curve.group_order curve) h)
+  done
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"P+Q = Q+P" ~count:100
+    QCheck2.Gen.(pair gen_subgroup_point gen_subgroup_point)
+    (fun (a, b) -> Curve.equal (Curve.add curve a b) (Curve.add curve b a))
+
+let prop_add_associative =
+  QCheck2.Test.make ~name:"(P+Q)+R = P+(Q+R)" ~count:100
+    QCheck2.Gen.(triple gen_subgroup_point gen_subgroup_point gen_subgroup_point)
+    (fun (a, b, c) ->
+      Curve.equal
+        (Curve.add curve (Curve.add curve a b) c)
+        (Curve.add curve a (Curve.add curve b c)))
+
+let prop_double_is_add =
+  QCheck2.Test.make ~name:"2P = P+P" ~count:100 gen_subgroup_point (fun a ->
+      Curve.equal (Curve.double curve a) (Curve.add curve a a))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"(k+l).P = k.P + l.P" ~count:100
+    QCheck2.Gen.(pair (pair gen_scalar gen_scalar) gen_subgroup_point)
+    (fun ((k, l), pt) ->
+      Curve.equal
+        (Curve.mul curve (B.add k l) pt)
+        (Curve.add curve (Curve.mul curve k pt) (Curve.mul curve l pt)))
+
+let prop_mul_composes =
+  QCheck2.Test.make ~name:"k.(l.P) = (k*l).P" ~count:100
+    QCheck2.Gen.(pair (pair gen_scalar gen_scalar) gen_subgroup_point)
+    (fun ((k, l), pt) ->
+      Curve.equal
+        (Curve.mul curve k (Curve.mul curve l pt))
+        (Curve.mul curve (B.mul k l) pt))
+
+let prop_scalar_mod_q =
+  QCheck2.Test.make ~name:"k.P = (k mod q).P on subgroup" ~count:50
+    QCheck2.Gen.(pair gen_scalar gen_subgroup_point)
+    (fun (k, pt) ->
+      Curve.equal (Curve.mul curve k pt) (Curve.mul curve (B.erem k q) pt))
+
+let prop_on_curve_closed =
+  QCheck2.Test.make ~name:"addition stays on curve" ~count:100
+    QCheck2.Gen.(pair gen_subgroup_point gen_subgroup_point)
+    (fun (a, b) -> Curve.on_curve curve (Curve.add curve a b))
+
+let prop_bytes_roundtrip =
+  QCheck2.Test.make ~name:"point codec roundtrip" ~count:100 gen_subgroup_point
+    (fun a -> Curve.of_bytes curve (Curve.to_bytes curve a) = Some a)
+
+let test_infinity_codec () =
+  Alcotest.(check string) "encoding" "\x00" (Curve.to_bytes curve Curve.infinity);
+  Alcotest.(check bool) "roundtrip" true
+    (Curve.of_bytes curve "\x00" = Some Curve.infinity)
+
+let test_of_bytes_rejects () =
+  Alcotest.(check bool) "bad tag" true (Curve.of_bytes curve (String.make (Curve.byte_length curve) '\x07') = None);
+  Alcotest.(check bool) "bad length" true (Curve.of_bytes curve "\x02\x01" = None);
+  (* x with no point on the curve: find one by scanning. *)
+  let rec non_residue_x i =
+    let x = Fp.of_int fp i in
+    match Curve.lift_x curve x with
+    | None -> x
+    | Some _ -> non_residue_x (i + 1)
+  in
+  let x = non_residue_x 2 in
+  let enc = "\x02" ^ Fp.to_bytes fp x in
+  Alcotest.(check bool) "off-curve x" true (Curve.of_bytes curve enc = None)
+
+let test_lift_x_ordering () =
+  match Curve.lift_x curve (Fp.of_int fp 5) with
+  | None -> () (* nothing to check for this x on these parameters *)
+  | Some (lo, hi) -> (
+      match (lo, hi) with
+      | Curve.Affine a, Curve.Affine b ->
+          Alcotest.(check bool) "ordered" true
+            (B.compare (Fp.to_bigint fp a.y) (Fp.to_bigint fp b.y) <= 0)
+      | _ -> Alcotest.fail "lift_x returned infinity")
+
+let test_hash_to_g1_properties () =
+  let seen = Hashtbl.create 16 in
+  for i = 1 to 20 do
+    let pt = Pairing.hash_to_g1 prms (Printf.sprintf "msg-%d" i) in
+    Alcotest.(check bool) "in subgroup" true (Pairing.in_g1 prms pt);
+    Alcotest.(check bool) "not infinity" false (Curve.is_infinity pt);
+    Hashtbl.replace seen (Curve.to_bytes curve pt) ()
+  done;
+  Alcotest.(check int) "all distinct" 20 (Hashtbl.length seen);
+  (* Determinism. *)
+  Alcotest.check point "deterministic" (Pairing.hash_to_g1 prms "msg-1")
+    (Pairing.hash_to_g1 prms "msg-1")
+
+let test_random_scalar_range () =
+  for _ = 1 to 100 do
+    let k = Pairing.random_scalar prms rng in
+    if B.sign k <= 0 || B.compare k q >= 0 then Alcotest.fail "scalar out of range"
+  done
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "curve"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "generator" `Quick test_generator_on_curve;
+          Alcotest.test_case "make rejects" `Quick test_make_rejects_off_curve;
+          Alcotest.test_case "identity laws" `Quick test_identity_laws;
+          Alcotest.test_case "2-torsion" `Quick test_two_torsion;
+          Alcotest.test_case "group order" `Quick test_group_order;
+          Alcotest.test_case "#E kills all" `Quick test_full_order_kills_any_point;
+        ] );
+      ( "group-laws",
+        qc
+          [
+            prop_add_commutative; prop_add_associative; prop_double_is_add;
+            prop_mul_distributes; prop_mul_composes; prop_scalar_mod_q;
+            prop_on_curve_closed;
+          ] );
+      ( "codec",
+        qc [ prop_bytes_roundtrip ]
+        @ [
+            Alcotest.test_case "infinity" `Quick test_infinity_codec;
+            Alcotest.test_case "rejects" `Quick test_of_bytes_rejects;
+            Alcotest.test_case "lift_x ordering" `Quick test_lift_x_ordering;
+          ] );
+      ( "hash-to-g1",
+        [
+          Alcotest.test_case "properties" `Quick test_hash_to_g1_properties;
+          Alcotest.test_case "random scalar" `Quick test_random_scalar_range;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Field-axiom and square-root tests for GF(p) and GF(p^2). *)
+
+module B = Bigint
+
+(* A 256-bit prime congruent to 3 mod 4 (2^256 - 189). *)
+let p256 = B.sub (B.pow B.two 256) (B.of_int 189)
+let ctx = Fp.create p256
+
+let fp_testable =
+  Alcotest.testable (Fp.pp ctx) Fp.equal
+
+let fp2_testable = Alcotest.testable (Fp2.pp ctx) Fp2.equal
+
+let gen_fp =
+  QCheck2.Gen.(
+    let* bytes = string_size ~gen:char (return 40) in
+    return (Fp.of_bigint ctx (B.of_bytes_be bytes)))
+
+let gen_fp2 = QCheck2.Gen.map (fun (re, im) -> Fp2.make ~re ~im) QCheck2.Gen.(pair gen_fp gen_fp)
+
+let test_create_validation () =
+  Alcotest.check_raises "even" (Invalid_argument "Fp.create: modulus must be odd and >= 3")
+    (fun () -> ignore (Fp.create (B.of_int 8)));
+  Alcotest.check_raises "1 mod 4" (Invalid_argument "Fp.create: modulus must be 3 mod 4")
+    (fun () -> ignore (Fp.create (B.of_int 13)))
+
+let test_constants () =
+  Alcotest.check fp_testable "0+1 = 1" (Fp.one ctx) (Fp.add ctx (Fp.zero ctx) (Fp.one ctx));
+  Alcotest.(check bool) "is_zero" true (Fp.is_zero ctx (Fp.zero ctx));
+  Alcotest.(check bool) "one not zero" false (Fp.is_zero ctx (Fp.one ctx));
+  Alcotest.check fp_testable "p = 0" (Fp.zero ctx) (Fp.of_bigint ctx p256);
+  Alcotest.check fp_testable "-1 = p-1" (Fp.of_bigint ctx (B.pred p256)) (Fp.of_int ctx (-1))
+
+let test_inv_zero () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Fp.inv ctx (Fp.zero ctx)))
+
+let test_sqrt_known () =
+  (* 4 has roots 2 and p-2; principal root squared gives back 4. *)
+  match Fp.sqrt ctx (Fp.of_int ctx 4) with
+  | None -> Alcotest.fail "4 must be a square"
+  | Some r -> Alcotest.check fp_testable "r^2 = 4" (Fp.of_int ctx 4) (Fp.sqr ctx r)
+
+let test_bytes_reject () =
+  Alcotest.(check bool) "wrong width" true (Fp.of_bytes ctx "abc" = None);
+  let too_big = B.to_bytes_be ~pad_to:(Fp.byte_length ctx) (B.pred (B.pow B.two 256)) in
+  Alcotest.(check bool) "non-canonical" true (Fp.of_bytes ctx too_big = None)
+
+let prop_field_axioms =
+  QCheck2.Test.make ~name:"fp field axioms" ~count:200
+    QCheck2.Gen.(triple gen_fp gen_fp gen_fp)
+    (fun (a, b, c) ->
+      Fp.equal (Fp.add ctx a b) (Fp.add ctx b a)
+      && Fp.equal (Fp.mul ctx a b) (Fp.mul ctx b a)
+      && Fp.equal (Fp.mul ctx a (Fp.mul ctx b c)) (Fp.mul ctx (Fp.mul ctx a b) c)
+      && Fp.equal (Fp.mul ctx a (Fp.add ctx b c)) (Fp.add ctx (Fp.mul ctx a b) (Fp.mul ctx a c))
+      && Fp.equal (Fp.sub ctx (Fp.add ctx a b) b) a
+      && Fp.equal (Fp.add ctx a (Fp.neg ctx a)) (Fp.zero ctx))
+
+let prop_inv =
+  QCheck2.Test.make ~name:"fp a * a^-1 = 1" ~count:200 gen_fp (fun a ->
+      QCheck2.assume (not (Fp.is_zero ctx a));
+      Fp.equal (Fp.mul ctx a (Fp.inv ctx a)) (Fp.one ctx))
+
+let prop_pow_negative =
+  QCheck2.Test.make ~name:"fp a^-k = (a^k)^-1" ~count:100
+    QCheck2.Gen.(pair gen_fp (int_range 1 50))
+    (fun (a, k) ->
+      QCheck2.assume (not (Fp.is_zero ctx a));
+      Fp.equal
+        (Fp.pow ctx a (B.of_int (-k)))
+        (Fp.inv ctx (Fp.pow ctx a (B.of_int k))))
+
+let prop_sqrt =
+  QCheck2.Test.make ~name:"fp sqrt of squares" ~count:200 gen_fp (fun a ->
+      let sq = Fp.sqr ctx a in
+      Fp.is_square ctx sq
+      &&
+      match Fp.sqrt ctx sq with
+      | None -> false
+      | Some r -> Fp.equal (Fp.sqr ctx r) sq)
+
+let prop_nonsquare_detected =
+  (* Exactly one of x, -x is a square for x <> 0, since p = 3 mod 4. *)
+  QCheck2.Test.make ~name:"fp x xor -x square (p=3 mod 4)" ~count:200 gen_fp
+    (fun a ->
+      QCheck2.assume (not (Fp.is_zero ctx a));
+      Fp.is_square ctx a <> Fp.is_square ctx (Fp.neg ctx a))
+
+let prop_bytes_roundtrip =
+  QCheck2.Test.make ~name:"fp bytes roundtrip" ~count:200 gen_fp (fun a ->
+      match Fp.of_bytes ctx (Fp.to_bytes ctx a) with
+      | Some b -> Fp.equal a b
+      | None -> false)
+
+(* --- Fp2 --- *)
+
+let test_fp2_i_squared () =
+  (* i^2 = -1. *)
+  let i = Fp2.make ~re:(Fp.zero ctx) ~im:(Fp.one ctx) in
+  Alcotest.check fp2_testable "i^2 = -1"
+    (Fp2.neg ctx (Fp2.one ctx))
+    (Fp2.sqr ctx i)
+
+let test_fp2_inv_zero () =
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Fp2.inv ctx (Fp2.zero ctx)))
+
+let prop_fp2_field_axioms =
+  QCheck2.Test.make ~name:"fp2 field axioms" ~count:200
+    QCheck2.Gen.(triple gen_fp2 gen_fp2 gen_fp2)
+    (fun (a, b, c) ->
+      Fp2.equal (Fp2.add ctx a b) (Fp2.add ctx b a)
+      && Fp2.equal (Fp2.mul ctx a b) (Fp2.mul ctx b a)
+      && Fp2.equal (Fp2.mul ctx a (Fp2.mul ctx b c)) (Fp2.mul ctx (Fp2.mul ctx a b) c)
+      && Fp2.equal
+           (Fp2.mul ctx a (Fp2.add ctx b c))
+           (Fp2.add ctx (Fp2.mul ctx a b) (Fp2.mul ctx a c))
+      && Fp2.equal (Fp2.sqr ctx a) (Fp2.mul ctx a a))
+
+let prop_fp2_inv =
+  QCheck2.Test.make ~name:"fp2 a * a^-1 = 1" ~count:200 gen_fp2 (fun a ->
+      QCheck2.assume (not (Fp2.is_zero ctx a));
+      Fp2.equal (Fp2.mul ctx a (Fp2.inv ctx a)) (Fp2.one ctx))
+
+let prop_fp2_conj =
+  QCheck2.Test.make ~name:"fp2 a * conj a = norm a" ~count:200 gen_fp2 (fun a ->
+      Fp2.equal
+        (Fp2.mul ctx a (Fp2.conj ctx a))
+        (Fp2.of_fp ctx (Fp2.norm ctx a)))
+
+let prop_fp2_frobenius =
+  (* Conjugation is the Frobenius: conj a = a^p. *)
+  QCheck2.Test.make ~name:"fp2 conj = frobenius" ~count:20 gen_fp2 (fun a ->
+      Fp2.equal (Fp2.conj ctx a) (Fp2.pow ctx a p256))
+
+let prop_fp2_pow_homomorphism =
+  QCheck2.Test.make ~name:"fp2 (ab)^k = a^k b^k" ~count:50
+    QCheck2.Gen.(triple gen_fp2 gen_fp2 (int_range 0 100))
+    (fun (a, b, k) ->
+      let k = B.of_int k in
+      Fp2.equal
+        (Fp2.pow ctx (Fp2.mul ctx a b) k)
+        (Fp2.mul ctx (Fp2.pow ctx a k) (Fp2.pow ctx b k)))
+
+let prop_fp2_bytes_roundtrip =
+  QCheck2.Test.make ~name:"fp2 bytes roundtrip" ~count:200 gen_fp2 (fun a ->
+      match Fp2.of_bytes ctx (Fp2.to_bytes ctx a) with
+      | Some b -> Fp2.equal a b
+      | None -> false)
+
+let prop_fp2_mul_fp =
+  QCheck2.Test.make ~name:"fp2 mul_fp = mul by embedded" ~count:200
+    QCheck2.Gen.(pair gen_fp gen_fp2)
+    (fun (s, a) ->
+      Fp2.equal (Fp2.mul_fp ctx s a) (Fp2.mul ctx (Fp2.of_fp ctx s) a))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "field"
+    [
+      ( "fp-directed",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "inv zero" `Quick test_inv_zero;
+          Alcotest.test_case "sqrt known" `Quick test_sqrt_known;
+          Alcotest.test_case "bytes reject" `Quick test_bytes_reject;
+        ] );
+      ( "fp-props",
+        q
+          [
+            prop_field_axioms; prop_inv; prop_pow_negative; prop_sqrt;
+            prop_nonsquare_detected; prop_bytes_roundtrip;
+          ] );
+      ( "fp2-directed",
+        [
+          Alcotest.test_case "i^2 = -1" `Quick test_fp2_i_squared;
+          Alcotest.test_case "inv zero" `Quick test_fp2_inv_zero;
+        ] );
+      ( "fp2-props",
+        q
+          [
+            prop_fp2_field_axioms; prop_fp2_inv; prop_fp2_conj; prop_fp2_frobenius;
+            prop_fp2_pow_homomorphism; prop_fp2_bytes_roundtrip; prop_fp2_mul_fp;
+          ] );
+    ]

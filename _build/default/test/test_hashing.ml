@@ -1,0 +1,227 @@
+(* Tests for the hashing substrate: SHA-256 NIST vectors, HMAC RFC 4231
+   vectors, HKDF RFC 5869 vectors, DRBG determinism, KDF mask involution. *)
+
+open Hashing
+
+let check_hex msg expected actual = Alcotest.(check string) msg expected (Hex.encode actual)
+
+(* --- SHA-256 known-answer tests (FIPS 180-4 / NIST CAVP) --- *)
+
+let test_sha256_empty () =
+  check_hex "sha256(\"\")"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "")
+
+let test_sha256_abc () =
+  check_hex "sha256(abc)"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc")
+
+let test_sha256_448bits () =
+  check_hex "sha256(two-block NIST vector)"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_896bits () =
+  check_hex "sha256(four-block NIST vector)"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.digest
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha256_million_a () =
+  check_hex "sha256(10^6 x 'a')"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  (* Absorbing in odd-sized pieces must match the one-shot digest. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 251)) in
+  let expect = Sha256.digest msg in
+  List.iter
+    (fun piece ->
+      let ctx = Sha256.init () in
+      let rec feed off =
+        if off < String.length msg then begin
+          let n = min piece (String.length msg - off) in
+          Sha256.update ctx (String.sub msg off n);
+          feed (off + n)
+        end
+      in
+      feed 0;
+      Alcotest.(check string)
+        (Printf.sprintf "piece=%d" piece)
+        (Hex.encode expect)
+        (Hex.encode (Sha256.finalize ctx)))
+    [ 1; 3; 63; 64; 65; 127; 128; 999 ]
+
+let test_sha256_digest_concat () =
+  Alcotest.(check string)
+    "digest_concat = digest of concatenation"
+    (Hex.encode (Sha256.digest "hello world"))
+    (Hex.encode (Sha256.digest_concat [ "hel"; "lo "; ""; "world" ]))
+
+let test_sha256_update_bytes_bounds () =
+  let ctx = Sha256.init () in
+  Alcotest.check_raises "oob" (Invalid_argument "Sha256.update_bytes")
+    (fun () -> Sha256.update_bytes ctx (Bytes.create 4) 2 4)
+
+(* --- HMAC-SHA256 (RFC 4231) --- *)
+
+let test_hmac_rfc4231_case1 () =
+  check_hex "rfc4231 #1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There")
+
+let test_hmac_rfc4231_case2 () =
+  check_hex "rfc4231 #2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hmac_rfc4231_case3 () =
+  check_hex "rfc4231 #3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_rfc4231_case6_long_key () =
+  check_hex "rfc4231 #6 (key > block)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.mac ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_equal () =
+  Alcotest.(check bool) "equal" true (Hmac.equal "abcd" "abcd");
+  Alcotest.(check bool) "unequal" false (Hmac.equal "abcd" "abce");
+  Alcotest.(check bool) "length mismatch" false (Hmac.equal "abc" "abcd")
+
+(* --- HKDF (RFC 5869) --- *)
+
+let test_hkdf_rfc5869_case1 () =
+  let ikm = String.make 22 '\x0b' in
+  let salt = Hex.decode "000102030405060708090a0b0c" in
+  let info = Hex.decode "f0f1f2f3f4f5f6f7f8f9" in
+  let prk = Hkdf.extract ~salt ikm in
+  check_hex "prk" "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5" prk;
+  check_hex "okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Hkdf.expand ~prk ~info 42)
+
+let test_hkdf_rfc5869_case3_no_salt () =
+  let ikm = String.make 22 '\x0b' in
+  check_hex "okm (no salt, no info)"
+    "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+    (Hkdf.derive ~info:"" ikm 42)
+
+let test_hkdf_bad_length () =
+  Alcotest.check_raises "too long" (Invalid_argument "Hkdf.expand: bad length")
+    (fun () -> ignore (Hkdf.expand ~prk:(String.make 32 'k') ~info:"" (256 * 32)))
+
+(* --- DRBG --- *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"seed" () in
+  let b = Drbg.create ~seed:"seed" () in
+  Alcotest.(check string) "same stream" (Drbg.generate a 64) (Drbg.generate b 64);
+  Alcotest.(check bool)
+    "stream advances" false
+    (Drbg.generate a 16 = Drbg.generate a 16)
+
+let test_drbg_personalization () =
+  let a = Drbg.create ~seed:"seed" ~personalization:"x" () in
+  let b = Drbg.create ~seed:"seed" ~personalization:"y" () in
+  Alcotest.(check bool) "distinct" false (Drbg.generate a 32 = Drbg.generate b 32)
+
+let test_drbg_reseed_changes_stream () =
+  let a = Drbg.create ~seed:"seed" () in
+  let b = Drbg.create ~seed:"seed" () in
+  Drbg.reseed a "extra";
+  Alcotest.(check bool) "diverged" false (Drbg.generate a 32 = Drbg.generate b 32)
+
+let test_drbg_system_entropy () =
+  Alcotest.(check int) "length" 48 (String.length (Drbg.system_entropy ~n:48 ()))
+
+(* --- KDF / Hex --- *)
+
+let test_kdf_mask_deterministic () =
+  Alcotest.(check string) "same" (Kdf.mask "seed" 100) (Kdf.mask "seed" 100);
+  Alcotest.(check bool) "prefix property" true
+    (String.sub (Kdf.mask "seed" 100) 0 10 = Kdf.mask "seed" 10)
+
+let test_kdf_xor_mask_involution () =
+  let m = "attack at dawn, not before" in
+  Alcotest.(check string) "involution" m (Kdf.xor_mask ~seed:"k" (Kdf.xor_mask ~seed:"k" m))
+
+let test_kdf_xor_length_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Kdf.xor")
+    (fun () -> ignore (Kdf.xor "ab" "abc"))
+
+let test_hex_roundtrip () =
+  let s = String.init 256 Char.chr in
+  Alcotest.(check string) "roundtrip" s (Hex.decode (Hex.encode s));
+  Alcotest.(check (option string)) "bad odd" None (Hex.decode_opt "abc");
+  Alcotest.(check (option string)) "bad char" None (Hex.decode_opt "zz");
+  Alcotest.(check (option string)) "upper ok" (Some "\xab") (Hex.decode_opt "AB")
+
+(* --- qcheck properties --- *)
+
+let prop_kdf_involution =
+  QCheck2.Test.make ~name:"kdf xor_mask involution" ~count:200
+    QCheck2.Gen.(pair string string)
+    (fun (seed, m) -> Kdf.xor_mask ~seed (Kdf.xor_mask ~seed m) = m)
+
+let prop_hex_roundtrip =
+  QCheck2.Test.make ~name:"hex roundtrip" ~count:200 QCheck2.Gen.string
+    (fun s -> Hex.decode (Hex.encode s) = s)
+
+let prop_incremental_matches_oneshot =
+  QCheck2.Test.make ~name:"sha256 incremental = one-shot" ~count:100
+    QCheck2.Gen.(pair string (list string))
+    (fun (first, rest) ->
+      Sha256.digest_concat (first :: rest) = Sha256.digest (String.concat "" (first :: rest)))
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "hashing"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "empty" `Quick test_sha256_empty;
+          Alcotest.test_case "abc" `Quick test_sha256_abc;
+          Alcotest.test_case "448 bits" `Quick test_sha256_448bits;
+          Alcotest.test_case "896 bits" `Quick test_sha256_896bits;
+          Alcotest.test_case "million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "incremental" `Quick test_sha256_incremental;
+          Alcotest.test_case "digest_concat" `Quick test_sha256_digest_concat;
+          Alcotest.test_case "bounds check" `Quick test_sha256_update_bytes_bounds;
+        ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "rfc4231 #1" `Quick test_hmac_rfc4231_case1;
+          Alcotest.test_case "rfc4231 #2" `Quick test_hmac_rfc4231_case2;
+          Alcotest.test_case "rfc4231 #3" `Quick test_hmac_rfc4231_case3;
+          Alcotest.test_case "rfc4231 #6" `Quick test_hmac_rfc4231_case6_long_key;
+          Alcotest.test_case "constant-time equal" `Quick test_hmac_equal;
+        ] );
+      ( "hkdf",
+        [
+          Alcotest.test_case "rfc5869 #1" `Quick test_hkdf_rfc5869_case1;
+          Alcotest.test_case "rfc5869 #3" `Quick test_hkdf_rfc5869_case3_no_salt;
+          Alcotest.test_case "bad length" `Quick test_hkdf_bad_length;
+        ] );
+      ( "drbg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_drbg_deterministic;
+          Alcotest.test_case "personalization" `Quick test_drbg_personalization;
+          Alcotest.test_case "reseed" `Quick test_drbg_reseed_changes_stream;
+          Alcotest.test_case "system entropy" `Quick test_drbg_system_entropy;
+        ] );
+      ( "kdf-hex",
+        [
+          Alcotest.test_case "mask deterministic" `Quick test_kdf_mask_deterministic;
+          Alcotest.test_case "xor_mask involution" `Quick test_kdf_xor_mask_involution;
+          Alcotest.test_case "xor mismatch" `Quick test_kdf_xor_length_mismatch;
+          Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        ] );
+      ( "properties",
+        q [ prop_kdf_involution; prop_hex_roundtrip; prop_incremental_matches_oneshot ] );
+    ]

@@ -1,0 +1,315 @@
+(* The heart of the reproduction: the modified Tate pairing must be
+   bilinear, non-degenerate and consistent across parameter sets, and the
+   DDH oracle it induces must decide DDH correctly (the "Gap" property of
+   Section 4 of the paper). *)
+
+module B = Bigint
+
+let prms = Pairing.toy64 ()
+let curve = prms.Pairing.curve
+let g = prms.Pairing.g
+let q = prms.Pairing.q
+let rng = Hashing.Drbg.create ~seed:"pairing-tests" ()
+
+let gt = Alcotest.testable (Fp2.pp prms.Pairing.fp) Fp2.equal
+
+let gen_scalar = QCheck2.Gen.(map B.of_int (int_range 1 1_000_000))
+
+let test_non_degenerate () =
+  let e_gg = Pairing.pairing prms g g in
+  Alcotest.(check bool) "e(G,G) <> 1" false (Pairing.gt_equal e_gg (Pairing.gt_one prms));
+  (* e(G,G) has order exactly q: killed by q, not by smaller shown via q prime. *)
+  Alcotest.check gt "e(G,G)^q = 1" (Pairing.gt_one prms) (Pairing.gt_pow prms e_gg q)
+
+let test_infinity_pairs_to_one () =
+  Alcotest.check gt "e(O,G) = 1" (Pairing.gt_one prms)
+    (Pairing.pairing prms Curve.infinity g);
+  Alcotest.check gt "e(G,O) = 1" (Pairing.gt_one prms)
+    (Pairing.pairing prms g Curve.infinity)
+
+let prop_bilinear_left =
+  QCheck2.Test.make ~name:"e(aP,Q) = e(P,Q)^a" ~count:25 gen_scalar (fun a ->
+      let lhs = Pairing.pairing prms (Curve.mul curve a g) g in
+      let rhs = Pairing.gt_pow prms (Pairing.pairing prms g g) a in
+      Pairing.gt_equal lhs rhs)
+
+let prop_bilinear_right =
+  QCheck2.Test.make ~name:"e(P,bQ) = e(P,Q)^b" ~count:25 gen_scalar (fun b ->
+      let lhs = Pairing.pairing prms g (Curve.mul curve b g) in
+      let rhs = Pairing.gt_pow prms (Pairing.pairing prms g g) b in
+      Pairing.gt_equal lhs rhs)
+
+let prop_bilinear_full =
+  QCheck2.Test.make ~name:"e(aP,bQ) = e(P,Q)^ab" ~count:15
+    QCheck2.Gen.(pair gen_scalar gen_scalar)
+    (fun (a, b) ->
+      let lhs = Pairing.pairing prms (Curve.mul curve a g) (Curve.mul curve b g) in
+      let rhs = Pairing.gt_pow prms (Pairing.pairing prms g g) (B.mul a b) in
+      Pairing.gt_equal lhs rhs)
+
+let prop_additive_in_first =
+  QCheck2.Test.make ~name:"e(P1+P2,Q) = e(P1,Q).e(P2,Q)" ~count:15
+    QCheck2.Gen.(pair gen_scalar gen_scalar)
+    (fun (a, b) ->
+      let p1 = Curve.mul curve a g and p2 = Curve.mul curve b g in
+      let lhs = Pairing.pairing prms (Curve.add curve p1 p2) g in
+      let rhs = Pairing.gt_mul prms (Pairing.pairing prms p1 g) (Pairing.pairing prms p2 g) in
+      Pairing.gt_equal lhs rhs)
+
+let prop_additive_in_second =
+  QCheck2.Test.make ~name:"e(P,Q1+Q2) = e(P,Q1).e(P,Q2)" ~count:15
+    QCheck2.Gen.(pair gen_scalar gen_scalar)
+    (fun (a, b) ->
+      let q1 = Curve.mul curve a g and q2 = Curve.mul curve b g in
+      let lhs = Pairing.pairing prms g (Curve.add curve q1 q2) in
+      let rhs = Pairing.gt_mul prms (Pairing.pairing prms g q1) (Pairing.pairing prms g q2) in
+      Pairing.gt_equal lhs rhs)
+
+let prop_hashed_points_pair_consistently =
+  (* Bilinearity must also hold on hash-derived points (the H1 images the
+     schemes actually pair). *)
+  QCheck2.Test.make ~name:"e(a.H1(s), G) = e(H1(s), aG)" ~count:10
+    QCheck2.Gen.(pair gen_scalar (small_string ~gen:printable))
+    (fun (a, s) ->
+      let h = Pairing.hash_to_g1 prms s in
+      Pairing.gt_equal
+        (Pairing.pairing prms (Curve.mul curve a h) g)
+        (Pairing.pairing prms h (Curve.mul curve a g)))
+
+let test_pairing_product () =
+  (* prod of pairings with shared final exponentiation must equal the
+     product of individual pairings. *)
+  let pts = List.map (fun k -> Curve.mul curve (B.of_int k) g) [ 3; 5; 7; 11 ] in
+  let pairs = List.map (fun p -> (p, Curve.mul curve (B.of_int 13) p)) pts in
+  let expected =
+    List.fold_left
+      (fun acc (a, b) -> Pairing.gt_mul prms acc (Pairing.pairing prms a b))
+      (Pairing.gt_one prms) pairs
+  in
+  Alcotest.check gt "product" expected (Pairing.pairing_product prms pairs);
+  Alcotest.check gt "empty product" (Pairing.gt_one prms) (Pairing.pairing_product prms []);
+  (* pairing_check: e(aG, bG) * e(-abG, G) = 1. *)
+  let a = B.of_int 1234 and b = B.of_int 5678 in
+  let ab = B.erem (B.mul a b) q in
+  Alcotest.(check bool) "check true" true
+    (Pairing.pairing_check prms
+       [
+         (Curve.mul curve a g, Curve.mul curve b g);
+         (Curve.neg curve (Curve.mul curve ab g), g);
+       ]);
+  Alcotest.(check bool) "check false" false
+    (Pairing.pairing_check prms
+       [ (Curve.mul curve a g, Curve.mul curve b g); (Curve.neg curve g, g) ]);
+  (* equal_check agrees with naive comparison. *)
+  Alcotest.(check bool) "equal_check true" true
+    (Pairing.pairing_equal_check prms
+       ~lhs:(Curve.mul curve a g, Curve.mul curve b g)
+       ~rhs:(g, Curve.mul curve ab g));
+  Alcotest.(check bool) "equal_check false" false
+    (Pairing.pairing_equal_check prms
+       ~lhs:(Curve.mul curve a g, Curve.mul curve b g)
+       ~rhs:(g, g))
+
+let test_ddh_oracle () =
+  for _ = 1 to 10 do
+    let x = Pairing.random_scalar prms rng and y = Pairing.random_scalar prms rng in
+    let a = Curve.mul curve x g and b = Curve.mul curve y g in
+    let good = Curve.mul curve (B.erem (B.mul x y) q) g in
+    Alcotest.(check bool) "accepts DDH tuple" true (Pairing.ddh prms g a b good);
+    let z = Pairing.random_scalar prms rng in
+    if not (B.equal z (B.erem (B.mul x y) q)) then begin
+      let bad = Curve.mul curve z g in
+      Alcotest.(check bool) "rejects non-DDH tuple" false (Pairing.ddh prms g a b bad)
+    end
+  done
+
+let test_pairing_symmetric () =
+  (* With a distortion map, e^(P,Q) = e^(Q,P) on the cyclic subgroup. *)
+  let a = Curve.mul curve (B.of_int 123456) g in
+  let b = Curve.mul curve (B.of_int 987654) g in
+  Alcotest.check gt "symmetric" (Pairing.pairing prms a b) (Pairing.pairing prms b a)
+
+let test_gt_ops () =
+  let e = Pairing.pairing prms g g in
+  Alcotest.check gt "inv" (Pairing.gt_one prms) (Pairing.gt_mul prms e (Pairing.gt_inv prms e));
+  Alcotest.check gt "pow 0" (Pairing.gt_one prms) (Pairing.gt_pow prms e B.zero);
+  Alcotest.check gt "pow 1" e (Pairing.gt_pow prms e B.one)
+
+let test_all_parameter_sets_valid () =
+  (* Forces validation inside Pairing.make for every named set and checks
+     a pairing identity at each size. *)
+  List.iter
+    (fun name ->
+      match Pairing.by_name name with
+      | None -> Alcotest.fail ("missing params " ^ name)
+      | Some prms ->
+          let g = prms.Pairing.g in
+          let curve = prms.Pairing.curve in
+          let a = B.of_int 7 and b = B.of_int 11 in
+          let lhs =
+            Pairing.pairing prms (Curve.mul curve a g) (Curve.mul curve b g)
+          in
+          let rhs =
+            Pairing.gt_pow prms (Pairing.pairing prms g g) (B.of_int 77)
+          in
+          Alcotest.(check bool) (name ^ " bilinear") true (Pairing.gt_equal lhs rhs))
+    Pairing.all_names
+
+let test_by_name_unknown () =
+  Alcotest.(check bool) "unknown" true (Pairing.by_name "nope" = None)
+
+let test_make_validation () =
+  (* q does not divide p+1. *)
+  let p = B.of_string "0x83b0f2e27d38d3059d8287" in
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Pairing.make: q does not divide p+1") (fun () ->
+      ignore (Pairing.make ~name:"bad" ~p ~q:(B.of_int 101) ()));
+  Alcotest.check_raises "p not prime"
+    (Invalid_argument "Pairing.make: p not prime") (fun () ->
+      ignore (Pairing.make ~name:"bad" ~p:(B.of_int 100) ~q:(B.of_int 101) ()))
+
+let test_h2_properties () =
+  let e = Pairing.pairing prms g g in
+  let m1 = Pairing.h2 prms e 32 and m2 = Pairing.h2 prms e 32 in
+  Alcotest.(check string) "deterministic" m1 m2;
+  Alcotest.(check int) "length" 100 (String.length (Pairing.h2 prms e 100));
+  let e' = Pairing.gt_pow prms e B.two in
+  Alcotest.(check bool) "different inputs differ" false (Pairing.h2 prms e' 32 = m1)
+
+(* --- the second curve family: y^2 = x^3 + 1, distortion zeta --- *)
+
+let test_family2_bilinear_nondegenerate () =
+  let prms = Pairing.toy64b () in
+  let curve = prms.Pairing.curve in
+  let g = prms.Pairing.g in
+  Alcotest.(check bool) "family recorded" true (prms.Pairing.family = Pairing.Y2_x3_1);
+  let e_gg = Pairing.pairing prms g g in
+  Alcotest.(check bool) "non-degenerate" false
+    (Pairing.gt_equal e_gg (Pairing.gt_one prms));
+  Alcotest.(check bool) "order q" true
+    (Pairing.gt_equal (Pairing.gt_pow prms e_gg prms.Pairing.q) (Pairing.gt_one prms));
+  (* Bilinearity over a grid of scalars. *)
+  List.iter
+    (fun (a, b) ->
+      let lhs =
+        Pairing.pairing prms
+          (Curve.mul curve (B.of_int a) g)
+          (Curve.mul curve (B.of_int b) g)
+      in
+      let rhs = Pairing.gt_pow prms e_gg (B.of_int (a * b)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "e(%dG,%dG) = e(G,G)^%d" a b (a * b))
+        true (Pairing.gt_equal lhs rhs))
+    [ (2, 3); (7, 11); (1, 999); (123, 456); (65537, 2) ];
+  (* Symmetry and additivity. *)
+  let p1 = Curve.mul curve (B.of_int 1234) g in
+  let p2 = Curve.mul curve (B.of_int 98765) g in
+  Alcotest.(check bool) "symmetric" true
+    (Pairing.gt_equal (Pairing.pairing prms p1 p2) (Pairing.pairing prms p2 p1));
+  Alcotest.(check bool) "additive" true
+    (Pairing.gt_equal
+       (Pairing.pairing prms (Curve.add curve p1 p2) g)
+       (Pairing.gt_mul prms (Pairing.pairing prms p1 g) (Pairing.pairing prms p2 g)))
+
+let test_family2_full_tre_roundtrip () =
+  (* The whole scheme stack must run unchanged over the second GDH-group
+     instantiation — the paper's "any Gap Diffie-Hellman group". *)
+  let prms = Pairing.toy64b () in
+  let rng = Hashing.Drbg.create ~seed:"family2-tre" () in
+  let srv_sec, srv_pub = Tre.Server.keygen prms rng in
+  let alice_sec, alice_pub = Tre.User.keygen prms srv_pub rng in
+  Alcotest.(check bool) "receiver key validates" true
+    (Tre.validate_receiver_key prms srv_pub alice_pub);
+  let t = "family2-epoch" in
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t rng "over x^3 + 1" in
+  let upd = Tre.issue_update prms srv_sec t in
+  Alcotest.(check bool) "update verifies" true (Tre.verify_update prms srv_pub upd);
+  Alcotest.(check string) "roundtrip" "over x^3 + 1" (Tre.decrypt prms alice_sec upd ct);
+  (* Wrong update still yields garbage. *)
+  let other = Tre.issue_update prms srv_sec "other" in
+  let relabeled = { other with Tre.update_time = t } in
+  Alcotest.(check bool) "time lock" false
+    (Tre.decrypt prms alice_sec relabeled ct = "over x^3 + 1")
+
+let test_family2_ddh_and_products () =
+  let prms = Pairing.toy64b () in
+  let curve = prms.Pairing.curve in
+  let g = prms.Pairing.g in
+  let rng = Hashing.Drbg.create ~seed:"family2-ddh" () in
+  let x = Pairing.random_scalar prms rng and y = Pairing.random_scalar prms rng in
+  let xy = B.erem (B.mul x y) prms.Pairing.q in
+  Alcotest.(check bool) "ddh accepts" true
+    (Pairing.ddh prms g (Curve.mul curve x g) (Curve.mul curve y g)
+       (Curve.mul curve xy g));
+  Alcotest.(check bool) "ddh rejects" false
+    (Pairing.ddh prms g (Curve.mul curve x g) (Curve.mul curve y g) g);
+  (* pairing_product consistency (exercises the per-miller inversion). *)
+  let pairs = [ (Curve.mul curve x g, g); (g, Curve.mul curve y g) ] in
+  let expected =
+    Pairing.gt_mul prms
+      (Pairing.pairing prms (Curve.mul curve x g) g)
+      (Pairing.pairing prms g (Curve.mul curve y g))
+  in
+  Alcotest.(check bool) "product" true
+    (Pairing.gt_equal expected (Pairing.pairing_product prms pairs))
+
+let test_family2_make_validation () =
+  (* Family-1 parameters (p = 1 mod 3) must be refused for family 2. *)
+  let p = B.of_string "0x83b0f2e27d38d3059d8287" in
+  let q = B.of_string "0xa2a8bbf28af65885" in
+  if B.equal (B.erem p (B.of_int 3)) (B.of_int 2) then () (* wrong fixture *)
+  else
+    Alcotest.check_raises "family mismatch"
+      (Invalid_argument "Pairing.make: p must be 2 mod 3 for the x^3 + 1 family")
+      (fun () -> ignore (Pairing.make ~family:Pairing.Y2_x3_1 ~name:"bad" ~p ~q ()))
+
+let test_param_search_small () =
+  let rng = Hashing.Drbg.create ~seed:"param-search-test" () in
+  let p, q = Param_search.generate ~rng ~qbits:32 ~pbits:48 () in
+  Alcotest.(check bool) "p prime" true (Prime.is_probably_prime p);
+  Alcotest.(check bool) "q prime" true (Prime.is_probably_prime q);
+  Alcotest.(check bool) "q | p+1" true (B.is_zero (B.erem (B.succ p) q));
+  Alcotest.check (Alcotest.testable B.pp B.equal) "p mod 4 = 3" (B.of_int 3)
+    (B.erem p (B.of_int 4));
+  (* And the whole pairing machinery works on fresh parameters. *)
+  let fresh = Pairing.make ~name:"fresh" ~p ~q () in
+  let gg = Pairing.pairing fresh fresh.Pairing.g fresh.Pairing.g in
+  Alcotest.(check bool) "non-degenerate" false
+    (Pairing.gt_equal gg (Pairing.gt_one fresh))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "pairing"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "non-degenerate" `Quick test_non_degenerate;
+          Alcotest.test_case "infinity" `Quick test_infinity_pairs_to_one;
+          Alcotest.test_case "pairing product" `Quick test_pairing_product;
+          Alcotest.test_case "ddh oracle" `Quick test_ddh_oracle;
+          Alcotest.test_case "symmetric" `Quick test_pairing_symmetric;
+          Alcotest.test_case "gt ops" `Quick test_gt_ops;
+          Alcotest.test_case "h2" `Quick test_h2_properties;
+        ] );
+      ( "bilinearity",
+        qc
+          [
+            prop_bilinear_left; prop_bilinear_right; prop_bilinear_full;
+            prop_additive_in_first; prop_additive_in_second;
+            prop_hashed_points_pair_consistently;
+          ] );
+      ( "parameters",
+        [
+          Alcotest.test_case "all sets valid" `Slow test_all_parameter_sets_valid;
+          Alcotest.test_case "by_name unknown" `Quick test_by_name_unknown;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "param search" `Slow test_param_search_small;
+        ] );
+      ( "family2",
+        [
+          Alcotest.test_case "bilinear+nondegenerate" `Quick test_family2_bilinear_nondegenerate;
+          Alcotest.test_case "full TRE roundtrip" `Quick test_family2_full_tre_roundtrip;
+          Alcotest.test_case "ddh + products" `Quick test_family2_ddh_and_products;
+          Alcotest.test_case "make validation" `Quick test_family2_make_validation;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* The missing-update-resilient extension (§6 future work): time-tree
+   combinatorics, cover release semantics, and the only-latest-broadcast-
+   needed property. *)
+
+let prms = Pairing.toy64 ()
+let rng = Hashing.Drbg.create ~seed:"resilient-tests" ()
+let srv_sec, srv_pub = Tre.Server.keygen prms rng
+let alice_sec, alice_pub = Tre.User.keygen prms srv_pub rng
+let tree = Time_tree.create ~depth:4 (* 16 epochs *)
+
+(* --- time-tree combinatorics --- *)
+
+let test_tree_basics () =
+  Alcotest.(check int) "epochs" 16 (Time_tree.epochs tree);
+  Alcotest.(check int) "ancestors length" 5 (List.length (Time_tree.ancestors tree 11));
+  Alcotest.check_raises "epoch range" (Invalid_argument "Time_tree.leaf: epoch out of range")
+    (fun () -> ignore (Time_tree.leaf tree 16));
+  Alcotest.check_raises "depth range" (Invalid_argument "Time_tree.create: depth out of [1, 40]")
+    (fun () -> ignore (Time_tree.create ~depth:0))
+
+let test_labels_injective () =
+  let labels = Hashtbl.create 64 in
+  for e = 0 to 15 do
+    List.iter
+      (fun n ->
+        let l = Time_tree.node_label tree n in
+        match Hashtbl.find_opt labels l with
+        | Some n' when n' <> n -> Alcotest.fail ("collision on " ^ l)
+        | _ -> Hashtbl.replace labels l n)
+      (Time_tree.ancestors tree e)
+  done;
+  (* Root + 2 + 4 + 8 + 16 = 31 distinct nodes. *)
+  Alcotest.(check int) "31 distinct nodes" 31 (Hashtbl.length labels)
+
+let prop_cover_partitions_prefix =
+  QCheck2.Test.make ~name:"cover = disjoint partition of [0..e]" ~count:100
+    QCheck2.Gen.(int_range 0 15)
+    (fun e ->
+      let nodes = Time_tree.cover tree e in
+      let covered = Array.make 16 0 in
+      List.iter
+        (fun n ->
+          let lo, hi = Time_tree.leaves_of tree n in
+          for i = lo to hi do
+            covered.(i) <- covered.(i) + 1
+          done)
+        nodes;
+      Array.for_all (fun c -> c = 1) (Array.sub covered 0 (e + 1))
+      && Array.for_all (fun c -> c = 0) (Array.sub covered (e + 1) (15 - e))
+      && List.length nodes <= Time_tree.depth tree + 1)
+
+let prop_exactly_one_ancestor_covered =
+  QCheck2.Test.make ~name:"e' <= e: exactly one ancestor in cover; e' > e: none"
+    ~count:200
+    QCheck2.Gen.(pair (int_range 0 15) (int_range 0 15))
+    (fun (e, e') ->
+      let cover = Time_tree.cover tree e in
+      let hits =
+        List.length
+          (List.filter (fun a -> List.mem a cover) (Time_tree.ancestors tree e'))
+      in
+      if e' <= e then hits = 1 else hits = 0)
+
+let test_cover_sizes () =
+  Alcotest.(check int) "cover of [0..0]" 1 (List.length (Time_tree.cover tree 0));
+  Alcotest.(check int) "cover of [0..15] is the root" 1
+    (List.length (Time_tree.cover tree 15));
+  (* e = 0b1010 = 10: nodes for bits set along the path + the leaf. *)
+  Alcotest.(check int) "cover of [0..10]" 3 (List.length (Time_tree.cover tree 10))
+
+(* --- the resilient scheme --- *)
+
+let test_roundtrip_with_latest_cover_only () =
+  let msg = "resilient to missed updates" in
+  let ct = Resilient_tre.encrypt prms tree srv_pub alice_pub ~release_epoch:5 rng msg in
+  (* The receiver slept through epochs 0..11 and only hears epoch 12. *)
+  let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:12 in
+  Alcotest.(check bool) "cover verifies" true
+    (Resilient_tre.verify_cover prms tree srv_pub ~epoch:12 cover);
+  Alcotest.(check (option string)) "decrypts from latest broadcast alone" (Some msg)
+    (Resilient_tre.decrypt prms tree alice_sec ~cover ct)
+
+let test_exact_epoch_cover_works () =
+  let msg = "on time" in
+  let ct = Resilient_tre.encrypt prms tree srv_pub alice_pub ~release_epoch:7 rng msg in
+  let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:7 in
+  Alcotest.(check (option string)) "epoch = release epoch" (Some msg)
+    (Resilient_tre.decrypt prms tree alice_sec ~cover ct)
+
+let test_early_cover_locked () =
+  let msg = "not yet" in
+  let ct = Resilient_tre.encrypt prms tree srv_pub alice_pub ~release_epoch:9 rng msg in
+  (* Every cover strictly before the release epoch must be useless. *)
+  for e = 0 to 8 do
+    let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:e in
+    Alcotest.(check (option string))
+      (Printf.sprintf "cover at epoch %d" e)
+      None
+      (Resilient_tre.decrypt prms tree alice_sec ~cover ct)
+  done
+
+let test_wrong_secret_garbage () =
+  let msg = "for alice" in
+  let ct = Resilient_tre.encrypt prms tree srv_pub alice_pub ~release_epoch:3 rng msg in
+  let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:10 in
+  let eve_sec, _ = Tre.User.keygen prms srv_pub rng in
+  match Resilient_tre.decrypt prms tree eve_sec ~cover ct with
+  | Some out -> Alcotest.(check bool) "garbage" false (out = msg)
+  | None -> ()
+
+let test_forged_cover_rejected () =
+  let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:6 in
+  (* Swap one update's point for the generator. *)
+  let forged =
+    match cover with
+    | first :: rest -> { first with Tre.update_value = prms.Pairing.g } :: rest
+    | [] -> assert false
+  in
+  Alcotest.(check bool) "forged cover fails" false
+    (Resilient_tre.verify_cover prms tree srv_pub ~epoch:6 forged);
+  (* A cover for the wrong epoch also fails (labels differ). *)
+  Alcotest.(check bool) "wrong-epoch labels fail" false
+    (Resilient_tre.verify_cover prms tree srv_pub ~epoch:7 cover)
+
+let test_broadcast_size_bounded () =
+  for e = 0 to 15 do
+    let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:e in
+    if List.length cover > Time_tree.depth tree + 1 then
+      Alcotest.fail "cover too large"
+  done
+
+let prop_roundtrip_any_pair =
+  QCheck2.Test.make ~name:"decrypt iff cover epoch >= release epoch" ~count:25
+    QCheck2.Gen.(pair (int_range 0 15) (int_range 0 15))
+    (fun (release, now) ->
+      let msg = Printf.sprintf "m-%d-%d" release now in
+      let ct =
+        Resilient_tre.encrypt prms tree srv_pub alice_pub ~release_epoch:release rng msg
+      in
+      let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:now in
+      match Resilient_tre.decrypt prms tree alice_sec ~cover ct with
+      | Some out -> now >= release && out = msg
+      | None -> now < release)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "resilient"
+    [
+      ( "time-tree",
+        [
+          Alcotest.test_case "basics" `Quick test_tree_basics;
+          Alcotest.test_case "labels injective" `Quick test_labels_injective;
+          Alcotest.test_case "cover sizes" `Quick test_cover_sizes;
+        ]
+        @ qc [ prop_cover_partitions_prefix; prop_exactly_one_ancestor_covered ] );
+      ( "scheme",
+        [
+          Alcotest.test_case "latest cover only" `Quick test_roundtrip_with_latest_cover_only;
+          Alcotest.test_case "exact epoch" `Quick test_exact_epoch_cover_works;
+          Alcotest.test_case "early covers locked" `Quick test_early_cover_locked;
+          Alcotest.test_case "wrong secret" `Quick test_wrong_secret_garbage;
+          Alcotest.test_case "forged cover" `Quick test_forged_cover_rejected;
+          Alcotest.test_case "broadcast bounded" `Quick test_broadcast_size_bounded;
+        ]
+        @ qc [ prop_roundtrip_any_pair ] );
+    ]

@@ -1,0 +1,169 @@
+(* Shamir sharing over Z_q and the k-of-n threshold time server: any k
+   shares produce the standard update (receivers unchanged); k-1 produce
+   nothing; corrupt partials are caught. *)
+
+module B = Bigint
+
+let prms = Pairing.toy64 ()
+let rng = Hashing.Drbg.create ~seed:"threshold-tests" ()
+let t_release = "threshold-epoch"
+
+(* --- Shamir --- *)
+
+let test_split_reconstruct () =
+  let secret = Pairing.random_scalar prms rng in
+  let shares = Shamir.split prms rng ~secret ~k:3 ~n:5 in
+  Alcotest.(check int) "n shares" 5 (List.length shares);
+  (* Every 3-subset reconstructs. *)
+  let subsets =
+    [ [ 0; 1; 2 ]; [ 0; 1; 4 ]; [ 2; 3; 4 ]; [ 0; 2; 4 ]; [ 1; 2; 3 ] ]
+  in
+  List.iter
+    (fun idxs ->
+      let chosen = List.map (List.nth shares) idxs in
+      Alcotest.(check bool)
+        (Printf.sprintf "subset %s" (String.concat "," (List.map string_of_int idxs)))
+        true
+        (B.equal secret (Shamir.reconstruct prms chosen)))
+    subsets;
+  (* More than k also works. *)
+  Alcotest.(check bool) "all 5" true (B.equal secret (Shamir.reconstruct prms shares))
+
+let test_fewer_than_k_wrong () =
+  let secret = Pairing.random_scalar prms rng in
+  let shares = Shamir.split prms rng ~secret ~k:3 ~n:5 in
+  let two = List.filteri (fun i _ -> i < 2) shares in
+  Alcotest.(check bool) "2 of 3 fails" false (B.equal secret (Shamir.reconstruct prms two))
+
+let test_k_equals_one_and_n () =
+  let secret = Pairing.random_scalar prms rng in
+  let s1 = Shamir.split prms rng ~secret ~k:1 ~n:3 in
+  Alcotest.(check bool) "k=1: single share is the secret" true
+    (B.equal secret (Shamir.reconstruct prms [ List.hd s1 ]));
+  let s5 = Shamir.split prms rng ~secret ~k:5 ~n:5 in
+  Alcotest.(check bool) "k=n" true (B.equal secret (Shamir.reconstruct prms s5))
+
+let test_shamir_validation () =
+  Alcotest.check_raises "k > n" (Invalid_argument "Shamir.split: need 1 <= k <= n")
+    (fun () -> ignore (Shamir.split prms rng ~secret:B.one ~k:3 ~n:2));
+  Alcotest.check_raises "dup indices"
+    (Invalid_argument "Shamir.lagrange_at_zero: duplicate indices") (fun () ->
+      ignore (Shamir.lagrange_at_zero prms [ 1; 1; 2 ]));
+  Alcotest.check_raises "index 0"
+    (Invalid_argument "Shamir.lagrange_at_zero: indices must be >= 1") (fun () ->
+      ignore (Shamir.lagrange_at_zero prms [ 0; 1 ]))
+
+let prop_random_subsets =
+  QCheck2.Test.make ~name:"any k-subset reconstructs" ~count:30
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 0 100))
+    (fun (k, salt) ->
+      let n = 6 in
+      let rng = Hashing.Drbg.create ~seed:(Printf.sprintf "shamir-%d-%d" k salt) () in
+      let secret = Pairing.random_scalar prms rng in
+      let shares = Shamir.split prms rng ~secret ~k ~n in
+      (* Pseudo-random k-subset. *)
+      let shuffled =
+        List.sort
+          (fun a b ->
+            compare
+              (Hashtbl.hash (salt, a.Shamir.index))
+              (Hashtbl.hash (salt, b.Shamir.index)))
+          shares
+      in
+      let chosen = List.filteri (fun i _ -> i < k) shuffled in
+      B.equal secret (Shamir.reconstruct prms chosen))
+
+(* --- threshold server --- *)
+
+let system, servers = Threshold_server.setup prms rng ~k:3 ~n:5
+
+let test_combined_update_is_standard () =
+  let partials = List.map (fun s -> Threshold_server.issue_partial prms s t_release) servers in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "partial verifies" true
+        (Threshold_server.verify_partial prms system t_release p))
+    partials;
+  let from_first3 =
+    Threshold_server.combine prms system t_release (List.filteri (fun i _ -> i < 3) partials)
+  in
+  let from_last3 =
+    Threshold_server.combine prms system t_release (List.filteri (fun i _ -> i >= 2) partials)
+  in
+  (* Identical, and a valid ordinary update under the ordinary public key. *)
+  Alcotest.(check bool) "same update from different quorums" true
+    (Curve.equal from_first3.Tre.update_value from_last3.Tre.update_value);
+  Alcotest.(check bool) "verifies as standard update" true
+    (Tre.verify_update prms system.Threshold_server.public from_first3)
+
+let test_receivers_unchanged () =
+  (* A completely ordinary TRE flow against the threshold system. *)
+  let alice_sec, alice_pub = Tre.User.keygen prms system.Threshold_server.public rng in
+  let msg = "threshold-released" in
+  let ct =
+    Tre.encrypt prms system.Threshold_server.public alice_pub ~release_time:t_release rng msg
+  in
+  let quorum = List.filteri (fun i _ -> i = 0 || i = 2 || i = 4) servers in
+  let partials = List.map (fun s -> Threshold_server.issue_partial prms s t_release) quorum in
+  let upd = Threshold_server.combine prms system t_release partials in
+  Alcotest.(check string) "decrypts" msg (Tre.decrypt prms alice_sec upd ct)
+
+let test_too_few_partials () =
+  let partials =
+    List.filteri (fun i _ -> i < 2)
+      (List.map (fun s -> Threshold_server.issue_partial prms s t_release) servers)
+  in
+  Alcotest.check_raises "k-1 partials"
+    (Invalid_argument "Threshold_server.combine: fewer than k partials") (fun () ->
+      ignore (Threshold_server.combine prms system t_release partials))
+
+let test_corrupt_partial_detected () =
+  let honest = Threshold_server.issue_partial prms (List.hd servers) t_release in
+  let corrupt = { honest with Threshold_server.value = prms.Pairing.g } in
+  Alcotest.(check bool) "corrupt rejected" false
+    (Threshold_server.verify_partial prms system t_release corrupt);
+  (* An unknown server index is rejected too. *)
+  let foreign = { honest with Threshold_server.server_index = 99 } in
+  Alcotest.(check bool) "unknown index" false
+    (Threshold_server.verify_partial prms system t_release foreign)
+
+let test_wrong_time_partial_rejected () =
+  let p = Threshold_server.issue_partial prms (List.hd servers) "some other time" in
+  Alcotest.(check bool) "wrong time" false
+    (Threshold_server.verify_partial prms system t_release p)
+
+let test_corrupt_combination_fails_standard_check () =
+  (* If a corrupt partial sneaks past (no verification), the combined
+     update fails the ordinary self-authentication — defense in depth. *)
+  let partials = List.map (fun s -> Threshold_server.issue_partial prms s t_release) servers in
+  let poisoned =
+    match partials with
+    | first :: rest -> { first with Threshold_server.value = prms.Pairing.g } :: rest
+    | [] -> assert false
+  in
+  let upd = Threshold_server.combine prms system t_release poisoned in
+  Alcotest.(check bool) "combined forgery rejected" false
+    (Tre.verify_update prms system.Threshold_server.public upd)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "threshold"
+    [
+      ( "shamir",
+        [
+          Alcotest.test_case "split/reconstruct" `Quick test_split_reconstruct;
+          Alcotest.test_case "fewer than k" `Quick test_fewer_than_k_wrong;
+          Alcotest.test_case "k=1 and k=n" `Quick test_k_equals_one_and_n;
+          Alcotest.test_case "validation" `Quick test_shamir_validation;
+        ]
+        @ qc [ prop_random_subsets ] );
+      ( "threshold-server",
+        [
+          Alcotest.test_case "combined = standard" `Quick test_combined_update_is_standard;
+          Alcotest.test_case "receivers unchanged" `Quick test_receivers_unchanged;
+          Alcotest.test_case "too few partials" `Quick test_too_few_partials;
+          Alcotest.test_case "corrupt partial" `Quick test_corrupt_partial_detected;
+          Alcotest.test_case "wrong-time partial" `Quick test_wrong_time_partial_rejected;
+          Alcotest.test_case "poisoned combination" `Quick test_corrupt_combination_fails_standard_check;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+(* The simulated distributed system: event queue determinism, network
+   delivery/loss, timeline mapping, the passive server's no-early-release
+   invariant, client update handling and missed-update recovery. *)
+
+let prms = Pairing.toy64 ()
+
+(* --- event queue --- *)
+
+let test_event_queue_ordering () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  List.iter
+    (fun (at, tag) -> Event_queue.push q ~at tag)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (1.0, "a2"); (0.5, "z") ];
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (_, tag) ->
+        order := tag :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "sorted, stable ties" [ "z"; "a"; "a2"; "b"; "c" ]
+    (List.rev !order)
+
+let test_event_queue_interleaved () =
+  let q = Event_queue.create () in
+  for i = 99 downto 0 do
+    Event_queue.push q ~at:(float_of_int (i mod 10)) i
+  done;
+  let last = ref neg_infinity and count = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (at, _) ->
+        if at < !last then Alcotest.fail "out of order";
+        last := at;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all delivered" 100 !count;
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+(* --- simnet --- *)
+
+let test_simnet_delivery_and_clock () =
+  let net = Simnet.create ~seed:"t1" ~latency:0.1 ~jitter:0.0 () in
+  let got = ref [] in
+  Simnet.send net ~src:"a" ~dst:"b" ~kind:"ping" ~bytes:3 (fun () ->
+      got := ("ping", Simnet.now net) :: !got);
+  Simnet.schedule net ~at:1.0 (fun () -> got := ("timer", Simnet.now net) :: !got);
+  Simnet.run net;
+  (match List.rev !got with
+  | [ ("ping", at1); ("timer", at2) ] ->
+      Alcotest.(check (float 1e-9)) "latency applied" 0.1 at1;
+      Alcotest.(check (float 1e-9)) "timer at 1.0" 1.0 at2
+  | _ -> Alcotest.fail "wrong delivery sequence");
+  Alcotest.(check int) "trace has the send" 1 (List.length (Simnet.sent_by net "a"))
+
+let test_simnet_determinism () =
+  let run () =
+    let net = Simnet.create ~seed:"same-seed" ~jitter:0.05 () in
+    let stamps = ref [] in
+    for i = 0 to 9 do
+      Simnet.send net ~src:"s" ~dst:"d" ~kind:"m" ~bytes:i (fun () ->
+          stamps := Simnet.now net :: !stamps)
+    done;
+    Simnet.run net;
+    !stamps
+  in
+  Alcotest.(check bool) "reproducible" true (run () = run ())
+
+let test_simnet_loss () =
+  let net = Simnet.create ~seed:"lossy" ~loss:0.5 () in
+  let delivered = ref 0 in
+  for _ = 1 to 200 do
+    Simnet.send net ~src:"s" ~dst:"d" ~kind:"m" ~bytes:1 (fun () -> incr delivered)
+  done;
+  Simnet.run net;
+  Alcotest.(check bool) "some dropped" true (!delivered < 200);
+  Alcotest.(check bool) "some delivered" true (!delivered > 0);
+  let lost = List.length (Simnet.sent_to net "(lost)") in
+  Alcotest.(check int) "trace accounts for all" 200 (lost + !delivered)
+
+let test_simnet_run_until () =
+  let net = Simnet.create ~seed:"ru" ~latency:0.0 ~jitter:0.0 () in
+  let fired = ref [] in
+  List.iter
+    (fun at -> Simnet.schedule net ~at (fun () -> fired := at :: !fired))
+    [ 1.0; 2.0; 3.0 ];
+  Simnet.run_until net 2.0;
+  Alcotest.(check (list (float 0.0))) "only <= 2.0" [ 1.0; 2.0 ] (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock advanced" 2.0 (Simnet.now net);
+  Simnet.run net;
+  Alcotest.(check int) "rest runs later" 3 (List.length !fired)
+
+let test_simnet_validation () =
+  let net = Simnet.create () in
+  Alcotest.check_raises "past" (Invalid_argument "Simnet.schedule: time in the past")
+    (fun () -> Simnet.run_until net 5.0; Simnet.schedule net ~at:1.0 ignore);
+  Alcotest.check_raises "bad loss" (Invalid_argument "Simnet.create: loss must be in [0,1)")
+    (fun () -> ignore (Simnet.create ~loss:1.0 ()))
+
+(* --- timeline --- *)
+
+let test_timeline () =
+  let tl = Timeline.create ~granularity:60.0 () in
+  Alcotest.(check int) "epoch_at 0" 0 (Timeline.epoch_at tl 0.0);
+  Alcotest.(check int) "epoch_at 59.9" 0 (Timeline.epoch_at tl 59.9);
+  Alcotest.(check int) "epoch_at 60" 1 (Timeline.epoch_at tl 60.0);
+  Alcotest.(check (float 0.0)) "start_of 2" 120.0 (Timeline.start_of tl 2);
+  Alcotest.(check (option int)) "label roundtrip" (Some 42)
+    (Timeline.epoch_of_label tl (Timeline.label tl 42));
+  Alcotest.(check (option int)) "foreign label" None (Timeline.epoch_of_label tl "gps#3");
+  Alcotest.check_raises "bad granularity"
+    (Invalid_argument "Timeline.create: granularity <= 0") (fun () ->
+      ignore (Timeline.create ~granularity:0.0 ()))
+
+(* --- passive server + clients, end to end --- *)
+
+let run_system ~n_clients ~epochs ~loss =
+  let net = Simnet.create ~seed:"system" ~latency:0.01 ~jitter:0.005 ~loss () in
+  let tl = Timeline.create ~granularity:10.0 () in
+  let server = Passive_server.create prms ~net ~timeline:tl ~name:"time-server" in
+  let clients =
+    List.init n_clients (fun i ->
+        Client.create prms ~net ~server:(Passive_server.public server)
+          ~name:(Printf.sprintf "client-%d" i))
+  in
+  let recipients = List.map (fun c -> (Client.name c, Client.handler c)) clients in
+  Passive_server.start server ~net ~first_epoch:1 ~epochs ~recipients;
+  (net, tl, server, clients)
+
+let test_end_to_end_release () =
+  let net, tl, server, clients = run_system ~n_clients:3 ~epochs:4 ~loss:0.0 in
+  let sender_rng = Hashing.Drbg.create ~seed:"sender" () in
+  (* The sender encrypts at t=0 for epoch 3, to each client, with zero
+     server interaction. *)
+  List.iter
+    (fun c ->
+      let ct =
+        Tre.encrypt prms (Passive_server.public server) (Client.public_key c)
+          ~release_time:(Timeline.label tl 3) sender_rng
+          ("for " ^ Client.name c)
+      in
+      Client.enqueue_ciphertext c ct)
+    clients;
+  (* Before epoch 3: nobody can read. *)
+  Simnet.run_until net (Timeline.start_of tl 3 -. 0.5);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "still locked" 0 (List.length (Client.deliveries c));
+      Alcotest.(check int) "pending" 1 (Client.pending_count c))
+    clients;
+  (* After epoch 3's broadcast: everyone reads. *)
+  Simnet.run net;
+  List.iter
+    (fun c ->
+      match Client.deliveries c with
+      | [ d ] ->
+          Alcotest.(check string) "content" ("for " ^ Client.name c) d.Client.plaintext;
+          Alcotest.(check bool) "not before release" true
+            (d.Client.decrypted_at >= Timeline.start_of tl 3)
+      | _ -> Alcotest.fail "expected exactly one delivery")
+    clients
+
+let test_single_update_serves_all () =
+  (* Server-side cost must not grow with the number of clients. *)
+  let _, _, server_small, _ = run_system ~n_clients:1 ~epochs:5 ~loss:0.0 in
+  let _, _, server_large, _ = run_system ~n_clients:50 ~epochs:5 ~loss:0.0 in
+  let net_small, _, srv_s, _ = run_system ~n_clients:1 ~epochs:5 ~loss:0.0 in
+  let net_large, _, srv_l, _ = run_system ~n_clients:50 ~epochs:5 ~loss:0.0 in
+  ignore server_small;
+  ignore server_large;
+  Simnet.run net_small;
+  Simnet.run net_large;
+  Alcotest.(check int) "same updates issued" (Passive_server.updates_issued srv_s)
+    (Passive_server.updates_issued srv_l);
+  Alcotest.(check int) "same bytes broadcast" (Passive_server.bytes_broadcast srv_s)
+    (Passive_server.bytes_broadcast srv_l)
+
+let test_no_early_release () =
+  let net, tl, server, _ = run_system ~n_clients:1 ~epochs:3 ~loss:0.0 in
+  Simnet.run_until net 15.0 (* inside epoch 1 *);
+  (* Archive gives epoch 1 (started) but refuses epoch 2 (future). *)
+  (match Passive_server.archive_lookup server net (Timeline.label tl 1) with
+  | Some upd ->
+      Alcotest.(check bool) "past update valid" true
+        (Tre.verify_update prms (Passive_server.public server) upd)
+  | None -> Alcotest.fail "archive must serve past epochs");
+  Alcotest.check_raises "future refused" Passive_server.Future_update_refused
+    (fun () ->
+      ignore (Passive_server.archive_lookup server net (Timeline.label tl 2)));
+  Alcotest.(check bool) "foreign label" true
+    (Passive_server.archive_lookup server net "mars#1" = None)
+
+let test_missed_update_recovery () =
+  (* With a very lossy broadcast channel some client misses an update; it
+     recovers via the public archive and still decrypts. *)
+  let net, tl, server, clients = run_system ~n_clients:1 ~epochs:2 ~loss:0.5 in
+  let client = List.hd clients in
+  let sender_rng = Hashing.Drbg.create ~seed:"sender2" () in
+  let ct =
+    Tre.encrypt prms (Passive_server.public server) (Client.public_key client)
+      ~release_time:(Timeline.label tl 2) sender_rng "recovered"
+  in
+  Client.enqueue_ciphertext client ct;
+  Simnet.run net;
+  (* The archive pull also rides the lossy network; retry like any client
+     fetching a webpage would. *)
+  let attempts = ref 0 in
+  while Client.deliveries client = [] && !attempts < 100 do
+    incr attempts;
+    Client.fetch_missing client net server (Timeline.label tl 2);
+    Simnet.run net
+  done;
+  match Client.deliveries client with
+  | [ d ] -> Alcotest.(check string) "recovered" "recovered" d.Client.plaintext
+  | _ -> Alcotest.fail "recovery failed"
+
+let test_forged_broadcast_rejected () =
+  let net, _, server, clients = run_system ~n_clients:1 ~epochs:1 ~loss:0.0 in
+  let client = List.hd clients in
+  ignore server;
+  (* An attacker injects a bogus update into the broadcast channel. *)
+  let fake = { Tre.update_time = "utc#1"; update_value = prms.Pairing.g } in
+  Client.handler client fake;
+  Simnet.run net;
+  Alcotest.(check int) "rejected count" 1 (Client.rejected_updates client);
+  (* The genuine broadcast still lands. *)
+  Alcotest.(check int) "genuine cached" 1 (Client.updates_cached client)
+
+let test_clock_skew_bounded_and_never_early () =
+  (* Section 3 trust model: broadcasts drift late by at most max_skew and
+     are never early. *)
+  let net = Simnet.create ~seed:"skew" ~latency:0.0 ~jitter:0.0 () in
+  let tl = Timeline.create ~granularity:10.0 () in
+  let server = Passive_server.create ~max_skew:2.0 prms ~net ~timeline:tl ~name:"skewed" in
+  Alcotest.(check (float 0.0)) "skew recorded" 2.0 (Passive_server.max_skew server);
+  let stamps = ref [] in
+  let handler _ = stamps := Simnet.now net :: !stamps in
+  Passive_server.start server ~net ~first_epoch:1 ~epochs:5
+    ~recipients:[ ("observer", handler) ];
+  Simnet.run net;
+  Alcotest.(check int) "all epochs heard" 5 (List.length !stamps);
+  List.iteri
+    (fun i at ->
+      let epoch = 5 - i in
+      let nominal = Timeline.start_of tl epoch in
+      if at < nominal then Alcotest.fail "update released early";
+      if at > nominal +. 2.0 +. 0.001 then Alcotest.fail "drift beyond bound")
+    !stamps
+
+let test_clock_monotone_updates () =
+  (* Updates are issued in epoch order and never before their epoch. *)
+  let net, tl, server, clients = run_system ~n_clients:2 ~epochs:6 ~loss:0.0 in
+  ignore clients;
+  Simnet.run net;
+  Alcotest.(check int) "all issued" 6 (Passive_server.updates_issued server);
+  List.iter
+    (fun (m : Simnet.message) ->
+      if m.Simnet.kind = "key-update" then begin
+        (* broadcast trace timestamp is the issue instant *)
+        let e = Timeline.epoch_at tl (m.Simnet.at +. 1e-9) in
+        if Timeline.start_of tl e > m.Simnet.at +. 0.001 then
+          Alcotest.fail "update broadcast before its epoch"
+      end)
+    (Simnet.sent_by net "time-server")
+
+let () =
+  Alcotest.run "timeserver"
+    [
+      ( "event-queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_event_queue_ordering;
+          Alcotest.test_case "interleaved" `Quick test_event_queue_interleaved;
+        ] );
+      ( "simnet",
+        [
+          Alcotest.test_case "delivery+clock" `Quick test_simnet_delivery_and_clock;
+          Alcotest.test_case "determinism" `Quick test_simnet_determinism;
+          Alcotest.test_case "loss" `Quick test_simnet_loss;
+          Alcotest.test_case "run_until" `Quick test_simnet_run_until;
+          Alcotest.test_case "validation" `Quick test_simnet_validation;
+        ] );
+      ("timeline", [ Alcotest.test_case "mapping" `Quick test_timeline ]);
+      ( "system",
+        [
+          Alcotest.test_case "end-to-end release" `Quick test_end_to_end_release;
+          Alcotest.test_case "single update serves all" `Quick test_single_update_serves_all;
+          Alcotest.test_case "no early release" `Quick test_no_early_release;
+          Alcotest.test_case "missed update recovery" `Quick test_missed_update_recovery;
+          Alcotest.test_case "forged broadcast rejected" `Quick test_forged_broadcast_rejected;
+          Alcotest.test_case "monotone updates" `Quick test_clock_monotone_updates;
+          Alcotest.test_case "bounded clock skew" `Quick test_clock_skew_bounded_and_never_early;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* The paper's core TRE scheme (§5.1): functional correctness, the
+   time-lock property (no decryption without the right update), key
+   validation, server-change verification, serialization, and the
+   anonymity-relevant structural facts. *)
+
+module B = Bigint
+
+let prms = Pairing.toy64 ()
+let rng = Hashing.Drbg.create ~seed:"tre-tests" ()
+let srv_sec, srv_pub = Tre.Server.keygen prms rng
+let alice_sec, alice_pub = Tre.User.keygen prms srv_pub rng
+let t_release = "2005-06-01T00:00:00Z"
+
+let roundtrip msg =
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
+  let upd = Tre.issue_update prms srv_sec t_release in
+  Tre.decrypt prms alice_sec upd ct
+
+let test_roundtrip () =
+  List.iter
+    (fun msg -> Alcotest.(check string) "roundtrip" msg (roundtrip msg))
+    [ ""; "x"; "attack at dawn"; String.make 10_000 'z'; "\x00\xff\x00\xff" ]
+
+let test_encrypt_prevalidated_equivalent () =
+  (* The fast path must interoperate: prevalidated ciphertexts decrypt
+     normally, and the fast path still refuses nothing (caller's duty). *)
+  let msg = "fast path" in
+  let ct = Tre.encrypt_prevalidated prms srv_pub alice_pub ~release_time:t_release rng msg in
+  let upd = Tre.issue_update prms srv_sec t_release in
+  Alcotest.(check string) "roundtrip" msg (Tre.decrypt prms alice_sec upd ct)
+
+let test_update_is_bls_signature () =
+  (* §5.3.1: the update is exactly a BLS signature under the server key. *)
+  let upd = Tre.issue_update prms srv_sec t_release in
+  Alcotest.(check bool) "verifies" true (Tre.verify_update prms srv_pub upd);
+  let bls_pub = { Bls.g = srv_pub.Tre.Server.g; pk = srv_pub.Tre.Server.sg } in
+  Alcotest.(check bool) "is a BLS signature" true
+    (Bls.verify prms bls_pub t_release upd.Tre.update_value)
+
+let test_update_identical_for_all_users () =
+  (* The scalability property: the update does not depend on any user. *)
+  let u1 = Tre.issue_update prms srv_sec t_release in
+  let u2 = Tre.issue_update prms srv_sec t_release in
+  Alcotest.(check bool) "deterministic" true
+    (Curve.equal u1.Tre.update_value u2.Tre.update_value)
+
+let test_forged_update_rejected () =
+  let fake = { Tre.update_time = t_release; update_value = prms.Pairing.g } in
+  Alcotest.(check bool) "forged" false (Tre.verify_update prms srv_pub fake);
+  (* An update for T' does not verify as an update for T. *)
+  let other = Tre.issue_update prms srv_sec "some other time" in
+  let relabeled = { other with Tre.update_time = t_release } in
+  Alcotest.(check bool) "relabeled" false (Tre.verify_update prms srv_pub relabeled)
+
+let test_decrypt_with_wrong_update_garbage () =
+  (* The time-lock property, operationally: an update for a different time
+     yields garbage, not the plaintext. *)
+  let msg = "top secret bid: $1,000,000" in
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
+  let wrong = Tre.issue_update prms srv_sec "1999-01-01T00:00:00Z" in
+  let wrong = { wrong with Tre.update_time = t_release } (* force past the label check *) in
+  let out = Tre.decrypt prms alice_sec wrong ct in
+  Alcotest.(check bool) "garbage" false (out = msg)
+
+let test_decrypt_update_mismatch_raises () =
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng "m" in
+  let upd = Tre.issue_update prms srv_sec "another time" in
+  Alcotest.check_raises "mismatch" Tre.Update_mismatch (fun () ->
+      ignore (Tre.decrypt prms alice_sec upd ct))
+
+let test_decrypt_with_wrong_secret_garbage () =
+  let msg = "for alice only" in
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
+  let upd = Tre.issue_update prms srv_sec t_release in
+  let eve_sec, _ = Tre.User.keygen prms srv_pub rng in
+  Alcotest.(check bool) "eve fails" false (Tre.decrypt prms eve_sec upd ct = msg)
+
+let test_server_cannot_decrypt () =
+  (* The no-escrow property that distinguishes TRE from ID-TRE: the server,
+     knowing s and the update, still lacks the receiver exponent a. The
+     best server attack with its own material is K'' = e^(U, sigma)^s,
+     which must not match. *)
+  let msg = "server must not read this" in
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
+  let upd = Tre.issue_update prms srv_sec t_release in
+  let s = Tre.Server.secret_to_scalar srv_sec in
+  let k_guess = Pairing.gt_pow prms (Pairing.pairing prms ct.Tre.u upd.Tre.update_value) s in
+  let attempt = Hashing.Kdf.xor ct.Tre.v (Pairing.h2 prms k_guess (String.length ct.Tre.v)) in
+  Alcotest.(check bool) "server attempt fails" false (attempt = msg)
+
+let test_invalid_receiver_key_rejected () =
+  (* A key not of the form (aG, asG) must be refused at encryption time. *)
+  let bogus = { Tre.User.ag = alice_pub.Tre.User.ag; asg = prms.Pairing.g } in
+  Alcotest.(check bool) "validate" false (Tre.validate_receiver_key prms srv_pub bogus);
+  Alcotest.check_raises "encrypt" Tre.Invalid_receiver_key (fun () ->
+      ignore (Tre.encrypt prms srv_pub bogus ~release_time:t_release rng "m"));
+  (* And the honest key passes. *)
+  Alcotest.(check bool) "honest ok" true
+    (Tre.validate_receiver_key prms srv_pub alice_pub)
+
+let test_receiver_key_other_server_rejected () =
+  (* A key bound to server S' fails validation against S. *)
+  let _, srv2_pub = Tre.Server.keygen prms rng in
+  let _, pk2 = Tre.User.keygen prms srv2_pub rng in
+  Alcotest.(check bool) "cross-server key" false
+    (Tre.validate_receiver_key prms srv_pub pk2)
+
+let test_password_keygen () =
+  let s1, p1 = Tre.User.keygen_from_password prms srv_pub ~password:"correct horse" in
+  let s2, p2 = Tre.User.keygen_from_password prms srv_pub ~password:"correct horse" in
+  Alcotest.(check bool) "deterministic" true
+    (B.equal (Tre.User.secret_to_scalar s1) (Tre.User.secret_to_scalar s2)
+    && Curve.equal p1.Tre.User.ag p2.Tre.User.ag);
+  let _, p3 = Tre.User.keygen_from_password prms srv_pub ~password:"Correct horse" in
+  Alcotest.(check bool) "different password" false (Curve.equal p1.Tre.User.ag p3.Tre.User.ag);
+  (* Password-derived keys work end to end. *)
+  let ct = Tre.encrypt prms srv_pub p1 ~release_time:t_release rng "pw msg" in
+  let upd = Tre.issue_update prms srv_sec t_release in
+  Alcotest.(check string) "roundtrip" "pw msg" (Tre.decrypt prms s1 upd ct)
+
+let test_server_change () =
+  (* §5.3.4: Alice rebinds to a new server S'; anyone holding her old
+     certified key can check the new key without a CA. *)
+  let _, srv2_pub = Tre.Server.keygen prms rng in
+  let rebound = Tre.User.rebind prms alice_sec srv2_pub in
+  Alcotest.(check bool) "accepts genuine rebind" true
+    (Tre.verify_server_change prms ~certified:alice_pub ~new_server:srv2_pub
+       ~candidate:rebound);
+  (* An attacker cannot claim Alice's identity under the new server. *)
+  let mallory_sec, _ = Tre.User.keygen prms srv2_pub rng in
+  let forged =
+    { (Tre.User.rebind prms mallory_sec srv2_pub) with Tre.User.ag = alice_pub.Tre.User.ag }
+  in
+  Alcotest.(check bool) "rejects forged rebind" false
+    (Tre.verify_server_change prms ~certified:alice_pub ~new_server:srv2_pub
+       ~candidate:forged);
+  (* A candidate with a fresh aG is also rejected (not the certified key). *)
+  let fresh = Tre.User.rebind prms mallory_sec srv2_pub in
+  Alcotest.(check bool) "rejects different identity" false
+    (Tre.verify_server_change prms ~certified:alice_pub ~new_server:srv2_pub
+       ~candidate:fresh)
+
+let test_server_custom_generator () =
+  let g2 = Curve.mul prms.Pairing.curve (B.of_int 42) prms.Pairing.g in
+  let sec2, pub2 = Tre.Server.keygen ~g:g2 prms rng in
+  Alcotest.(check bool) "generator kept" true (Curve.equal pub2.Tre.Server.g g2);
+  let bob_sec, bob_pub = Tre.User.keygen prms pub2 rng in
+  let ct = Tre.encrypt prms pub2 bob_pub ~release_time:t_release rng "custom-g" in
+  let upd = Tre.issue_update prms sec2 t_release in
+  Alcotest.(check bool) "update verifies" true (Tre.verify_update prms pub2 upd);
+  Alcotest.(check string) "roundtrip" "custom-g" (Tre.decrypt prms bob_sec upd ct)
+
+let test_scalar_validation () =
+  Alcotest.check_raises "zero" (Invalid_argument "Tre: scalar out of range [1, q-1]")
+    (fun () -> ignore (Tre.User.secret_of_scalar prms B.zero));
+  Alcotest.check_raises "q" (Invalid_argument "Tre: scalar out of range [1, q-1]")
+    (fun () -> ignore (Tre.Server.secret_of_scalar prms prms.Pairing.q))
+
+let test_ciphertext_codec () =
+  let msg = "serialize me" in
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
+  let bytes = Tre.ciphertext_to_bytes prms ct in
+  (match Tre.ciphertext_of_bytes prms bytes with
+  | None -> Alcotest.fail "decode failed"
+  | Some ct' ->
+      Alcotest.(check bool) "roundtrip" true
+        (Curve.equal ct.Tre.u ct'.Tre.u && ct.Tre.v = ct'.Tre.v
+        && ct.Tre.release_time = ct'.Tre.release_time);
+      let upd = Tre.issue_update prms srv_sec t_release in
+      Alcotest.(check string) "decrypts after roundtrip" msg
+        (Tre.decrypt prms alice_sec upd ct'));
+  Alcotest.(check bool) "truncated" true (Tre.ciphertext_of_bytes prms "ab" = None);
+  Alcotest.(check int) "overhead accounting" (Tre.ciphertext_overhead prms)
+    (String.length bytes - String.length msg - String.length t_release)
+
+let test_update_codec () =
+  let upd = Tre.issue_update prms srv_sec t_release in
+  (match Tre.update_of_bytes prms (Tre.update_to_bytes prms upd) with
+  | Some u ->
+      Alcotest.(check bool) "roundtrip" true
+        (u.Tre.update_time = upd.Tre.update_time
+        && Curve.equal u.Tre.update_value upd.Tre.update_value)
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "garbage" true (Tre.update_of_bytes prms "zz" = None)
+
+let test_key_codecs () =
+  (match Tre.user_public_of_bytes prms (Tre.user_public_to_bytes prms alice_pub) with
+  | Some pk ->
+      Alcotest.(check bool) "user roundtrip" true
+        (Curve.equal pk.Tre.User.ag alice_pub.Tre.User.ag
+        && Curve.equal pk.Tre.User.asg alice_pub.Tre.User.asg)
+  | None -> Alcotest.fail "user decode failed");
+  match Tre.server_public_of_bytes prms (Tre.server_public_to_bytes prms srv_pub) with
+  | Some pk ->
+      Alcotest.(check bool) "server roundtrip" true
+        (Curve.equal pk.Tre.Server.g srv_pub.Tre.Server.g
+        && Curve.equal pk.Tre.Server.sg srv_pub.Tre.Server.sg)
+  | None -> Alcotest.fail "server decode failed"
+
+let test_missed_update_still_works () =
+  (* §3/§6: updates are not consumed; a late receiver decrypts with the
+     archived update long after the release time. *)
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:"epoch-5" rng "late" in
+  (* Server has long moved on to epoch-9; archive still has epoch-5. *)
+  let archived = Tre.issue_update prms srv_sec "epoch-5" in
+  Alcotest.(check string) "late decrypt" "late" (Tre.decrypt prms alice_sec archived ct)
+
+let test_far_future_release_time () =
+  (* The sender can pick any T without the server pre-publishing anything
+     (contrast with Rivest's offline list): encryption succeeds for a time
+     the server has never heard of. *)
+  let t = "2525-01-01T00:00:00Z" in
+  let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t rng "future" in
+  let upd = Tre.issue_update prms srv_sec t in
+  Alcotest.(check string) "decrypts when the update finally comes" "future"
+    (Tre.decrypt prms alice_sec upd ct)
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"roundtrip random msg/time" ~count:15
+    QCheck2.Gen.(pair (small_string ~gen:char) (small_string ~gen:printable))
+    (fun (msg, t) ->
+      let t = "t|" ^ t in
+      let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t rng msg in
+      let upd = Tre.issue_update prms srv_sec t in
+      Tre.decrypt prms alice_sec upd ct = msg)
+
+let prop_ciphertexts_randomized =
+  QCheck2.Test.make ~name:"ciphertexts are randomized" ~count:10
+    QCheck2.Gen.(small_string ~gen:printable)
+    (fun msg ->
+      let c1 = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
+      let c2 = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
+      not (Curve.equal c1.Tre.u c2.Tre.u))
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "tre"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "basic" `Quick test_roundtrip;
+          Alcotest.test_case "missed update" `Quick test_missed_update_still_works;
+          Alcotest.test_case "far-future time" `Quick test_far_future_release_time;
+          Alcotest.test_case "custom generator" `Quick test_server_custom_generator;
+          Alcotest.test_case "password keygen" `Quick test_password_keygen;
+          Alcotest.test_case "prevalidated fast path" `Quick test_encrypt_prevalidated_equivalent;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "is BLS signature" `Quick test_update_is_bls_signature;
+          Alcotest.test_case "identical for all" `Quick test_update_identical_for_all_users;
+          Alcotest.test_case "forged rejected" `Quick test_forged_update_rejected;
+        ] );
+      ( "time-lock",
+        [
+          Alcotest.test_case "wrong update garbage" `Quick test_decrypt_with_wrong_update_garbage;
+          Alcotest.test_case "mismatch raises" `Quick test_decrypt_update_mismatch_raises;
+          Alcotest.test_case "wrong secret garbage" `Quick test_decrypt_with_wrong_secret_garbage;
+          Alcotest.test_case "server cannot decrypt" `Quick test_server_cannot_decrypt;
+        ] );
+      ( "key-management",
+        [
+          Alcotest.test_case "invalid receiver key" `Quick test_invalid_receiver_key_rejected;
+          Alcotest.test_case "cross-server key" `Quick test_receiver_key_other_server_rejected;
+          Alcotest.test_case "server change" `Quick test_server_change;
+          Alcotest.test_case "scalar validation" `Quick test_scalar_validation;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "ciphertext" `Quick test_ciphertext_codec;
+          Alcotest.test_case "update" `Quick test_update_codec;
+          Alcotest.test_case "keys" `Quick test_key_codecs;
+        ] );
+      ("properties", qc [ prop_roundtrip_random; prop_ciphertexts_randomized ]);
+    ]
