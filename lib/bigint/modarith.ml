@@ -45,6 +45,66 @@ let jacobi a n =
   in
   go a n 1
 
+(* Generic left-to-right sliding-window exponentiation with a table of odd
+   powers, shared by Montgomery exponentiation ({!Mont.pow}) and GT
+   exponentiation (Fp2). For a t-bit exponent and window w it costs
+   ~t squarings + t/(w+1) multiplications + 2^(w-1) table entries,
+   against t + t/2 multiplications for the binary ladder. *)
+let window_pow ~one ~mul ~sqr base e =
+  if Bigint.sign e < 0 then invalid_arg "Modarith.window_pow: negative exponent";
+  let n = Bigint.bit_length e in
+  if n = 0 then one
+  else if n <= 8 then begin
+    (* Tiny exponents: the table would cost more than it saves. *)
+    let acc = ref one in
+    for i = n - 1 downto 0 do
+      acc := sqr !acc;
+      if Bigint.test_bit e i then acc := mul !acc base
+    done;
+    !acc
+  end
+  else begin
+    let w = if n <= 96 then 3 else if n <= 320 then 4 else 5 in
+    (* tbl.(i) = base^(2i+1). *)
+    let tbl = Array.make (1 lsl (w - 1)) base in
+    let b2 = sqr base in
+    for i = 1 to Array.length tbl - 1 do
+      tbl.(i) <- mul tbl.(i - 1) b2
+    done;
+    let acc = ref one in
+    let started = ref false in
+    let i = ref (n - 1) in
+    while !i >= 0 do
+      if not (Bigint.test_bit e !i) then begin
+        if !started then acc := sqr !acc;
+        decr i
+      end
+      else begin
+        (* Largest window [l, i] ending on a set bit (so its value is odd). *)
+        let l = ref (Stdlib.max 0 (!i - w + 1)) in
+        while not (Bigint.test_bit e !l) do
+          incr l
+        done;
+        let v = ref 0 in
+        for j = !i downto !l do
+          v := (!v lsl 1) lor (if Bigint.test_bit e j then 1 else 0)
+        done;
+        if !started then begin
+          for _ = 1 to !i - !l + 1 do
+            acc := sqr !acc
+          done;
+          acc := mul !acc tbl.((!v - 1) / 2)
+        end
+        else begin
+          acc := tbl.((!v - 1) / 2);
+          started := true
+        end;
+        i := !l - 1
+      end
+    done;
+    !acc
+  end
+
 module Mont = struct
   type ctx = {
     m : Bigint.t;
@@ -141,7 +201,7 @@ module Mont = struct
   let mul ctx a b = mont_mul ctx a b
   let sqr ctx a = mont_mul ctx a a
 
-  let pow ctx base e =
+  let pow_binary ctx base e =
     if Bigint.sign e < 0 then invalid_arg "Mont.pow: negative exponent";
     let n = Bigint.bit_length e in
     let acc = ref (one ctx) in
@@ -150,6 +210,10 @@ module Mont = struct
       if Bigint.test_bit e i then acc := mul ctx !acc base
     done;
     !acc
+
+  let pow ctx base e =
+    if Bigint.sign e < 0 then invalid_arg "Mont.pow: negative exponent";
+    window_pow ~one:(one ctx) ~mul:(mul ctx) ~sqr:(sqr ctx) base e
 
   let inv ctx a =
     let v = to_bigint ctx a in

@@ -22,6 +22,13 @@ val jacobi : Bigint.t -> Bigint.t -> int
 (** Jacobi symbol [(a/n)] for odd positive [n]; in [{-1, 0, 1}].
     Raises [Invalid_argument] on even or non-positive [n]. *)
 
+val window_pow :
+  one:'a -> mul:('a -> 'a -> 'a) -> sqr:('a -> 'a) -> 'a -> Bigint.t -> 'a
+(** Generic left-to-right sliding-window exponentiation with an odd-powers
+    table (~t/(w+1) multiplications for a t-bit exponent instead of the
+    binary ladder's t/2). Backs {!Mont.pow} and the GT exponentiation in
+    Fp2; exposed so any monoid can reuse it. Exponent must be [>= 0]. *)
+
 (** Montgomery-form modular arithmetic for a fixed odd modulus. *)
 module Mont : sig
   type ctx
@@ -45,7 +52,12 @@ module Mont : sig
   val mul : ctx -> elt -> elt -> elt
   val sqr : ctx -> elt -> elt
   val pow : ctx -> elt -> Bigint.t -> elt
-  (** Exponent must be [>= 0]. *)
+  (** Sliding-window exponentiation ({!window_pow} over the Montgomery
+      ring). Exponent must be [>= 0]. *)
+
+  val pow_binary : ctx -> elt -> Bigint.t -> elt
+  (** Reference bit-by-bit square-and-multiply ladder; kept for the
+      equivalence tests and the before/after benchmark. *)
 
   val inv : ctx -> elt -> elt
   (** Raises [Division_by_zero] on non-invertible elements. *)

@@ -171,7 +171,77 @@ let rec mul (a : t) (b : t) : t =
     add z0 (add (shift_limbs z1 k) (shift_limbs z2 (2 * k)))
   end
 
-let sqr a = mul a a
+(* Dedicated squaring: compute each cross product a_i * a_j (i < j) once,
+   double the whole accumulator with a single 1-bit shift, then add the
+   diagonal squares a_i^2. Roughly halves the partial products of
+   [mul_schoolbook a a]. Doubling cannot be fused into the inner loop:
+   2 * (2^31-1)^2 overflows 63 bits, so the shift happens on reduced
+   limbs only. *)
+let sqr_schoolbook (a : t) : t =
+  let n = Array.length a in
+  if n = 0 then zero
+  else begin
+    let out = Array.make (2 * n) 0 in
+    (* Cross products, each taken once. Same overflow analysis as
+       [mul_schoolbook]: product + limb + carry < 2^62. *)
+    for i = 0 to n - 2 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = i + 1 to n - 1 do
+          let s = (ai * a.(j)) + out.(i + j) + !carry in
+          out.(i + j) <- s land limb_mask;
+          carry := s lsr base_bits
+        done;
+        let p = ref (i + n) in
+        while !carry <> 0 do
+          let s = out.(!p) + !carry in
+          out.(!p) <- s land limb_mask;
+          carry := s lsr base_bits;
+          incr p
+        done
+      end
+    done;
+    (* out := 2 * out. *)
+    let carry = ref 0 in
+    for i = 0 to (2 * n) - 1 do
+      let v = (out.(i) lsl 1) lor !carry in
+      out.(i) <- v land limb_mask;
+      carry := v lsr base_bits
+    done;
+    (* Add the diagonal a_i^2 at limb 2i. *)
+    for i = 0 to n - 1 do
+      let p = a.(i) * a.(i) in
+      let s = out.(2 * i) + (p land limb_mask) in
+      out.(2 * i) <- s land limb_mask;
+      let carry = ref ((p lsr base_bits) + (s lsr base_bits)) in
+      let j = ref ((2 * i) + 1) in
+      while !carry <> 0 do
+        let s = out.(!j) + !carry in
+        out.(!j) <- s land limb_mask;
+        carry := s lsr base_bits;
+        incr j
+      done
+    done;
+    normalize out
+  end
+
+let rec sqr (a : t) : t =
+  let n = Array.length a in
+  if n < karatsuba_threshold then sqr_schoolbook a
+  else begin
+    (* Karatsuba with squarings at the sub-problems:
+       (a0 + a1 B)^2 = a0^2 + [(a0+a1)^2 - a0^2 - a1^2] B + a1^2 B^2. *)
+    let k = (n + 1) / 2 in
+    let a0, a1 = split a k in
+    let z0 = sqr a0 in
+    let z2 = sqr a1 in
+    let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
+    let shift_limbs v m =
+      if is_zero v then zero else Array.append (Array.make m 0) v
+    in
+    add z0 (add (shift_limbs z1 k) (shift_limbs z2 (2 * k)))
+  end
 
 let divmod_small (a : t) d =
   if d <= 0 || d >= base then invalid_arg "Nat.divmod_small";

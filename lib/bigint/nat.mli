@@ -48,6 +48,9 @@ val mul_small : t -> int -> t
 (** Second argument must be in [0, 2^31). *)
 
 val sqr : t -> t
+(** Dedicated squaring — each cross product computed once and doubled by a
+    single shift (Karatsuba-on-squarings above the same threshold as
+    {!mul}). Always equal to [mul a a], measurably cheaper. *)
 
 val divmod : t -> t -> t * t
 (** Knuth Algorithm D. Raises [Division_by_zero] on zero divisor. *)

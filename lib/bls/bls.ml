@@ -23,13 +23,25 @@ let verify prms public msg signature =
   && Pairing.pairing_equal_check prms ~lhs:(public.g, signature)
        ~rhs:(public.pk, Pairing.hash_to_g1 prms msg)
 
-let verify_batch prms public pairs =
+(* Both verification pairings have a fixed first argument (G and pk), so
+   a verifier that checks many signatures from one signer prepares them
+   once. *)
+type verifier = { vg : Pairing.prepared; vpk : Pairing.prepared }
+
+let make_verifier prms (public : public) =
+  { vg = Pairing.prepare prms public.g; vpk = Pairing.prepare prms public.pk }
+
+let verify_with prms vrf msg signature =
+  Pairing.in_g1 prms signature
+  && Pairing.pairing_equal_check_prepared prms ~lhs:(vrf.vg, signature)
+       ~rhs:(vrf.vpk, Pairing.hash_to_g1 prms msg)
+
+let batch_sums prms pairs =
   let curve = prms.Pairing.curve in
   let messages = List.map fst pairs in
   let distinct = List.sort_uniq String.compare messages in
-  if List.length distinct <> List.length messages then false
-  else if pairs = [] then true
-  else if not (List.for_all (fun (_, s) -> Pairing.in_g1 prms s) pairs) then false
+  if List.length distinct <> List.length messages then None
+  else if not (List.for_all (fun (_, s) -> Pairing.in_g1 prms s) pairs) then None
   else begin
     let sum_sig =
       List.fold_left (fun acc (_, s) -> Curve.add curve acc s) Curve.infinity pairs
@@ -39,8 +51,27 @@ let verify_batch prms public pairs =
         (fun acc (m, _) -> Curve.add curve acc (Pairing.hash_to_g1 prms m))
         Curve.infinity pairs
     in
-    Pairing.pairing_equal_check prms ~lhs:(public.g, sum_sig)
-      ~rhs:(public.pk, sum_h)
+    Some (sum_sig, sum_h)
+  end
+
+let verify_batch prms public pairs =
+  if pairs = [] then true
+  else begin
+    match batch_sums prms pairs with
+    | None -> false
+    | Some (sum_sig, sum_h) ->
+        Pairing.pairing_equal_check prms ~lhs:(public.g, sum_sig)
+          ~rhs:(public.pk, sum_h)
+  end
+
+let verify_batch_with prms vrf pairs =
+  if pairs = [] then true
+  else begin
+    match batch_sums prms pairs with
+    | None -> false
+    | Some (sum_sig, sum_h) ->
+        Pairing.pairing_equal_check_prepared prms ~lhs:(vrf.vg, sum_sig)
+          ~rhs:(vrf.vpk, sum_h)
   end
 
 let signature_bytes prms = Pairing.point_bytes prms

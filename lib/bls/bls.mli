@@ -34,6 +34,20 @@ val verify_batch : Pairing.params -> public -> (string * signature) list -> bool
     of 2n. Messages must be distinct for the aggregation to be sound; the
     function enforces this and returns [false] on duplicates. *)
 
+type verifier
+(** Prepared pairings ({!Pairing.prepare}) for one signer's (G, pk), for
+    parties that verify many of their signatures. *)
+
+val make_verifier : Pairing.params -> public -> verifier
+
+val verify_with : Pairing.params -> verifier -> string -> signature -> bool
+(** Same result as {!verify}, skipping the Miller loops' point
+    arithmetic. *)
+
+val verify_batch_with :
+  Pairing.params -> verifier -> (string * signature) list -> bool
+(** Same result as {!verify_batch}. *)
+
 val signature_bytes : Pairing.params -> int
 (** Size of a serialized signature — the "short" in short signatures. *)
 

@@ -140,7 +140,61 @@ let jac_to_affine ctx p =
       { x = Fp.mul fp p.jx zinv2; y = Fp.mul fp p.jy (Fp.mul fp zinv2 zinv) }
   end
 
-let mul ctx k point =
+let jac_infinity fp = { jx = Fp.one fp; jy = Fp.one fp; jz = Fp.zero fp }
+
+(* Full Jacobian + Jacobian addition; only used for precomputation-table
+   construction (the inner multiplication loops stay on the cheaper mixed
+   addition against batch-normalized affine table entries). *)
+let jac_add ctx p q =
+  let fp = ctx.fp in
+  if Fp.is_zero fp p.jz then q
+  else if Fp.is_zero fp q.jz then p
+  else begin
+    let z1z1 = Fp.sqr fp p.jz in
+    let z2z2 = Fp.sqr fp q.jz in
+    let u1 = Fp.mul fp p.jx z2z2 in
+    let u2 = Fp.mul fp q.jx z1z1 in
+    let s1 = Fp.mul fp p.jy (Fp.mul fp q.jz z2z2) in
+    let s2 = Fp.mul fp q.jy (Fp.mul fp p.jz z1z1) in
+    let h = Fp.sub fp u2 u1 in
+    let r = Fp.sub fp s2 s1 in
+    if Fp.is_zero fp h then
+      if Fp.is_zero fp r then jac_double ctx p else jac_infinity fp
+    else begin
+      let h2 = Fp.sqr fp h in
+      let h3 = Fp.mul fp h2 h in
+      let u1h2 = Fp.mul fp u1 h2 in
+      let x3 = Fp.sub fp (Fp.sub fp (Fp.sqr fp r) h3) (Fp.add fp u1h2 u1h2) in
+      let y3 = Fp.sub fp (Fp.mul fp r (Fp.sub fp u1h2 x3)) (Fp.mul fp s1 h3) in
+      let z3 = Fp.mul fp (Fp.mul fp p.jz q.jz) h in
+      { jx = x3; jy = y3; jz = z3 }
+    end
+  end
+
+(* Montgomery batch inversion: normalize [n] Jacobian points (all with
+   Z <> 0) to affine coordinates with a single field inversion and
+   3(n-1) + 5n multiplications instead of n inversions. *)
+let batch_to_affine ctx (pts : jacobian array) : (Fp.t * Fp.t) array =
+  let fp = ctx.fp in
+  let n = Array.length pts in
+  let prefix = Array.make n (Fp.one fp) in
+  let acc = ref (Fp.one fp) in
+  for i = 0 to n - 1 do
+    prefix.(i) <- !acc;
+    acc := Fp.mul fp !acc pts.(i).jz
+  done;
+  let suffix_inv = ref (Fp.inv fp !acc) in
+  let out = Array.make n (Fp.zero fp, Fp.zero fp) in
+  for i = n - 1 downto 0 do
+    let zinv = Fp.mul fp !suffix_inv prefix.(i) in
+    suffix_inv := Fp.mul fp !suffix_inv pts.(i).jz;
+    let zinv2 = Fp.sqr fp zinv in
+    out.(i) <-
+      (Fp.mul fp pts.(i).jx zinv2, Fp.mul fp pts.(i).jy (Fp.mul fp zinv2 zinv))
+  done;
+  out
+
+let mul_double_add ctx k point =
   let k, point =
     if Bigint.sign k >= 0 then (k, point) else (Bigint.neg k, neg ctx point)
   in
@@ -149,12 +203,187 @@ let mul ctx k point =
   | Affine { x = x2; y = y2 } ->
       let fp = ctx.fp in
       let bits = Bigint.bit_length k in
-      let acc = ref { jx = Fp.one fp; jy = Fp.one fp; jz = Fp.zero fp } in
+      let acc = ref (jac_infinity fp) in
       for i = bits - 1 downto 0 do
         acc := jac_double ctx !acc;
         if Bigint.test_bit k i then acc := jac_add_affine ctx !acc ~x2 ~y2
       done;
       jac_to_affine ctx !acc
+
+(* Width-w non-adjacent form of k >= 0: digits.(i) is the signed odd digit
+   at bit i, in (-2^(w-1), 2^(w-1)), with at least w-1 zeros after every
+   nonzero digit. Classic carry-based recoding over an explicit bit
+   array. *)
+let wnaf_digits k w =
+  let n = Bigint.bit_length k in
+  (* The represented value never exceeds 2^n (negative digits round it up
+     to the next multiple of 2^(i+w), never past a power-of-two boundary),
+     so bit n is the highest ever set; the slack covers the carry index
+     i + w itself. *)
+  let len = n + w + 2 in
+  let bits = Array.make len 0 in
+  for i = 0 to n - 1 do
+    if Bigint.test_bit k i then bits.(i) <- 1
+  done;
+  let digits = Array.make len 0 in
+  let i = ref 0 in
+  while !i < len do
+    if bits.(!i) = 0 then incr i
+    else begin
+      let hi = Stdlib.min (len - 1) (!i + w - 1) in
+      let v = ref 0 in
+      for j = hi downto !i do
+        v := (!v lsl 1) lor bits.(j);
+        bits.(j) <- 0
+      done;
+      let d = if !v >= 1 lsl (w - 1) then !v - (1 lsl w) else !v in
+      digits.(!i) <- d;
+      if d < 0 then begin
+        (* We emitted v - 2^w; add the borrowed 2^w back at bit i+w. *)
+        let j = ref (!i + w) in
+        while bits.(!j) = 1 do
+          bits.(!j) <- 0;
+          incr j
+        done;
+        bits.(!j) <- 1
+      end;
+      i := !i + w
+    end
+  done;
+  digits
+
+(* Scalar multiplication by width-w NAF with a batch-normalized table of
+   odd multiples: ~bits doublings + bits/(w+1) mixed additions, against
+   bits + bits/2 for the double-and-add ladder. *)
+let mul ctx k point =
+  let k, point =
+    if Bigint.sign k >= 0 then (k, point) else (Bigint.neg k, neg ctx point)
+  in
+  match point with
+  | Infinity -> Infinity
+  | Affine { x = x2; y = y2 } as p ->
+      let fp = ctx.fp in
+      let bits = Bigint.bit_length k in
+      if bits < 32 then mul_double_add ctx k p
+      else begin
+        let w = if bits <= 200 then 4 else 5 in
+        let tcount = 1 lsl (w - 2) in
+        let pj = { jx = x2; jy = y2; jz = Fp.one fp } in
+        let twop = jac_double ctx pj in
+        let tbl_j = Array.make tcount pj in
+        for i = 1 to tcount - 1 do
+          tbl_j.(i) <- jac_add ctx tbl_j.(i - 1) twop
+        done;
+        if
+          (* Low-order points (2-torsion) make odd multiples collapse to
+             infinity; the plain ladder handles them. *)
+          Fp.is_zero fp twop.jz
+          || Array.exists (fun q -> Fp.is_zero fp q.jz) tbl_j
+        then mul_double_add ctx k p
+        else begin
+          let tbl = batch_to_affine ctx tbl_j in
+          let digits = wnaf_digits k w in
+          let top = ref (Array.length digits - 1) in
+          while !top > 0 && digits.(!top) = 0 do
+            decr top
+          done;
+          let acc = ref (jac_infinity fp) in
+          for i = !top downto 0 do
+            acc := jac_double ctx !acc;
+            let d = digits.(i) in
+            if d <> 0 then begin
+              let tx, ty = tbl.((Stdlib.abs d - 1) / 2) in
+              let ty = if d < 0 then Fp.neg fp ty else ty in
+              acc := jac_add_affine ctx !acc ~x2:tx ~y2:ty
+            end
+          done;
+          jac_to_affine ctx !acc
+        end
+      end
+
+(* Fixed-base precomputation (Yao/BGMW style): for a base P used with many
+   scalars, store every multiple m * 2^(j*w) * P (1 <= m < 2^w) in affine
+   form. A scalar multiplication is then at most d = ceil(bits/w) mixed
+   additions and no doublings at all. *)
+module Table = struct
+  type table = {
+    ctx : ctx;
+    base : point;
+    bits : int;
+    w : int;
+    (* windows.(j).(m-1) = (m * 2^(j*w)) * base in affine coordinates;
+       [||] marks a degenerate base (infinity or low order) for which we
+       always fall back to the generic multiplication. *)
+    windows : (Fp.t * Fp.t) array array;
+  }
+
+  type t = table
+
+  let base t = t.base
+
+  let create ?(w = 4) ctx ~bits base =
+    if w < 1 || w > 8 then invalid_arg "Curve.Table.create: bad window width";
+    if bits < 1 then invalid_arg "Curve.Table.create: bad bit bound";
+    match base with
+    | Infinity -> { ctx; base; bits; w; windows = [||] }
+    | Affine { x; y } ->
+        let fp = ctx.fp in
+        let d = (bits + w - 1) / w in
+        let per = (1 lsl w) - 1 in
+        let rows = Array.make d [||] in
+        let cur = ref { jx = x; jy = y; jz = Fp.one fp } in
+        for j = 0 to d - 1 do
+          let row = Array.make per !cur in
+          for m = 1 to per - 1 do
+            row.(m) <- jac_add ctx row.(m - 1) !cur
+          done;
+          rows.(j) <- row;
+          if j < d - 1 then
+            for _ = 1 to w do
+              cur := jac_double ctx !cur
+            done
+        done;
+        if
+          (* Only low-order bases can hit infinity here: for an order-q
+             base with prime q > 2^w every table entry is a nonzero
+             multiple of a point of odd prime order. *)
+          Array.exists (Array.exists (fun q -> Fp.is_zero fp q.jz)) rows
+        then { ctx; base; bits; w; windows = [||] }
+        else begin
+          let flat = Array.concat (Array.to_list rows) in
+          let aff = batch_to_affine ctx flat in
+          let windows = Array.init d (fun j -> Array.sub aff (j * per) per) in
+          { ctx; base; bits; w; windows }
+        end
+
+  (* [mul] is not recursive, so [mul ctx k p] below still refers to the
+     generic wNAF multiplication from the enclosing module. *)
+  let mul t k =
+    let negate = Bigint.sign k < 0 in
+    let k = Bigint.abs k in
+    if Bigint.is_zero k then Infinity
+    else if Array.length t.windows = 0 || Bigint.bit_length k > t.bits then begin
+      let p = mul t.ctx k t.base in
+      if negate then neg t.ctx p else p
+    end
+    else begin
+      let fp = t.ctx.fp in
+      let acc = ref (jac_infinity fp) in
+      for j = 0 to Array.length t.windows - 1 do
+        (* Digit m = bits [j*w, (j+1)*w) of k. *)
+        let m = ref 0 in
+        for b = t.w - 1 downto 0 do
+          m := (!m lsl 1) lor (if Bigint.test_bit k ((j * t.w) + b) then 1 else 0)
+        done;
+        if !m > 0 then begin
+          let x2, y2 = t.windows.(j).(!m - 1) in
+          acc := jac_add_affine t.ctx !acc ~x2 ~y2
+        end
+      done;
+      let p = jac_to_affine t.ctx !acc in
+      if negate then neg t.ctx p else p
+    end
+end
 
 let group_order ctx = Bigint.succ (Fp.modulus ctx.fp)
 

@@ -35,7 +35,33 @@ val neg : ctx -> point -> point
 val add : ctx -> point -> point -> point
 val double : ctx -> point -> point
 val mul : ctx -> Bigint.t -> point -> point
-(** Scalar multiplication; negative scalars negate the point. *)
+(** Scalar multiplication (width-w NAF with a precomputed odd-multiples
+    table); negative scalars negate the point. *)
+
+val mul_double_add : ctx -> Bigint.t -> point -> point
+(** Reference Jacobian double-and-add ladder. Always agrees with {!mul};
+    kept for the equivalence tests and the before/after benchmark. *)
+
+(** Fixed-base precomputation: build a table from a point once, then
+    multiply it by many scalars at a fraction of the generic cost (no
+    doublings, at most [ceil bits/w] mixed additions per scalar). *)
+module Table : sig
+  type t
+
+  val create : ?w:int -> ctx -> bits:int -> point -> t
+  (** [create ctx ~bits p] precomputes multiples of [p] covering scalars
+      of up to [bits] bits (larger scalars still work via a generic-path
+      fallback, just without the speedup). [w] is the window width in
+      bits, default 4; the table holds [ceil bits/w * (2^w - 1)] affine
+      points. *)
+
+  val base : t -> point
+  (** The point the table was built from. *)
+
+  val mul : t -> Bigint.t -> point
+  (** [mul t k] = [Curve.mul ctx k (base t)], computed from the table.
+      Negative scalars negate the result, as in {!Curve.mul}. *)
+end
 
 val group_order : ctx -> Bigint.t
 (** p + 1, the full curve order. *)

@@ -35,7 +35,7 @@ let inv ctx a =
   let ninv = Fp.inv ctx n in
   { re = Fp.mul ctx a.re ninv; im = Fp.neg ctx (Fp.mul ctx a.im ninv) }
 
-let pow ctx base n =
+let pow_binary ctx base n =
   let base, n =
     if Bigint.sign n >= 0 then (base, n) else (inv ctx base, Bigint.neg n)
   in
@@ -46,6 +46,15 @@ let pow ctx base n =
     if Bigint.test_bit n i then acc := mul ctx !acc base
   done;
   !acc
+
+(* GT exponentiation is on the hot path of every encryption/decryption
+   (K^r, K^a) and of the final pairing exponentiation; sliding windows cut
+   the multiplication count by ~2/3 at these exponent sizes. *)
+let pow ctx base n =
+  let base, n =
+    if Bigint.sign n >= 0 then (base, n) else (inv ctx base, Bigint.neg n)
+  in
+  Modarith.window_pow ~one:(one ctx) ~mul:(mul ctx) ~sqr:(sqr ctx) base n
 
 let to_bytes ctx a = Fp.to_bytes ctx a.re ^ Fp.to_bytes ctx a.im
 

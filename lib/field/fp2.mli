@@ -33,7 +33,12 @@ val inv : Fp.ctx -> t -> t
 (** Raises [Division_by_zero] on zero. *)
 
 val pow : Fp.ctx -> t -> Bigint.t -> t
-(** Exponent may be negative. *)
+(** Sliding-window exponentiation (odd-powers table); exponent may be
+    negative. *)
+
+val pow_binary : Fp.ctx -> t -> Bigint.t -> t
+(** Reference square-and-multiply ladder; kept for the equivalence tests
+    and the before/after benchmark. *)
 
 val to_bytes : Fp.ctx -> t -> string
 (** Canonical [re || im] fixed-width encoding — the input to the paper's

@@ -1,5 +1,41 @@
 type family = Y2_x3_x | Y2_x3_1
 
+(* --- prepared pairings: precomputed Miller-loop line functions ---
+
+   The line functions of Miller's algorithm depend only on the first
+   pairing argument P (they are the tangent/chord lines of the running
+   multiple of P); the second argument merely evaluates them. A [prepared]
+   value stores the line coefficients of the whole loop so that pairings
+   against a fixed P cost only the evaluations — no point arithmetic, and
+   for the {!Y2_x3_1} family no per-step field inversions either. *)
+
+(* A scaled line for the x^3 + x family, evaluated at phi(Q) = (-xq, i yq)
+   as (l0 + lx*xq) + (ly*yq) i. *)
+type line_xx = { l0 : Fp.t; lx : Fp.t; ly : Fp.t }
+
+(* One iteration of the xx Miller loop: the (optional) doubling line and,
+   on set exponent bits, the (optional) addition line. [None] marks the
+   degenerate steps (running point at infinity / vertical line), which
+   contribute only GF(p) factors killed by the final exponentiation. *)
+type step_xx = { pdbl : line_xx option; padd : line_xx option }
+
+(* One accumulator operation of the x1 (Boneh-Franklin) Miller loop,
+   evaluated at phi(Q) = (zeta xq, yq) with xq2 = zeta*xq in GF(p^2):
+   - [Num_line]: chord/tangent through (x1, y1) with slope lambda, stored
+     as l0 = lambda*x1 - y1 and lmx = -lambda, evaluated as
+     (l0 + yq) + lmx * xq2;
+   - [Num_vert x] / [Den_vert x]: vertical line x - x_line, evaluated as
+     xq2 - x, multiplied into the numerator resp. denominator. *)
+type x1_op =
+  | Num_line of { l0 : Fp.t; lmx : Fp.t }
+  | Num_vert of Fp.t
+  | Den_vert of Fp.t
+
+type prepared =
+  | Prep_inf
+  | Prep_xx of step_xx array
+  | Prep_x1 of x1_op list array
+
 type params = {
   name : string;
   family : family;
@@ -11,6 +47,8 @@ type params = {
   g : Curve.point;
   final_exp : Bigint.t;
   zeta : Fp2.t;
+  g_table : Curve.Table.t Lazy.t;
+  g_prep : prepared Lazy.t;
 }
 
 let scalar_bytes prms = (Bigint.bit_length prms.q + 7) / 8
@@ -59,6 +97,163 @@ let cube_root_of_unity fp =
       then invalid_arg "Pairing.make: cube root of unity check failed";
       zeta
 
+(* --- building prepared pairings ---
+
+   These walk the exact same Miller-loop schedules as [miller_loop_xx] /
+   [miller_loop_x1] below, recording the line coefficients instead of
+   evaluating them. Field values are canonical (normalized Montgomery
+   residues), so evaluating a prepared pairing later is bit-identical to
+   running the plain pairing. *)
+
+type miller_state = { mx : Fp.t; my : Fp.t; mz : Fp.t }
+
+let prepare_xx prms pt =
+  let fp = prms.fp in
+  match pt with
+  | Curve.Infinity -> Prep_inf
+  | Curve.Affine p' ->
+      let xp = p'.x and yp = p'.y in
+      let one = Fp.one fp in
+      let bits = Bigint.bit_length prms.q in
+      let steps = Array.make (Stdlib.max 0 (bits - 1)) { pdbl = None; padd = None } in
+      let t = ref { mx = xp; my = yp; mz = one } in
+      for i = bits - 2 downto 0 do
+        let { mx = x; my = y; mz = z } = !t in
+        let pdbl =
+          if Fp.is_zero fp z then None
+          else if Fp.is_zero fp y then begin
+            t := { mx = one; my = one; mz = Fp.zero fp };
+            None
+          end
+          else begin
+            let y2 = Fp.sqr fp y in
+            let z2 = Fp.sqr fp z in
+            let x2 = Fp.sqr fp x in
+            let m = Fp.add fp (Fp.add fp (Fp.add fp x2 x2) x2) (Fp.sqr fp z2) in
+            let w = Fp.mul fp (Fp.add fp y y) z in
+            let l0 = Fp.sub fp (Fp.mul fp m x) (Fp.add fp y2 y2) in
+            let lx = Fp.mul fp m z2 in
+            let ly = Fp.mul fp w z2 in
+            let s =
+              let xy2 = Fp.mul fp x y2 in
+              let d = Fp.add fp xy2 xy2 in
+              Fp.add fp d d
+            in
+            let x' = Fp.sub fp (Fp.sqr fp m) (Fp.add fp s s) in
+            let y4_8 =
+              let y4 = Fp.sqr fp y2 in
+              let d = Fp.add fp y4 y4 in
+              let d = Fp.add fp d d in
+              Fp.add fp d d
+            in
+            let y' = Fp.sub fp (Fp.mul fp m (Fp.sub fp s x')) y4_8 in
+            t := { mx = x'; my = y'; mz = w };
+            Some { l0; lx; ly }
+          end
+        in
+        let padd =
+          if not (Bigint.test_bit prms.q i) then None
+          else begin
+            let { mx = x; my = y; mz = z } = !t in
+            if Fp.is_zero fp z then begin
+              t := { mx = xp; my = yp; mz = one };
+              None
+            end
+            else begin
+              let z2 = Fp.sqr fp z in
+              let u2 = Fp.mul fp xp z2 in
+              let s2 = Fp.mul fp yp (Fp.mul fp z2 z) in
+              let h = Fp.sub fp u2 x in
+              let r = Fp.sub fp s2 y in
+              if Fp.is_zero fp h then begin
+                t :=
+                  (if Fp.is_zero fp r then !t
+                   else { mx = one; my = one; mz = Fp.zero fp });
+                None
+              end
+              else begin
+                let z' = Fp.mul fp z h in
+                let l0 = Fp.sub fp (Fp.mul fp r xp) (Fp.mul fp z' yp) in
+                let h2 = Fp.sqr fp h in
+                let h3 = Fp.mul fp h2 h in
+                let xh2 = Fp.mul fp x h2 in
+                let x' = Fp.sub fp (Fp.sub fp (Fp.sqr fp r) h3) (Fp.add fp xh2 xh2) in
+                let y' = Fp.sub fp (Fp.mul fp r (Fp.sub fp xh2 x')) (Fp.mul fp y h3) in
+                t := { mx = x'; my = y'; mz = z' };
+                Some { l0; lx = r; ly = z' }
+              end
+            end
+          end
+        in
+        steps.(bits - 2 - i) <- { pdbl; padd }
+      done;
+      Prep_xx steps
+
+let prepare_x1 prms pt =
+  let fp = prms.fp in
+  match pt with
+  | Curve.Infinity -> Prep_inf
+  | Curve.Affine _ ->
+      let curve = prms.curve in
+      let three = Fp.of_int fp 3 in
+      let bits = Bigint.bit_length prms.q in
+      let steps = Array.make (Stdlib.max 0 (bits - 1)) [] in
+      let t = ref pt in
+      for i = bits - 2 downto 0 do
+        let ops = ref [] in
+        let emit op = ops := op :: !ops in
+        let chord_of ~x1 ~y1 ~lambda =
+          Num_line
+            { l0 = Fp.sub fp (Fp.mul fp lambda x1) y1; lmx = Fp.neg fp lambda }
+        in
+        let den_vert_of = function
+          | Curve.Infinity -> () (* vertical at infinity is the constant 1 *)
+          | Curve.Affine { x; _ } -> emit (Den_vert x)
+        in
+        (match !t with
+        | Curve.Infinity -> ()
+        | Curve.Affine { x; y } ->
+            if Fp.is_zero fp y then begin
+              emit (Num_vert x);
+              t := Curve.Infinity
+            end
+            else begin
+              let lambda =
+                Fp.div fp
+                  (Fp.add fp (Fp.mul fp three (Fp.sqr fp x)) (Curve.coeff_a curve))
+                  (Fp.add fp y y)
+              in
+              let t2 = Curve.double curve !t in
+              emit (chord_of ~x1:x ~y1:y ~lambda);
+              den_vert_of t2;
+              t := t2
+            end);
+        if Bigint.test_bit prms.q i then begin
+          match (!t, pt) with
+          | Curve.Infinity, _ -> t := pt
+          | Curve.Affine { x; y }, Curve.Affine { x = xp; y = yp } ->
+              if Fp.equal x xp then begin
+                emit (Num_vert x);
+                t := Curve.Infinity
+              end
+              else begin
+                let lambda = Fp.div fp (Fp.sub fp yp y) (Fp.sub fp xp x) in
+                let t2 = Curve.add curve !t pt in
+                emit (chord_of ~x1:x ~y1:y ~lambda);
+                den_vert_of t2;
+                t := t2
+              end
+          | Curve.Affine _, Curve.Infinity -> ()
+        end;
+        steps.(bits - 2 - i) <- List.rev !ops
+      done;
+      Prep_x1 steps
+
+let prepare prms pt =
+  match prms.family with
+  | Y2_x3_x -> prepare_xx prms pt
+  | Y2_x3_1 -> prepare_x1 prms pt
+
 let make ?(family = Y2_x3_x) ~name ~p ~q () =
   if not (Prime.is_probably_prime p) then invalid_arg "Pairing.make: p not prime";
   if not (Prime.is_probably_prime q) then invalid_arg "Pairing.make: q not prime";
@@ -84,7 +279,16 @@ let make ?(family = Y2_x3_x) ~name ~p ~q () =
     invalid_arg "Pairing.make: generator does not have order q";
   let final_exp = Bigint.div (Bigint.pred (Bigint.mul p p)) q in
   let zeta = match family with Y2_x3_x -> Fp2.one fp | Y2_x3_1 -> cube_root_of_unity fp in
-  { name; family; p; q; cofactor; fp; curve; g; final_exp; zeta }
+  (* The precomputations for the system generator are lazy so that
+     parameter construction stays cheap for callers that never pair. *)
+  let rec prms =
+    {
+      name; family; p; q; cofactor; fp; curve; g; final_exp; zeta;
+      g_table = lazy (Curve.Table.create curve ~bits:(Bigint.bit_length q) g);
+      g_prep = lazy (prepare prms g);
+    }
+  in
+  prms
 
 let hash_to_g1 prms msg =
   hash_to_g1_raw ~fp:prms.fp ~curve:prms.curve ~cofactor:prms.cofactor msg
@@ -160,8 +364,6 @@ let gt_one prms = Fp2.one prms.fp
    The final exponentiation (p^2-1)/q = (p-1) * h factors through the
    Frobenius: f^(p-1) = conj(f) / f, leaving only a pow by the (much
    shorter) cofactor h. *)
-
-type miller_state = { mx : Fp.t; my : Fp.t; mz : Fp.t }
 
 (* The Miller function f_{q,P}(phi Q) for the y^2 = x^3 + x family,
    before final exponentiation. *)
@@ -356,6 +558,88 @@ let pairing_equal_check prms ~lhs:(a, b) ~rhs:(c, d) =
   (* e(a,b) = e(c,d)  <=>  e(a,b) * e(-c,d) = 1 — one shared final
      exponentiation instead of two full pairings. *)
   pairing_check prms [ (a, b); (Curve.neg prms.curve c, d) ]
+
+(* --- evaluating prepared pairings --- *)
+
+let miller_prepared_xx prms steps qt =
+  let fp = prms.fp in
+  match qt with
+  | Curve.Infinity -> Fp2.one fp
+  | Curve.Affine q' ->
+      let xq = q'.x and yq = q'.y in
+      let f = ref (Fp2.one fp) in
+      Array.iter
+        (fun { pdbl; padd } ->
+          f := Fp2.sqr fp !f;
+          let apply = function
+            | None -> ()
+            | Some { l0; lx; ly } ->
+                let re = Fp.add fp l0 (Fp.mul fp lx xq) in
+                let im = Fp.mul fp ly yq in
+                f := Fp2.mul fp !f (Fp2.make ~re ~im)
+          in
+          apply pdbl;
+          apply padd)
+        steps;
+      !f
+
+let miller_prepared_x1 prms steps qt =
+  let fp = prms.fp in
+  match qt with
+  | Curve.Infinity -> Fp2.one fp
+  | Curve.Affine q' ->
+      let xq2 = Fp2.mul_fp fp q'.x prms.zeta in
+      let yq = q'.y in
+      let f_num = ref (Fp2.one fp) and f_den = ref (Fp2.one fp) in
+      Array.iter
+        (fun ops ->
+          f_num := Fp2.sqr fp !f_num;
+          f_den := Fp2.sqr fp !f_den;
+          List.iter
+            (function
+              | Num_line { l0; lmx } ->
+                  let v =
+                    Fp2.add fp
+                      (Fp2.of_fp fp (Fp.add fp l0 yq))
+                      (Fp2.mul_fp fp lmx xq2)
+                  in
+                  f_num := Fp2.mul fp !f_num v
+              | Num_vert x ->
+                  f_num := Fp2.mul fp !f_num (Fp2.sub fp xq2 (Fp2.of_fp fp x))
+              | Den_vert x ->
+                  f_den := Fp2.mul fp !f_den (Fp2.sub fp xq2 (Fp2.of_fp fp x)))
+            ops)
+        steps;
+      Fp2.mul fp !f_num (Fp2.inv fp !f_den)
+
+let miller_loop_prepared prms prep qt =
+  match prep with
+  | Prep_inf -> Fp2.one prms.fp
+  | Prep_xx steps -> miller_prepared_xx prms steps qt
+  | Prep_x1 steps -> miller_prepared_x1 prms steps qt
+
+let pairing_prepared prms prep qt =
+  final_exponentiation prms (miller_loop_prepared prms prep qt)
+
+let pairing_product_prepared prms pairs =
+  let fp = prms.fp in
+  let product =
+    List.fold_left
+      (fun acc (prep, qt) -> Fp2.mul fp acc (miller_loop_prepared prms prep qt))
+      (Fp2.one fp) pairs
+  in
+  final_exponentiation prms product
+
+let pairing_check_prepared prms pairs =
+  Fp2.is_one prms.fp (pairing_product_prepared prms pairs)
+
+let pairing_equal_check_prepared prms ~lhs:(a, b) ~rhs:(c, d) =
+  (* Prepared first arguments cannot be negated, but e(c,d)^-1 = e(c,-d)
+     (the distortion map commutes with negation), so negate the point
+     argument instead. *)
+  pairing_check_prepared prms [ (a, b); (c, Curve.neg prms.curve d) ]
+
+let mul_g prms k = Curve.Table.mul (Lazy.force prms.g_table) k
 
 let in_g1 prms point =
   Curve.on_curve prms.curve point

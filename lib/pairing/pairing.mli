@@ -17,6 +17,12 @@ type family =
           the straightforward affine one with denominators, so it is
           slower than {!Y2_x3_x}. *)
 
+type prepared
+(** A first pairing argument with its whole Miller-loop line-function
+    schedule precomputed ({!prepare}). Pairing against it
+    ({!pairing_prepared} and friends) skips all the loop's point
+    arithmetic and gives bit-identical results to {!pairing}. *)
+
 type params = private {
   name : string;
   family : family;
@@ -28,6 +34,9 @@ type params = private {
   g : Curve.point;  (** the system generator G of G1 *)
   final_exp : Bigint.t;  (** (p^2 - 1) / q *)
   zeta : Fp2.t;  (** primitive cube root of unity; only used by {!Y2_x3_1} *)
+  g_table : Curve.Table.t Lazy.t;
+      (** fixed-base precomputation for [g]; built on first use *)
+  g_prep : prepared Lazy.t;  (** [prepare prms g]; built on first use *)
 }
 
 val make :
@@ -86,6 +95,29 @@ val pairing_equal_check :
   params -> lhs:Curve.point * Curve.point -> rhs:Curve.point * Curve.point -> bool
 (** [e^(a,b) = e^(c,d)]? via [e^(a,b) * e^(-c,d) = 1] — one product, one
     final exponentiation. *)
+
+(** {1 Precomputed pairings and fixed-base scalars}
+
+    When the same first argument feeds many pairings (the generator, a
+    public key, a hashed release time), prepare it once; every subsequent
+    pairing then skips the Miller loop's point arithmetic. All prepared
+    variants are bit-identical to their plain counterparts. *)
+
+val prepare : params -> Curve.point -> prepared
+val pairing_prepared : params -> prepared -> Curve.point -> Fp2.t
+(** [pairing_prepared prms (prepare prms p) q = pairing prms p q]. *)
+
+val pairing_product_prepared : params -> (prepared * Curve.point) list -> Fp2.t
+val pairing_check_prepared : params -> (prepared * Curve.point) list -> bool
+val pairing_equal_check_prepared :
+  params -> lhs:prepared * Curve.point -> rhs:prepared * Curve.point -> bool
+(** Like {!pairing_equal_check}; the inversion of the right-hand side
+    negates its point argument (e^(c,d)^-1 = e^(c,-d)), since a prepared
+    argument cannot be negated. *)
+
+val mul_g : params -> Bigint.t -> Curve.point
+(** [mul_g prms k = Curve.mul prms.curve k prms.g], via the fixed-base
+    table [g_table]. *)
 
 val gt_mul : params -> Fp2.t -> Fp2.t -> Fp2.t
 val gt_pow : params -> Fp2.t -> Bigint.t -> Fp2.t

@@ -9,6 +9,7 @@ type t = {
   net : Simnet.t;
   name : string;
   server : Tre.Server.public;
+  verifier : Tre.verifier; (* prepared (G, sG) pairings for update checks *)
   secret : Tre.User.secret;
   public : Tre.User.public;
   updates : (Tre.time, Tre.update) Hashtbl.t;
@@ -24,6 +25,7 @@ let create prms ~net ~server ~name =
     net;
     name;
     server;
+    verifier = Tre.make_verifier prms server;
     secret;
     public;
     updates = Hashtbl.create 16;
@@ -54,7 +56,7 @@ let drain_pending t =
   t.pending <- List.filter (fun ct -> not (try_decrypt t ct)) t.pending
 
 let handler t upd =
-  if Tre.verify_update t.prms t.server upd then begin
+  if Tre.verify_update_with t.prms t.verifier upd then begin
     Hashtbl.replace t.updates upd.Tre.update_time upd;
     drain_pending t
   end

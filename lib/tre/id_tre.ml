@@ -51,6 +51,53 @@ let encrypt prms (srv : Server.public) id ~release_time rng msg =
     release_time;
   }
 
+(* Sender-side precomputation: K = e^(r*sG, K_E) = e^(sG, K_E)^r, with sG
+   fixed — so prepare sG once and cache the pairing per (id, T); repeated
+   encryptions to the same recipient and release time pairing-free, and
+   even cache misses skip the Miller loop's point arithmetic. Outputs are
+   bit-identical to {!encrypt} on the same rng stream. *)
+module Encryptor = struct
+  type t = {
+    prms : Pairing.params;
+    g_table : Curve.Table.t;
+    sg_prep : Pairing.prepared;
+    cache : (identity * time, Fp2.t) Hashtbl.t;
+  }
+
+  let create prms (srv : Server.public) =
+    {
+      prms;
+      g_table =
+        Curve.Table.create prms.Pairing.curve
+          ~bits:(Bigint.bit_length prms.Pairing.q)
+          srv.Server.g;
+      sg_prep = Pairing.prepare prms srv.Server.sg;
+      cache = Hashtbl.create 8;
+    }
+
+  let session_base enc ~id ~release_time =
+    match Hashtbl.find_opt enc.cache (id, release_time) with
+    | Some k -> k
+    | None ->
+        let ke =
+          Curve.add enc.prms.Pairing.curve
+            (Pairing.hash_to_g1 enc.prms id)
+            (Pairing.hash_to_g1 enc.prms release_time)
+        in
+        let k = Pairing.pairing_prepared enc.prms enc.sg_prep ke in
+        Hashtbl.add enc.cache (id, release_time) k;
+        k
+
+  let encrypt enc id ~release_time rng msg =
+    let r = Pairing.random_scalar enc.prms rng in
+    let k = Pairing.gt_pow enc.prms (session_base enc ~id ~release_time) r in
+    {
+      u = Curve.Table.mul enc.g_table r;
+      v = Hashing.Kdf.xor msg (Pairing.h2 enc.prms k (String.length msg));
+      release_time;
+    }
+end
+
 let decrypt prms ~private_key upd ct =
   if upd.Tre.update_time <> ct.release_time then raise Update_mismatch;
   let kd = Curve.add prms.Pairing.curve private_key upd.Tre.update_value in

@@ -45,6 +45,20 @@ val encrypt :
   ciphertext
 (** K_E = H1(ID) + H1(T); K = e^(sG, K_E)^r; C = <rG, M xor H2(K)>. *)
 
+(** Stateful sender context: prepares sG once, serves U = rG from a
+    fixed-base table and caches e^(sG, H1(ID) + H1(T)) per recipient and
+    release time, so repeated encryptions need no pairing (one GT
+    exponentiation instead). Bit-identical to {!encrypt} on the same rng
+    stream. *)
+module Encryptor : sig
+  type t
+
+  val create : Pairing.params -> Server.public -> t
+
+  val encrypt :
+    t -> identity -> release_time:time -> Hashing.Drbg.t -> string -> ciphertext
+end
+
 val decrypt :
   Pairing.params -> private_key:Curve.point -> Tre.update -> ciphertext -> string
 (** K_D = d_ID + I_T; K' = e^(U, K_D). Raises {!Update_mismatch} on a

@@ -18,11 +18,16 @@ let encrypt prms tree srv (pk : Tre.User.public) ~release_epoch rng msg =
   let u = Curve.mul curve r srv.Tre.Server.g in
   let rasg = Curve.mul curve r pk.Tre.User.asg in
   let msg_key = Hashing.Drbg.generate rng key_bytes in
+  (* All depth+1 header pairings share the first argument r*asG; prepare
+     it once and pay only the line evaluations per ancestor. *)
+  let rasg_prep = Pairing.prepare prms rasg in
   let headers =
     List.map
       (fun node ->
         let label = Time_tree.node_label tree node in
-        let k = Pairing.pairing prms rasg (Pairing.hash_to_g1 prms label) in
+        let k =
+          Pairing.pairing_prepared prms rasg_prep (Pairing.hash_to_g1 prms label)
+        in
         { node_label = label; blob = Hashing.Kdf.xor msg_key (Pairing.h2 prms k key_bytes) })
       (Time_tree.ancestors tree release_epoch)
   in
@@ -39,7 +44,12 @@ let verify_cover prms tree srv ~epoch updates =
   in
   let labels = List.map (fun (u : Tre.update) -> u.Tre.update_time) updates in
   List.sort compare labels = List.sort compare expected
-  && List.for_all (Tre.verify_update prms srv) updates
+  && begin
+       (* One prepared verifier across the whole cover (depth+1 updates
+          against the same server key). *)
+       let vrf = Tre.make_verifier prms srv in
+       List.for_all (Tre.verify_update_with prms vrf) updates
+     end
 
 let decrypt prms _tree a ~cover ct =
   let scalar = Tre.User.secret_to_scalar a in

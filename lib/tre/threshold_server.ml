@@ -1,6 +1,7 @@
 type system = {
   public : Tre.Server.public;
   share_commitments : (int * Curve.point) array;
+  commitment_preps : (int * Pairing.prepared) array;
   k : int;
   n : int;
 }
@@ -14,14 +15,21 @@ let setup prms rng ~k ~n =
   let s = Pairing.random_scalar prms rng in
   let shares = Shamir.split prms rng ~secret:s ~k ~n in
   let curve = prms.Pairing.curve in
+  let share_commitments =
+    Array.of_list
+      (List.map
+         (fun (sh : Shamir.share) ->
+           (sh.Shamir.index, Curve.mul curve sh.Shamir.value g))
+         shares)
+  in
   let system =
     {
       public = { Tre.Server.g; sg = Curve.mul curve s g };
-      share_commitments =
-        Array.of_list
-          (List.map (fun (sh : Shamir.share) ->
-               (sh.Shamir.index, Curve.mul curve sh.Shamir.value g))
-             shares);
+      share_commitments;
+      (* Partial verification pairs against the same commitments for the
+         system's whole lifetime; prepare them once at setup. *)
+      commitment_preps =
+        Array.map (fun (i, c) -> (i, Pairing.prepare prms c)) share_commitments;
       k;
       n;
     }
@@ -41,14 +49,14 @@ let issue_partial prms srv t =
 
 let verify_partial prms system t partial =
   match
-    Array.find_opt (fun (i, _) -> i = partial.server_index) system.share_commitments
+    Array.find_opt (fun (i, _) -> i = partial.server_index) system.commitment_preps
   with
   | None -> false
-  | Some (_, commitment) ->
+  | Some (_, commitment_prep) ->
       Pairing.in_g1 prms partial.value
-      && Pairing.pairing_equal_check prms
-           ~lhs:(prms.Pairing.g, partial.value)
-           ~rhs:(commitment, Pairing.hash_to_g1 prms t)
+      && Pairing.pairing_equal_check_prepared prms
+           ~lhs:(Lazy.force prms.Pairing.g_prep, partial.value)
+           ~rhs:(commitment_prep, Pairing.hash_to_g1 prms t)
 
 let combine prms system t partials =
   if List.length partials < system.k then

@@ -20,6 +20,9 @@
 type system = {
   public : Tre.Server.public;  (** the ordinary (G, sG) users see *)
   share_commitments : (int * Curve.point) array;  (** (i, s_i G), for share verification *)
+  commitment_preps : (int * Pairing.prepared) array;
+      (** the commitments {!Pairing.prepare}d once at setup; used by
+          {!verify_partial} *)
   k : int;
   n : int;
 }

@@ -51,6 +51,21 @@ let verify_update prms (pub : Server.public) upd =
        ~lhs:(pub.Server.sg, Pairing.hash_to_g1 prms upd.update_time)
        ~rhs:(pub.Server.g, upd.update_value)
 
+(* Both pairings of the verification equation have a fixed first argument
+   (sG and G), so a long-lived verifier prepares them once and each
+   update then costs only the two Miller-loop evaluations. *)
+type verifier = { vg : Pairing.prepared; vsg : Pairing.prepared }
+
+let make_verifier prms (pub : Server.public) =
+  { vg = Pairing.prepare prms pub.Server.g;
+    vsg = Pairing.prepare prms pub.Server.sg }
+
+let verify_update_with prms vrf upd =
+  Pairing.in_g1 prms upd.update_value
+  && Pairing.pairing_equal_check_prepared prms
+       ~lhs:(vrf.vsg, Pairing.hash_to_g1 prms upd.update_time)
+       ~rhs:(vrf.vg, upd.update_value)
+
 module User = struct
   type secret = Bigint.t
   type public = { ag : Curve.point; asg : Curve.point }
@@ -109,6 +124,54 @@ let encrypt_prevalidated prms (srv : Server.public) (pk : User.public) ~release_
 let encrypt prms srv pk ~release_time rng msg =
   if not (validate_receiver_key prms srv pk) then raise Invalid_receiver_key;
   encrypt_prevalidated prms srv pk ~release_time rng msg
+
+(* A sender encrypting repeatedly to one receiver pays per message: one
+   pairing, two scalar multiplications and the validation pairing check.
+   This stateful encryptor amortizes all three: validation happens once at
+   construction, U = rG comes from a fixed-base table, and the pairing is
+   cached per release time — K = e^(r*asG, H1(T)) = e^(asG, H1(T))^r by
+   bilinearity, so repeated encryptions to the same release time need no
+   pairing at all, just one GT exponentiation. Outputs are bit-identical
+   to {!encrypt} for the same rng stream. *)
+module Encryptor = struct
+  type t = {
+    prms : Pairing.params;
+    pk : User.public;
+    g_table : Curve.Table.t;
+    cache : (time, Fp2.t) Hashtbl.t;
+  }
+
+  let create prms (srv : Server.public) (pk : User.public) =
+    if not (validate_receiver_key prms srv pk) then raise Invalid_receiver_key;
+    {
+      prms;
+      pk;
+      g_table =
+        Curve.Table.create prms.Pairing.curve
+          ~bits:(Bigint.bit_length prms.Pairing.q)
+          srv.Server.g;
+      cache = Hashtbl.create 8;
+    }
+
+  let release_key enc release_time =
+    match Hashtbl.find_opt enc.cache release_time with
+    | Some k -> k
+    | None ->
+        let k =
+          Pairing.pairing enc.prms enc.pk.User.asg
+            (Pairing.hash_to_g1 enc.prms release_time)
+        in
+        Hashtbl.add enc.cache release_time k;
+        k
+
+  let encrypt enc ~release_time rng msg =
+    let r = Pairing.random_scalar enc.prms rng in
+    let u = Curve.Table.mul enc.g_table r in
+    let k = Pairing.gt_pow enc.prms (release_key enc release_time) r in
+    { u;
+      v = Hashing.Kdf.xor msg (Pairing.h2 enc.prms k (String.length msg));
+      release_time }
+end
 
 let decrypt prms (a : User.secret) upd ct =
   if upd.update_time <> ct.release_time then raise Update_mismatch;

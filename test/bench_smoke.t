@@ -1,0 +1,17 @@
+The benchmark harness's --smoke mode asserts that every optimized hot
+path (fixed-base tables, wNAF, windowed exponentiation, dedicated
+squaring, prepared pairings, the encryptor cache) returns bit-identical
+results to its reference implementation. Ratios are machine-dependent,
+so sed masks them; the OK lines and the final assertion are the test.
+
+  $ ../bench/main.exe --smoke | sed -E 's/\([0-9]+\.[0-9]+x\)/(N.NNx)/'
+  E1-opt smoke: optimized vs reference at mid128
+  scalar-mult fixed-base     OK (N.NNx)
+  scalar-mult variable-base  OK (N.NNx)
+  mont-pow 255-bit exp       OK (N.NNx)
+  fp2-pow (GT exponent)      OK (N.NNx)
+  nat-sqr 256-bit            OK (N.NNx)
+  pairing (prepared G)       OK (N.NNx)
+  update-verify              OK (N.NNx)
+  tre-encrypt (same T)       OK (N.NNx)
+  all optimized paths agree with reference

@@ -94,6 +94,33 @@ let prop_sqr =
   QCheck2.Test.make ~name:"sqr a = a*a" ~count:300 (gen_bigint ())
     (fun a -> B.equal (B.sqr a) (B.mul a a))
 
+(* Nat.sqr has a dedicated schoolbook + Karatsuba implementation; pin it
+   to [mul a a] exactly at the limb counts where the algorithm changes
+   shape (single limb, around the 32-limb Karatsuba threshold, and around
+   the first recursive split at twice the threshold). *)
+let test_nat_sqr_limb_widths () =
+  let rng = Hashing.Drbg.create ~seed:"nat-sqr-widths" () in
+  Alcotest.(check bool) "zero" true (Nat.equal (Nat.sqr Nat.zero) Nat.zero);
+  List.iter
+    (fun limbs ->
+      for rep = 1 to 5 do
+        (* Random value with exactly [limbs] limbs: force the top bit. *)
+        let bits = limbs * Nat.base_bits in
+        let raw = B.abs (B.of_bytes_be (Hashing.Drbg.generate rng ((bits + 7) / 8))) in
+        let top = B.shift_left B.one (bits - 1) in
+        let v = Bigint.magnitude (B.add top (B.erem raw top)) in
+        if not (Nat.equal (Nat.sqr v) (Nat.mul v v)) then
+          Alcotest.fail (Printf.sprintf "%d limbs, rep %d" limbs rep)
+      done)
+    [ 1; 2; 3; 31; 32; 33; 63; 64; 65; 127; 128 ]
+
+let prop_nat_sqr =
+  QCheck2.Test.make ~name:"Nat.sqr = Nat.mul a a (wide)" ~count:100
+    (gen_positive ~max_bits:4000 ())
+    (fun a ->
+      let n = Bigint.magnitude a in
+      Nat.equal (Nat.sqr n) (Nat.mul n n))
+
 let prop_karatsuba_vs_wide =
   (* Force operands wide enough to cross the Karatsuba threshold and check
      the identity (a+b)^2 = a^2 + 2ab + b^2 which mixes both paths. *)
@@ -209,6 +236,46 @@ let prop_mont_add_sub =
       B.equal (to_bigint ctx (add ctx am bm)) (B.erem (B.add a bb) m)
       && B.equal (to_bigint ctx (sub ctx am bm)) (B.erem (B.sub a bb) m)
       && B.equal (to_bigint ctx (neg ctx am)) (B.erem (B.neg a) m))
+
+(* --- sliding-window exponentiation vs the binary ladder --- *)
+
+let window_prime =
+  B.of_string "57896044618658097711785492504343953926634992332820282019728792003956564820063"
+
+let prop_mont_window_pow =
+  QCheck2.Test.make ~name:"Mont.pow = Mont.pow_binary" ~count:100
+    QCheck2.Gen.(
+      triple (gen_positive ~max_bits:300 ()) (gen_positive ~max_bits:400 ())
+        (gen_positive ~max_bits:300 ()))
+    (fun (a, e, m) ->
+      QCheck2.assume (B.is_odd m && B.compare m (B.of_int 3) >= 0);
+      let ctx = Modarith.Mont.create m in
+      let am = Modarith.Mont.of_bigint ctx a in
+      Modarith.Mont.equal (Modarith.Mont.pow ctx am e)
+        (Modarith.Mont.pow_binary ctx am e))
+
+let test_window_pow_edge_exponents () =
+  let ctx = Modarith.Mont.create window_prime in
+  let open Modarith.Mont in
+  let a = of_bigint ctx (B.of_int 0xC0FFEE) in
+  let check name e =
+    if not (equal (pow ctx a e) (pow_binary ctx a e)) then Alcotest.fail name
+  in
+  check "e = 0" B.zero;
+  Alcotest.(check bool) "a^0 = 1" true (equal (pow ctx a B.zero) (one ctx));
+  check "e = 1" B.one;
+  check "e = 2" B.two;
+  check "e = q-1" (B.pred window_prime);
+  check "e = q" window_prime;
+  (* Long zero runs between set bits exercise the window-skipping path. *)
+  check "e = 2^200" (B.pow B.two 200);
+  check "e = 2^200 + 1" (B.succ (B.pow B.two 200));
+  check "e = 0xFF << 190" (B.shift_left (B.of_int 0xFF) 190);
+  check "e = (1<<250) | (1<<125) | 1"
+    (B.add (B.pow B.two 250) (B.add (B.pow B.two 125) B.one));
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Mont.pow: negative exponent") (fun () ->
+      ignore (pow ctx a (B.of_int (-1))))
 
 let prop_jacobi_squares =
   (* Squares mod an odd prime have Jacobi symbol 1. *)
@@ -340,8 +407,9 @@ let () =
           [
             prop_add_comm; prop_mul_comm; prop_mul_assoc; prop_distrib;
             prop_add_sub_inverse; prop_divmod_reconstruct; prop_erem_range; prop_sqr;
-            prop_karatsuba_vs_wide; prop_shift; prop_bit_length;
-          ] );
+            prop_nat_sqr; prop_karatsuba_vs_wide; prop_shift; prop_bit_length;
+          ]
+        @ [ Alcotest.test_case "Nat.sqr limb widths" `Quick test_nat_sqr_limb_widths ] );
       ( "codecs",
         q [ prop_string_roundtrip; prop_hex_roundtrip; prop_bytes_roundtrip ]
         @ [
@@ -353,7 +421,11 @@ let () =
           [
             prop_egcd; prop_invmod; prop_powmod_matches_naive; prop_powmod_even_modulus;
             prop_fermat; prop_mont_roundtrip; prop_mont_mul; prop_mont_add_sub;
-            prop_jacobi_squares;
+            prop_mont_window_pow; prop_jacobi_squares;
+          ]
+        @ [
+            Alcotest.test_case "window pow edge exponents" `Quick
+              test_window_pow_edge_exponents;
           ] );
       ( "prime",
         [

@@ -100,6 +100,97 @@ let prop_on_curve_closed =
     QCheck2.Gen.(pair gen_subgroup_point gen_subgroup_point)
     (fun (a, b) -> Curve.on_curve curve (Curve.add curve a b))
 
+(* --- scalar-multiplication path equivalence ---
+
+   Three independent implementations must agree everywhere: the reference
+   double-and-add ladder, the wNAF path behind Curve.mul, and the
+   fixed-base table. *)
+
+let table_g = Curve.Table.create curve ~bits:(B.bit_length q) g
+
+let check_paths name k pt tbl =
+  let reference = Curve.mul_double_add curve k pt in
+  if not (Curve.equal (Curve.mul curve k pt) reference) then
+    Alcotest.fail (name ^ ": wNAF disagrees with ladder");
+  match tbl with
+  | None -> ()
+  | Some tbl ->
+      if not (Curve.equal (Curve.Table.mul tbl k) reference) then
+        Alcotest.fail (name ^ ": table disagrees with ladder")
+
+let test_mul_paths_edge_scalars () =
+  let cases =
+    [
+      ("0", B.zero); ("1", B.one); ("2", B.two); ("3", B.of_int 3);
+      ("q-1", B.pred q); ("q", q); ("q+1", B.succ q);
+      ("2^40", B.pow B.two 40);
+      ("2^40+1", B.succ (B.pow B.two 40));
+      ("2^63", B.pow B.two 63);
+      ("0xFF<<50", B.shift_left (B.of_int 0xFF) 50);
+      ("-1", B.of_int (-1)); ("-(q-1)", B.neg (B.pred q));
+      ("all-ones 60", B.pred (B.pow B.two 60));
+      ("beyond table bits", B.mul q q);
+    ]
+  in
+  List.iter (fun (name, k) -> check_paths name k g (Some table_g)) cases;
+  (* A non-generator variable base exercises wNAF without the table. *)
+  let h = Pairing.hash_to_g1 prms "mul-paths-var-base" in
+  List.iter (fun (name, k) -> check_paths ("h: " ^ name) k h None) cases
+
+let test_mul_paths_two_torsion () =
+  (* (0,0) is 2-torsion: odd-multiple tables collapse, forcing both the
+     wNAF path and the fixed-base table onto their fallbacks. *)
+  let t = Curve.make curve ~x:(Fp.zero fp) ~y:(Fp.zero fp) in
+  let tbl = Curve.Table.create curve ~bits:(B.bit_length q) t in
+  List.iter
+    (fun (name, k) -> check_paths ("2-torsion " ^ name) k t (Some tbl))
+    [ ("2", B.two); ("big even", B.mul q q); ("big odd", B.succ (B.mul q q)) ];
+  check_paths "infinity base" (B.of_int 12345) Curve.infinity
+    (Some (Curve.Table.create curve ~bits:(B.bit_length q) Curve.infinity))
+
+let prop_mul_paths_agree =
+  let gen_wide_scalar =
+    QCheck2.Gen.(
+      let* bytes = string_size ~gen:char (int_range 0 20) in
+      let* negate = bool in
+      let v = B.of_bytes_be bytes in
+      return (if negate then B.neg v else v))
+  in
+  QCheck2.Test.make ~name:"mul = mul_double_add = Table.mul" ~count:100
+    gen_wide_scalar
+    (fun k ->
+      let reference = Curve.mul_double_add curve k g in
+      Curve.equal (Curve.mul curve k g) reference
+      && Curve.equal (Curve.Table.mul table_g k) reference)
+
+let test_mul_paths_all_param_sets () =
+  (* Every named parameter set (both curve families, up to 512-bit p). *)
+  let rng = Hashing.Drbg.create ~seed:"mul-paths-params" () in
+  List.iter
+    (fun name ->
+      match Pairing.by_name name with
+      | None -> Alcotest.fail ("unknown params " ^ name)
+      | Some prms ->
+          let curve = prms.Pairing.curve in
+          let g = prms.Pairing.g in
+          let q = prms.Pairing.q in
+          let tbl = Curve.Table.create curve ~bits:(B.bit_length q) g in
+          let scalars =
+            [ B.zero; B.one; B.pred q; q;
+              B.pow B.two (B.bit_length q - 1);
+              B.succ (B.pow B.two (B.bit_length q - 1)) ]
+            @ List.init 3 (fun _ -> Pairing.random_scalar prms rng)
+          in
+          List.iter
+            (fun k ->
+              let reference = Curve.mul_double_add curve k g in
+              if not (Curve.equal (Curve.mul curve k g) reference) then
+                Alcotest.fail (name ^ ": wNAF");
+              if not (Curve.equal (Curve.Table.mul tbl k) reference) then
+                Alcotest.fail (name ^ ": table"))
+            scalars)
+    Pairing.all_names
+
 let prop_bytes_roundtrip =
   QCheck2.Test.make ~name:"point codec roundtrip" ~count:100 gen_subgroup_point
     (fun a -> Curve.of_bytes curve (Curve.to_bytes curve a) = Some a)
@@ -171,6 +262,13 @@ let () =
             prop_add_commutative; prop_add_associative; prop_double_is_add;
             prop_mul_distributes; prop_mul_composes; prop_scalar_mod_q;
             prop_on_curve_closed;
+          ] );
+      ( "mul-paths",
+        qc [ prop_mul_paths_agree ]
+        @ [
+            Alcotest.test_case "edge scalars" `Quick test_mul_paths_edge_scalars;
+            Alcotest.test_case "2-torsion fallbacks" `Quick test_mul_paths_two_torsion;
+            Alcotest.test_case "all parameter sets" `Slow test_mul_paths_all_param_sets;
           ] );
       ( "codec",
         qc [ prop_bytes_roundtrip ]

@@ -148,6 +148,36 @@ let prop_fp2_bytes_roundtrip =
       | Some b -> Fp2.equal a b
       | None -> false)
 
+let gen_exponent =
+  QCheck2.Gen.(
+    let* bytes = string_size ~gen:char (int_range 0 38) in
+    let* negate = bool in
+    let v = B.of_bytes_be bytes in
+    return (if negate then B.neg v else v))
+
+let prop_fp2_window_pow =
+  QCheck2.Test.make ~name:"fp2 pow = pow_binary" ~count:50
+    QCheck2.Gen.(pair gen_fp2 gen_exponent)
+    (fun (a, e) ->
+      QCheck2.assume (B.sign e >= 0 || not (Fp2.is_zero ctx a));
+      Fp2.equal (Fp2.pow ctx a e) (Fp2.pow_binary ctx a e))
+
+let test_fp2_window_pow_edges () =
+  let a = Fp2.make ~re:(Fp.of_int ctx 7) ~im:(Fp.of_int ctx 11) in
+  let check name e =
+    if not (Fp2.equal (Fp2.pow ctx a e) (Fp2.pow_binary ctx a e)) then
+      Alcotest.fail name
+  in
+  check "e = 0" B.zero;
+  check "e = 1" B.one;
+  check "e = p-1" (B.pred p256);
+  check "e = p" p256;
+  check "e = 2^200" (B.pow B.two 200);
+  check "e = 2^200 + 1" (B.succ (B.pow B.two 200));
+  (* Negative exponents invert the base in both paths. *)
+  check "e = -5" (B.of_int (-5));
+  check "e = -(2^150)" (B.neg (B.pow B.two 150))
+
 let prop_fp2_mul_fp =
   QCheck2.Test.make ~name:"fp2 mul_fp = mul by embedded" ~count:200
     QCheck2.Gen.(pair gen_fp gen_fp2)
@@ -176,11 +206,13 @@ let () =
         [
           Alcotest.test_case "i^2 = -1" `Quick test_fp2_i_squared;
           Alcotest.test_case "inv zero" `Quick test_fp2_inv_zero;
+          Alcotest.test_case "window pow edges" `Quick test_fp2_window_pow_edges;
         ] );
       ( "fp2-props",
         q
           [
             prop_fp2_field_axioms; prop_fp2_inv; prop_fp2_conj; prop_fp2_frobenius;
-            prop_fp2_pow_homomorphism; prop_fp2_bytes_roundtrip; prop_fp2_mul_fp;
+            prop_fp2_pow_homomorphism; prop_fp2_window_pow; prop_fp2_bytes_roundtrip;
+            prop_fp2_mul_fp;
           ] );
     ]

@@ -263,6 +263,85 @@ let test_family2_make_validation () =
       (Invalid_argument "Pairing.make: p must be 2 mod 3 for the x^3 + 1 family")
       (fun () -> ignore (Pairing.make ~family:Pairing.Y2_x3_1 ~name:"bad" ~p ~q ()))
 
+(* --- prepared (precomputed Miller-loop) pairings --- *)
+
+(* Bit-identity, not just gt_equal: prepared pairings must return the very
+   same canonical field element, so cached values are interchangeable with
+   freshly computed ones everywhere in the schemes. *)
+let check_prepared_equivalence prms =
+  let name = prms.Pairing.name in
+  let curve = prms.Pairing.curve in
+  let g = prms.Pairing.g in
+  let q = prms.Pairing.q in
+  let h = Pairing.hash_to_g1 prms ("prep-" ^ name) in
+  let pts =
+    [ g; h; Curve.mul curve (B.of_int 7) g; Curve.neg curve h;
+      Curve.mul curve (B.pred q) g; Curve.infinity ]
+  in
+  List.iter
+    (fun p ->
+      let prep = Pairing.prepare prms p in
+      List.iter
+        (fun q' ->
+          let plain = Pairing.pairing prms p q' in
+          let fast = Pairing.pairing_prepared prms prep q' in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: prepared = plain" name)
+            true (Fp2.equal plain fast))
+        pts)
+    pts;
+  (* Product / check / equal_check variants. *)
+  let a = B.of_int 1234 and b = B.of_int 5678 in
+  let ab = B.erem (B.mul a b) q in
+  let pa = Curve.mul curve a g and pb = Curve.mul curve b g in
+  let prep_pa = Pairing.prepare prms pa in
+  Alcotest.(check bool) (name ^ ": product prepared") true
+    (Fp2.equal
+       (Pairing.pairing_product prms [ (pa, pb); (h, g) ])
+       (Pairing.pairing_product_prepared prms
+          [ (prep_pa, pb); (Pairing.prepare prms h, g) ]));
+  Alcotest.(check bool) (name ^ ": check prepared true") true
+    (Pairing.pairing_check_prepared prms
+       [ (prep_pa, pb); (Pairing.prepare prms (Curve.neg curve (Curve.mul curve ab g)), g) ]);
+  Alcotest.(check bool) (name ^ ": check prepared false") false
+    (Pairing.pairing_check_prepared prms
+       [ (prep_pa, pb); (Pairing.prepare prms (Curve.neg curve g), g) ]);
+  Alcotest.(check bool) (name ^ ": equal_check prepared true") true
+    (Pairing.pairing_equal_check_prepared prms
+       ~lhs:(prep_pa, pb)
+       ~rhs:(Lazy.force prms.Pairing.g_prep, Curve.mul curve ab g));
+  Alcotest.(check bool) (name ^ ": equal_check prepared false") false
+    (Pairing.pairing_equal_check_prepared prms
+       ~lhs:(prep_pa, pb)
+       ~rhs:(Lazy.force prms.Pairing.g_prep, g));
+  (* Fixed-base comb multiplication of the generator. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (name ^ ": mul_g = mul") true
+        (Curve.equal (Pairing.mul_g prms k) (Curve.mul curve k g)))
+    [ B.zero; B.one; B.of_int 2; B.pred q; q; B.succ q ]
+
+let test_prepared_toy_sets () =
+  check_prepared_equivalence (Pairing.toy64 ());
+  check_prepared_equivalence (Pairing.toy64b ())
+
+let test_prepared_all_sets () =
+  List.iter
+    (fun name ->
+      match Pairing.by_name name with
+      | None -> Alcotest.fail ("missing params " ^ name)
+      | Some prms -> check_prepared_equivalence prms)
+    Pairing.all_names
+
+let prop_prepared_random_points =
+  QCheck2.Test.make ~name:"prepared pairing = plain pairing (random)" ~count:15
+    QCheck2.Gen.(pair gen_scalar gen_scalar)
+    (fun (a, b) ->
+      let p = Curve.mul curve a g and q' = Curve.mul curve b g in
+      Fp2.equal
+        (Pairing.pairing prms p q')
+        (Pairing.pairing_prepared prms (Pairing.prepare prms p) q'))
+
 let test_param_search_small () =
   let rng = Hashing.Drbg.create ~seed:"param-search-test" () in
   let p, q = Param_search.generate ~rng ~qbits:32 ~pbits:48 () in
@@ -305,6 +384,10 @@ let () =
           Alcotest.test_case "make validation" `Quick test_make_validation;
           Alcotest.test_case "param search" `Slow test_param_search_small;
         ] );
+      ( "prepared",
+        Alcotest.test_case "toy sets equivalence" `Quick test_prepared_toy_sets
+        :: Alcotest.test_case "all sets equivalence" `Slow test_prepared_all_sets
+        :: qc [ prop_prepared_random_points ] );
       ( "family2",
         [
           Alcotest.test_case "bilinear+nondegenerate" `Quick test_family2_bilinear_nondegenerate;
