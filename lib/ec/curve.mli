@@ -42,6 +42,16 @@ val mul_double_add : ctx -> Bigint.t -> point -> point
 (** Reference Jacobian double-and-add ladder. Always agrees with {!mul};
     kept for the equivalence tests and the before/after benchmark. *)
 
+val msm : ctx -> (Bigint.t * point) list -> point
+(** Multi-scalar multiplication [sum_i k_i * P_i]: interleaved wNAF digit
+    streams over one shared doubling chain, one shared Montgomery batch
+    normalization of the odd-multiple tables, one final inversion — far
+    cheaper than summing independent {!mul}s, especially for the short
+    exponents of batch verification. Always agrees with folding {!add}
+    over independent {!mul}s, including for negative scalars, zero
+    scalars, infinity, and low-order points (which fall back to {!mul}
+    internally). *)
+
 (** Fixed-base precomputation: build a table from a point once, then
     multiply it by many scalars at a fraction of the generic cost (no
     doublings, at most [ceil bits/w] mixed additions per scalar). *)

@@ -57,7 +57,11 @@ let gt_bytes prms = 2 * Fp.byte_length prms.fp
 
 (* --- H1: hash to the order-q subgroup, try-and-increment --- *)
 
-let hash_to_g1_raw ~fp ~curve ~cofactor msg =
+(* The pre-clamping lift: hash to a curve point (of unconstrained order)
+   by try-and-increment. Returns the chosen point together with the
+   counter that produced it, so the cofactor-clearing caller can resume
+   the very same counter sequence if clearing lands on infinity. *)
+let lift_to_curve ~fp ~curve msg ctr0 =
   let fp_bytes = Fp.byte_length fp in
   let rec attempt ctr =
     if ctr > 1000 then failwith "hash_to_g1: no point found (broken parameters?)";
@@ -69,10 +73,17 @@ let hash_to_g1_raw ~fp ~curve ~cofactor msg =
     | None -> attempt (ctr + 1)
     | Some (lo, hi) ->
         let point = if Char.code stream.[fp_bytes] land 1 = 0 then lo else hi in
-        let clamped = Curve.mul curve cofactor point in
-        if Curve.is_infinity clamped then attempt (ctr + 1) else clamped
+        (point, ctr)
   in
-  attempt 0
+  attempt ctr0
+
+let hash_to_g1_raw ~fp ~curve ~cofactor msg =
+  let rec go ctr0 =
+    let point, ctr = lift_to_curve ~fp ~curve msg ctr0 in
+    let clamped = Curve.mul curve cofactor point in
+    if Curve.is_infinity clamped then go (ctr + 1) else clamped
+  in
+  go 0
 
 (* --- parameter construction --- *)
 
@@ -279,8 +290,6 @@ let make ?(family = Y2_x3_x) ~name ~p ~q () =
     invalid_arg "Pairing.make: generator does not have order q";
   let final_exp = Bigint.div (Bigint.pred (Bigint.mul p p)) q in
   let zeta = match family with Y2_x3_x -> Fp2.one fp | Y2_x3_1 -> cube_root_of_unity fp in
-  (* The precomputations for the system generator are lazy so that
-     parameter construction stays cheap for callers that never pair. *)
   let rec prms =
     {
       name; family; p; q; cofactor; fp; curve; g; final_exp; zeta;
@@ -288,21 +297,48 @@ let make ?(family = Y2_x3_x) ~name ~p ~q () =
       g_prep = lazy (prepare prms g);
     }
   in
+  (* The generator precomputations are forced HERE, at construction, not
+     on first use: [Lazy.force] is not domain-safe (two domains racing on
+     an unforced suspension can raise [Lazy.Undefined] or duplicate work),
+     and a params value is exactly the thing the batch APIs share across a
+     [Pool]. Construction happens once per parameter set, so the eager
+     cost is paid where it cannot race. *)
+  ignore (Lazy.force prms.g_table);
+  ignore (Lazy.force prms.g_prep);
   prms
 
 let hash_to_g1 prms msg =
   hash_to_g1_raw ~fp:prms.fp ~curve:prms.curve ~cofactor:prms.cofactor msg
 
+(* Batch-verification helper: cofactor clearing commutes with linear
+   combinations — sum d_i * (h * P_i) = h * (sum d_i * P_i) — so a batch
+   can skip the per-item clearing mult, accumulate the raw lifts, and pay
+   ONE h-mult on the sum. [hash_to_g1 prms msg] equals
+   [cofactor * hash_to_g1_unclamped prms msg] for every input on which the
+   clamped lift is nonzero; the exception (a lift that cofactor-clears to
+   infinity, making hash_to_g1 re-roll its counter) occurs for a uniform
+   lift with probability 1/q < 2^-64 and has never been observed for any
+   named parameter set. *)
+let hash_to_g1_unclamped prms msg =
+  fst (lift_to_curve ~fp:prms.fp ~curve:prms.curve msg 0)
+
 (* --- named parameter sets (generated by bin/paramgen, fixed seed) --- *)
 
 let named = Hashtbl.create 4
+
+(* The named-set cells stay lazy (building all five sets eagerly at
+   module init would be wasteful), so forcing them must be serialized:
+   without the mutex, two domains racing on the same first lookup hit the
+   non-domain-safe [Lazy.force]. *)
+let named_lock = Mutex.create ()
+let force_cell cell = Mutex.protect named_lock (fun () -> Lazy.force cell)
 
 let def_params ?family name ~p ~q =
   let cell =
     lazy (make ?family ~name ~p:(Bigint.of_string p) ~q:(Bigint.of_string q) ())
   in
   Hashtbl.replace named name cell;
-  fun () -> Lazy.force cell
+  fun () -> force_cell cell
 
 (* Constants below were produced by `dune exec bin/paramgen.exe` with the
    fixed seed "tre-paramgen-v1"; rerunning reproduces them bit-for-bit. *)
@@ -324,7 +360,7 @@ let std160 =
 
 let by_name name =
   match Hashtbl.find_opt named name with
-  | Some cell -> Some (Lazy.force cell)
+  | Some cell -> Some (force_cell cell)
   | None -> None
 
 let toy64b =
@@ -343,6 +379,22 @@ let all_names = [ "toy64"; "mid128"; "std160"; "toy64b"; "mid128b" ]
 
 let random_scalar prms rng =
   Bigint.random_in_range rng ~lo:Bigint.one ~hi:(Bigint.pred prms.q)
+
+(* Small exponents for Bellare–Garay–Rabin batch verification,
+   derandomized: the DRBG is keyed by the caller-supplied seed, which by
+   convention serializes the whole batch plus the verification key. An
+   adversary who tampers with any batch element thereby re-randomizes
+   every exponent (the Fiat–Shamir heuristic, sound in the random-oracle
+   model this paper already lives in), so a crafted combination of errors
+   cancels with probability ~2^-64 per attempt. Exponents are in
+   [1, 2^64], never zero — a zero exponent would drop its item from the
+   check entirely. *)
+let batch_exponents (_ : params) ~seed n =
+  let rng =
+    Hashing.Drbg.create ~seed ~personalization:"TRE-batch-exponents" ()
+  in
+  List.init n (fun _ ->
+      Bigint.succ (Bigint.of_bytes_be (Hashing.Drbg.generate rng 8)))
 
 let gt_mul prms a b = Fp2.mul prms.fp a b
 let gt_pow prms a n = Fp2.pow prms.fp a n

@@ -35,8 +35,11 @@ type params = private {
   final_exp : Bigint.t;  (** (p^2 - 1) / q *)
   zeta : Fp2.t;  (** primitive cube root of unity; only used by {!Y2_x3_1} *)
   g_table : Curve.Table.t Lazy.t;
-      (** fixed-base precomputation for [g]; built on first use *)
-  g_prep : prepared Lazy.t;  (** [prepare prms g]; built on first use *)
+      (** fixed-base precomputation for [g]; forced at construction, so a
+          params value is safe to share across domains (a racing
+          [Lazy.force] is not) *)
+  g_prep : prepared Lazy.t;
+      (** [prepare prms g]; forced at construction, like [g_table] *)
 }
 
 val make :
@@ -76,6 +79,14 @@ val all_names : string list
 
 val random_scalar : params -> Hashing.Drbg.t -> Bigint.t
 (** Uniform in [1, q-1] — the paper's Z_q^*. *)
+
+val batch_exponents : params -> seed:string -> int -> Bigint.t list
+(** [n] derandomized 64-bit nonzero exponents for Bellare–Garay–Rabin
+    small-exponents batch verification, drawn from a DRBG keyed by [seed]
+    (by convention: the verification key and the serialized batch, so any
+    tampering re-randomizes all exponents — Fiat–Shamir style, sound in
+    the random-oracle model). Used by {!Bls.verify_batch} and
+    [Tre.Verifier.verify_updates]. *)
 
 val pairing : params -> Curve.point -> Curve.point -> Fp2.t
 (** The modified Tate pairing of two G1 points; result in the order-q
@@ -138,6 +149,17 @@ val ddh : params -> Curve.point -> Curve.point -> Curve.point -> Curve.point -> 
 val hash_to_g1 : params -> string -> Curve.point
 (** H1 : \{0,1\}* -> G1*: try-and-increment to a curve point, then
     cofactor multiplication into the subgroup; never returns infinity. *)
+
+val hash_to_g1_unclamped : params -> string -> Curve.point
+(** The pre-cofactor-clearing lift behind {!hash_to_g1}: a curve point of
+    unconstrained order. Cofactor clearing commutes with linear
+    combinations, so batch verifiers accumulate these raw lifts weighted
+    by their small exponents and clear the cofactor {e once} on the sum —
+    one h-mult per batch instead of one per item.
+    [hash_to_g1 prms m = Curve.mul prms.curve prms.cofactor
+    (hash_to_g1_unclamped prms m)] for every input whose clamped lift is
+    nonzero (all but a fraction 1/q < 2^-64 of inputs, on which
+    {!hash_to_g1} re-rolls its internal counter instead). *)
 
 val h2 : params -> Fp2.t -> int -> string
 (** H2 : G2 -> \{0,1\}^n, instantiated as a KDF over the canonical

@@ -1,0 +1,190 @@
+(* Domain pool: workers park on a condition variable between batches and
+   are handed a whole batch as one "claim loop" closure. Work is split
+   into contiguous chunks; lanes claim chunk indices off one atomic
+   counter (work-stealing-free: a chunk, once claimed, runs to completion
+   on its claimant), and every lane writes results into its own disjoint
+   slice of the output array — so ordering is positional and the output of
+   a pure function is bit-identical to [List.map], whatever the timing. *)
+
+type t = {
+  size : int;
+  lock : Mutex.t; (* guards job/generation/stopped/workers *)
+  work : Condition.t;
+  mutable job : (unit -> unit) option; (* the current batch's claim loop *)
+  mutable generation : int; (* bumped per batch; workers wait on it *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+  submit : Mutex.t; (* serializes concurrent map calls on one pool *)
+}
+
+let size t = t.size
+let recommended () = Domain.recommended_domain_count ()
+
+(* A worker loops: wait for a generation bump, snapshot the job, run its
+   claim loop to exhaustion, repeat. A stale wake-up is harmless — the
+   claim loop of a finished batch returns immediately (no chunks left),
+   and a cleared job is skipped. *)
+let rec worker_loop pool seen =
+  Mutex.lock pool.lock;
+  while pool.generation = seen && not pool.stopped do
+    Condition.wait pool.work pool.lock
+  done;
+  let gen = pool.generation and job = pool.job and stop = pool.stopped in
+  Mutex.unlock pool.lock;
+  if not stop then begin
+    (match job with Some run -> run () | None -> ());
+    worker_loop pool gen
+  end
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let workers = pool.workers in
+  pool.workers <- [];
+  if not pool.stopped then begin
+    pool.stopped <- true;
+    Condition.broadcast pool.work
+  end;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join workers
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some n when n < 1 -> invalid_arg "Pool.create: domains must be >= 1"
+    | Some n -> n
+    | None -> recommended ()
+  in
+  let pool =
+    {
+      size;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      job = None;
+      generation = 0;
+      stopped = false;
+      workers = [];
+      submit = Mutex.create ();
+    }
+  in
+  (* Workers beyond the host's core count are never spawned, not merely
+     never admitted: even a PARKED domain joins every stop-the-world
+     minor-GC handshake (via its backup thread), which measurably slows
+     allocation-heavy pairing work on the domains that do run. An
+     oversized pool therefore behaves exactly like one sized to the
+     host. *)
+  let spawned = Stdlib.max 0 (Stdlib.min size (recommended ()) - 1) in
+  pool.workers <-
+    List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  (* A live domain parked on a condition variable would keep the process
+     from exiting cleanly; join them on the way out. *)
+  if spawned > 0 then at_exit (fun () -> shutdown pool);
+  pool
+
+let serial_map f xs = List.map f xs
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when pool.size = 1 || pool.stopped -> serial_map f xs
+  | _ ->
+      Mutex.lock pool.submit;
+      let finally () = Mutex.unlock pool.submit in
+      Fun.protect ~finally (fun () ->
+          let arr = Array.of_list xs in
+          let n = Array.length arr in
+          let results = Array.make n None in
+          (* Never run more lanes than the host has cores: on OCaml 5 every
+             RUNNING domain joins the stop-the-world minor-collection
+             handshake, so lanes beyond the core count don't just fail to
+             help — time-slicing delays every handshake and slows the whole
+             batch down. Extra workers simply stay parked. *)
+          let active = Stdlib.min pool.size (recommended ()) in
+          (* A few chunks per lane balances skew against claim traffic;
+             per-item crypto work is heavy, so chunks can be small. *)
+          let lanes = Stdlib.min active n in
+          let chunk = Stdlib.max 1 (n / (4 * lanes)) in
+          let nchunks = (n + chunk - 1) / chunk in
+          let next = Atomic.make 0 in
+          let failed = Atomic.make None in
+          let done_lock = Mutex.create () in
+          let done_cond = Condition.create () in
+          let completed = ref 0 in
+          let run () =
+            let rec claim () =
+              let c = Atomic.fetch_and_add next 1 in
+              if c < nchunks then begin
+                (* After a failure, later chunks retire without running:
+                   the batch result is the exception either way. *)
+                (if Atomic.get failed = None then
+                   try
+                     let lo = c * chunk in
+                     let hi = Stdlib.min n (lo + chunk) in
+                     for i = lo to hi - 1 do
+                       results.(i) <- Some (f arr.(i))
+                     done
+                   with e ->
+                     let bt = Printexc.get_raw_backtrace () in
+                     ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+                Mutex.lock done_lock;
+                incr completed;
+                if !completed = nchunks then Condition.broadcast done_cond;
+                Mutex.unlock done_lock;
+                claim ()
+              end
+            in
+            claim ()
+          in
+          (* Publish the batch, join it from this domain, then wait for
+             the chunks other lanes claimed. The completion count is the
+             join barrier: once it reaches [nchunks], every result write
+             happened-before this point (each lane retires its chunk under
+             [done_lock] after writing). All parked workers wake on the
+             broadcast, but only the first [lanes - 1] are admitted into
+             the claim loop; the rest park again immediately. When the
+             caller is the only active lane there is nothing to publish —
+             it runs the claim loop alone (same code path, no wake-ups). *)
+          let admitted = Atomic.make 0 in
+          let worker_run () =
+            if Atomic.fetch_and_add admitted 1 < lanes - 1 then run ()
+          in
+          if lanes > 1 then begin
+            Mutex.lock pool.lock;
+            pool.job <- Some worker_run;
+            pool.generation <- pool.generation + 1;
+            Condition.broadcast pool.work;
+            Mutex.unlock pool.lock
+          end;
+          run ();
+          Mutex.lock done_lock;
+          while !completed < nchunks do
+            Condition.wait done_cond done_lock
+          done;
+          Mutex.unlock done_lock;
+          if lanes > 1 then begin
+            Mutex.lock pool.lock;
+            pool.job <- None;
+            Mutex.unlock pool.lock
+          end;
+          match Atomic.get failed with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None ->
+              Array.to_list
+                (Array.map
+                   (function Some v -> v | None -> assert false)
+                   results))
+
+let iter pool f xs = ignore (map pool (fun x -> f x) xs)
+
+(* The process-wide pool, built on first demand. *)
+let default_lock = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.protect default_lock (fun () ->
+      match !default_pool with
+      | Some pool -> pool
+      | None ->
+          let pool = create () in
+          default_pool := Some pool;
+          pool)

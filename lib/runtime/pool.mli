@@ -1,0 +1,81 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel batch work.
+
+    The paper's scalability story leaves all heavy lifting on the clients
+    and auditors — many independent pairing computations per batch of key
+    updates or ciphertexts. This pool is the runtime substrate for those
+    batch APIs ({!Bls.verify_batch}, [Tre.Verifier.verify_updates],
+    [Tre.decrypt_batch], the simulated network's parallel drain): domains
+    are spawned {e once} and reused across calls, work is handed out in
+    contiguous chunks claimed off a single atomic counter (no stealing, no
+    per-item locking), and results always come back in input order.
+
+    Scheduling is cooperative: the calling domain participates in every
+    batch, so a pool of size [n] uses at most [n] domains while a batch is
+    in flight and zero otherwise. A pool of size 1 spawns no domains at
+    all and degenerates to [List.map] on the caller.
+
+    Oversubscription guard: a batch never runs on more lanes than
+    [recommended ()] (the host's core count), whatever the pool size —
+    workers beyond the core count are not even spawned, because on OCaml 5
+    every live domain (parked included) joins the stop-the-world minor-GC
+    handshake, and lanes beyond the core count actively slow a batch down.
+    An oversized pool therefore performs exactly like one sized to the
+    host, and results are unchanged either way (output is positional, so
+    lane count never affects it).
+
+    Determinism: [map pool f xs] applies [f] to each element exactly once
+    and returns results positionally, so for a pure [f] the output is
+    bit-identical to [List.map f xs] regardless of pool size or timing.
+
+    Exceptions: if [f] raises, the first exception (in claim order) is
+    re-raised in the caller with its backtrace after every in-flight chunk
+    has retired — workers never die, and the pool remains usable for
+    subsequent calls.
+
+    What it is NOT: a general async runtime. Tasks must not submit work to
+    the pool they run on (no nesting), and shared mutable state inside [f]
+    is the caller's responsibility — the intended use is pure per-item
+    crypto work over immutable parameter sets (see {!Pairing.make}, whose
+    generator tables are forced at construction precisely so they can be
+    read from many domains). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Create a pool of [domains] total lanes (the caller plus up to
+    [domains - 1] worker domains — capped so caller + workers never
+    exceed [recommended ()], see the oversubscription guard above).
+    Defaults to [Domain.recommended_domain_count ()]. The workers are
+    parked on a condition variable between batches; the pool registers an
+    [at_exit] shutdown so a forgotten pool cannot leave the process
+    hanging on live domains. Raises [Invalid_argument] if
+    [domains < 1]. *)
+
+val size : t -> int
+(** Total lanes, including the calling domain. *)
+
+val default : unit -> t
+(** A process-wide shared pool, created on first use (with the default
+    size) and reused thereafter. Creation is mutex-guarded, so concurrent
+    first calls are safe. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — how many lanes this machine
+    profitably runs. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs]: apply [f] to every element across the pool; returns
+    in input order. Serial fallback (no synchronization at all) when the
+    pool has size 1, the list has fewer than 2 elements, or the pool has
+    been shut down. Concurrent [map] calls on one pool from different
+    domains are serialized internally. *)
+
+val iter : t -> ('a -> unit) -> 'a list -> unit
+(** [iter pool f xs] = [ignore (map pool f xs)], for effectful per-item
+    work on disjoint state (e.g. delivering a broadcast to independent
+    receivers). *)
+
+val shutdown : t -> unit
+(** Wake and join all worker domains. Idempotent; the pool stays usable
+    afterwards in degraded (serial) mode. Called automatically at process
+    exit. *)

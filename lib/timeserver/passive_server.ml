@@ -63,15 +63,18 @@ let issue t epoch =
       upd
 
 (* One broadcast per epoch boundary; server-side cost is a single signing
-   plus a single channel write, independent of |recipients|. *)
-let start t ~net ~first_epoch ~epochs ~recipients =
+   plus a single channel write, independent of |recipients|. The optional
+   pool only parallelizes the RECIPIENTS' verification work at delivery —
+   the server side stays a single signing either way. *)
+let start ?pool t ~net ~first_epoch ~epochs ~recipients =
   for e = first_epoch to first_epoch + epochs - 1 do
     let at = Timeline.start_of t.timeline e +. skew t in
     Simnet.schedule net ~at (fun () ->
         let upd = issue t e in
         t.updates_issued <- t.updates_issued + 1;
         t.bytes_broadcast <- t.bytes_broadcast + update_size t;
-        Simnet.broadcast net ~src:t.name ~kind:"key-update" ~bytes:(update_size t)
+        Simnet.broadcast ?pool net ~src:t.name ~kind:"key-update"
+          ~bytes:(update_size t)
           (List.map (fun (nm, handler) -> (nm, fun () -> handler upd)) recipients))
   done
 

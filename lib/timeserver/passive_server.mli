@@ -37,6 +37,7 @@ val public : t -> Tre.Server.public
 val timeline : t -> Timeline.t
 
 val start :
+  ?pool:Pool.t ->
   t ->
   net:Simnet.t ->
   first_epoch:int ->
@@ -45,7 +46,10 @@ val start :
   unit
 (** Schedule the per-epoch broadcasts. [recipients] is the physical reach
     of the broadcast channel — the server neither reads nor stores it
-    beyond handing it to the network layer. *)
+    beyond handing it to the network layer. [pool] is forwarded to
+    {!Simnet.broadcast}: each epoch's surviving deliveries run sharded
+    across the pool's domains (the recipients' verification cost, not the
+    server's — the server does one signing per epoch regardless). *)
 
 val archive_lookup : t -> Simnet.t -> Tre.time -> Tre.update option
 (** The public webpage of old updates. [None] for labels from a foreign

@@ -58,13 +58,36 @@ let send t ~src ~dst ~kind ~bytes thunk =
     schedule_in t ~delay thunk
   end
 
-let broadcast t ~src ~kind ~bytes recipients =
+let broadcast ?pool t ~src ~kind ~bytes recipients =
   trace_message t ~at:t.clock ~src ~dst:"(broadcast)" ~kind ~bytes;
-  List.iter
-    (fun (_name, handler) ->
-      let delay = delivery_delay t in
-      if not (dropped t) then schedule_in t ~delay handler)
-    recipients
+  match pool with
+  | None ->
+      List.iter
+        (fun (_name, handler) ->
+          let delay = delivery_delay t in
+          if not (dropped t) then schedule_in t ~delay handler)
+        recipients
+  | Some pool ->
+      (* Parallel drain: the DRBG draws happen here, per recipient, in the
+         exact order of the serial path (delay first, then the drop coin),
+         so the random stream — and hence the trace and every later draw —
+         is unchanged. The surviving handlers then run as ONE event at the
+         latest delivery time, sharded across the pool; per-recipient
+         state is disjoint, so this is safe, but a handler reading the
+         simulated clock sees the batch's completion time rather than its
+         own jittered instant. *)
+      let max_delay, survivors =
+        List.fold_left
+          (fun (max_delay, acc) (_name, handler) ->
+            let delay = delivery_delay t in
+            if dropped t then (max_delay, acc)
+            else (Float.max max_delay delay, handler :: acc))
+          (0.0, []) recipients
+      in
+      let survivors = List.rev survivors in
+      if survivors <> [] then
+        schedule_in t ~delay:max_delay (fun () ->
+            Pool.iter pool (fun handler -> handler ()) survivors)
 
 let run t =
   let rec loop () =

@@ -48,12 +48,19 @@ val send :
     it is ultimately dropped — dropped messages get [dst = "(lost)"]. *)
 
 val broadcast :
+  ?pool:Pool.t ->
   t -> src:string -> kind:string -> bytes:int ->
   (string * (unit -> unit)) list -> unit
 (** One logical broadcast delivered to each (name, handler) with
     independent jitter/loss. Traced as a single message with
     [dst = "(broadcast)"] plus the per-recipient deliveries — the server's
-    cost is counted once, reflecting a genuine broadcast channel. *)
+    cost is counted once, reflecting a genuine broadcast channel.
+
+    With [pool], the surviving handlers of this broadcast run as one event
+    at the latest delivery time, sharded across the pool's domains —
+    recipients must hold disjoint state. The DRBG draw order, trace and
+    per-recipient loss decisions are identical to the serial path; only
+    the handlers' view of the clock collapses to the slowest delivery. *)
 
 val run : t -> unit
 (** Drain the event queue. *)

@@ -104,6 +104,15 @@ let decrypt prms ~private_key upd ct =
   let k = Pairing.pairing prms ct.u kd in
   Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
 
+(* Same sharding story as {!Tre.decrypt_batch}: each pair is one pairing
+   over immutable inputs, output order is positional, so the pool path is
+   bit-identical to the serial one. *)
+let decrypt_batch ?pool prms ~private_key pairs =
+  let one (upd, ct) = decrypt prms ~private_key upd ct in
+  match pool with
+  | None -> List.map one pairs
+  | Some pool -> Pool.map pool one pairs
+
 let escrow_decrypt prms (sec : Server.secret) id ct =
   (* The server derives the user's private key and the update by itself —
      inherent key escrow of identity-based schemes. *)

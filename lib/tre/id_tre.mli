@@ -64,6 +64,16 @@ val decrypt :
 (** K_D = d_ID + I_T; K' = e^(U, K_D). Raises {!Update_mismatch} on a
     wrong-time update. *)
 
+val decrypt_batch :
+  ?pool:Pool.t ->
+  Pairing.params ->
+  private_key:Curve.point ->
+  (Tre.update * ciphertext) list ->
+  string list
+(** Decrypt many (update, ciphertext) pairs, in input order, bit-identical
+    to mapping {!decrypt}; [pool] shards the pairing work across domains.
+    Raises {!Update_mismatch} on the first mismatched pair. *)
+
 val escrow_decrypt : Pairing.params -> Server.secret -> identity -> ciphertext -> string
 (** What the paper warns about: the server alone decrypts any user's
     ciphertext (it can derive both d_ID and I_T). Exists so the test

@@ -53,12 +53,20 @@ let verify_update prms (pub : Server.public) upd =
 
 (* Both pairings of the verification equation have a fixed first argument
    (sG and G), so a long-lived verifier prepares them once and each
-   update then costs only the two Miller-loop evaluations. *)
-type verifier = { vg : Pairing.prepared; vsg : Pairing.prepared }
+   update then costs only the two Miller-loop evaluations. [vkey] keys
+   the batch-verification exponent derandomizer to this server. *)
+type verifier = {
+  vg : Pairing.prepared;
+  vsg : Pairing.prepared;
+  vkey : string;
+}
 
 let make_verifier prms (pub : Server.public) =
   { vg = Pairing.prepare prms pub.Server.g;
-    vsg = Pairing.prepare prms pub.Server.sg }
+    vsg = Pairing.prepare prms pub.Server.sg;
+    vkey =
+      Curve.to_bytes prms.Pairing.curve pub.Server.g
+      ^ Curve.to_bytes prms.Pairing.curve pub.Server.sg }
 
 let verify_update_with prms vrf upd =
   Pairing.in_g1 prms upd.update_value
@@ -178,6 +186,82 @@ let decrypt prms (a : User.secret) upd ct =
   (* K' = e^(U, sigma_S(T))^a *)
   let k = Pairing.gt_pow prms (Pairing.pairing prms ct.u upd.update_value) a in
   Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
+
+(* Each (update, ciphertext) decryption is one pairing + one GT
+   exponentiation over immutable inputs — embarrassingly parallel, so an
+   optional pool shards the batch. Plaintexts come back in input order,
+   bit-identical to mapping {!decrypt}; a mismatched pair raises
+   {!Update_mismatch} in the caller exactly as the serial path would. *)
+let decrypt_batch ?pool prms (a : User.secret) pairs =
+  let one (upd, ct) = decrypt prms a upd ct in
+  match pool with
+  | None -> List.map one pairs
+  | Some pool -> Pool.map pool one pairs
+
+(* Batch verification of key updates. An update IS a BLS signature on its
+   time label under (G, sG) (§5.3.1), so n update checks collapse the same
+   way {!Bls.verify_batch} collapses: with derandomized 64-bit exponents
+   d_i, check e^(sG, sum d_i H1(T_i)) = e^(G, sum d_i I_i) — two prepared
+   pairings per BATCH instead of two per update. Subgroup checks are
+   cofactored the same way as in [Bls.batch_sums]: per item only the
+   on-curve test, then one q-mult on the weighted update sum; and H1
+   hashes only to the raw curve lift per item, with the cofactor cleared
+   once on the H-sum (clearing commutes with the weighted sum). The
+   residual per-item work (on-curve check, raw H1 lift) shards across an
+   optional pool; the weighted sums are two multi-scalar multiplications
+   ([Curve.msm]) on the caller, so the sums are bit-identical to the
+   serial path. *)
+module Verifier = struct
+  type t = verifier
+
+  let create = make_verifier
+  let verify_update = verify_update_with
+
+  let verify_updates ?pool prms vrf updates =
+    if updates = [] then true
+    else begin
+      let curve = prms.Pairing.curve in
+      let seed =
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "TRE-update-batch|";
+        Buffer.add_string buf vrf.vkey;
+        List.iter
+          (fun u ->
+            Buffer.add_string buf
+              (Printf.sprintf "|%d|" (String.length u.update_time));
+            Buffer.add_string buf u.update_time;
+            Buffer.add_string buf (Curve.to_bytes curve u.update_value))
+          updates;
+        Buffer.contents buf
+      in
+      let ds = Pairing.batch_exponents prms ~seed (List.length updates) in
+      let weigh u =
+        ( Curve.on_curve curve u.update_value,
+          Pairing.hash_to_g1_unclamped prms u.update_time,
+          u.update_value )
+      in
+      let checked =
+        match pool with
+        | None -> List.map weigh updates
+        | Some pool -> Pool.map pool weigh updates
+      in
+      (not (List.exists (fun (ok, _, _) -> not ok) checked))
+      && begin
+           let sum_h_raw =
+             Curve.msm curve (List.map2 (fun d (_, h, _) -> (d, h)) ds checked)
+           in
+           let sum_sig =
+             Curve.msm curve (List.map2 (fun d (_, _, s) -> (d, s)) ds checked)
+           in
+           (* One aggregate subgroup check on the update sum, one
+              aggregate cofactor clearing on the H-sum. *)
+           Pairing.in_g1 prms sum_sig
+           && Pairing.pairing_equal_check_prepared prms
+                ~lhs:(vrf.vsg, Curve.mul curve prms.Pairing.cofactor sum_h_raw)
+                ~rhs:(vrf.vg, sum_sig)
+         end
+    end
+end
 
 (* --- serialization ---
 

@@ -71,6 +71,37 @@ val verify_update_with : Pairing.params -> verifier -> update -> bool
 (** Same result as {!verify_update}, amortizing the Miller-loop point
     arithmetic across updates. *)
 
+(** Batch verification of key updates — the update {e is} a BLS signature
+    on its time label (§5.3.1), so n checks collapse into one
+    product-of-pairings with small random exponents (Bellare–Garay–Rabin):
+    e^(sG, sum d_i H1(T_i)) = e^(G, sum d_i I_i) — two prepared pairings
+    per batch instead of two per update. A client catching up on missed
+    epochs verifies the whole backlog at close to the cost of one check. *)
+module Verifier : sig
+  type t = verifier
+
+  val create : Pairing.params -> Server.public -> t
+  (** Alias of {!make_verifier}. *)
+
+  val verify_update : Pairing.params -> t -> update -> bool
+  (** Alias of {!verify_update_with}. *)
+
+  val verify_updates : ?pool:Pool.t -> Pairing.params -> t -> update list -> bool
+  (** True iff every update in the list would pass {!verify_update},
+      except with probability ~2^-64 per batch. The exponents d_i are
+      derandomized (keyed by the server key and the serialized batch,
+      {!Pairing.batch_exponents}), which defeats cancellation attacks on
+      unweighted sums and makes the verdict reproducible. Subgroup checks
+      are cofactored as in {!Bls.verify_batch}: per item only the
+      on-curve test, then one q-mult on the weighted update sum — an
+      off-subgroup component (invisible to the pairing, hence inert for
+      decryption) is caught up to the same ~2^-64 bound rather than
+      deterministically. H1's cofactor clearing is likewise paid once on
+      the H-sum. [pool] shards the per-item work (on-curve check, raw H1
+      lift, two 64-bit scalar mults) across domains; the verdict is
+      identical with or without it. The empty batch verifies trivially. *)
+end
+
 (** Receiver keys (User Key Generation, §5.1). *)
 module User : sig
   type secret
@@ -167,6 +198,18 @@ val decrypt : Pairing.params -> User.secret -> update -> ciphertext -> string
     ciphertext's release time. The update is {e not} re-verified here —
     verify on receipt with {!verify_update}; decryption with a forged
     update simply yields garbage, it cannot leak anything. *)
+
+val decrypt_batch :
+  ?pool:Pool.t ->
+  Pairing.params ->
+  User.secret ->
+  (update * ciphertext) list ->
+  string list
+(** Decrypt many (update, ciphertext) pairs — e.g. a mailbox drained after
+    the release times passed. Plaintexts come back in input order,
+    bit-identical to mapping {!decrypt}; [pool] shards the pairing work
+    across domains. Raises {!Update_mismatch} on the first mismatched
+    pair, as the serial path would. *)
 
 (** {1 Serialization} — fixed wire format for the examples and CLI. *)
 

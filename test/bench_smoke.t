@@ -1,8 +1,11 @@
 The benchmark harness's --smoke mode asserts that every optimized hot
 path (fixed-base tables, wNAF, windowed exponentiation, dedicated
 squaring, prepared pairings, the encryptor cache) returns bit-identical
-results to its reference implementation. Ratios are machine-dependent,
-so sed masks them; the OK lines and the final assertion are the test.
+results to its reference implementation, and that every batched or
+pool-sharded path (random-exponent batch verification, batch decryption,
+the simnet parallel drain, all on a 2-domain pool) agrees exactly with
+its serial reference. Ratios are machine-dependent, so sed masks them;
+the OK lines and the final assertions are the test.
 
   $ ../bench/main.exe --smoke | sed -E 's/\([0-9]+\.[0-9]+x\)/(N.NNx)/'
   E1-opt smoke: optimized vs reference at mid128
@@ -15,3 +18,10 @@ so sed masks them; the OK lines and the final assertion are the test.
   update-verify              OK (N.NNx)
   tre-encrypt (same T)       OK (N.NNx)
   all optimized paths agree with reference
+  Batch/parallel smoke: 2-domain pool vs serial
+  pool-map determinism       OK
+  verify-updates batch       OK
+  bls-verify-batch           OK
+  tre-decrypt-batch          OK
+  simnet parallel drain      OK
+  all parallel paths agree with serial

@@ -1,0 +1,181 @@
+(* Batch verification and batch decryption, across every parameter set.
+
+   Soundness (one forgery poisons the whole batch) and completeness
+   (the batched verdict agrees with per-item verification) are checked on
+   all five parameter sets; the pool-vs-serial bit-identity checks run on
+   toy64, since the pool contract itself is parameter-independent. *)
+
+let pool = Pool.create ~domains:2 ()
+
+let fixtures name =
+  let prms = Option.get (Pairing.by_name name) in
+  let rng = Hashing.Drbg.create ~seed:("batch-" ^ name) () in
+  let srv_sec, srv_pub = Tre.Server.keygen prms rng in
+  (prms, rng, srv_sec, srv_pub)
+
+let updates prms srv_sec n =
+  List.init n (fun i -> Tre.issue_update prms srv_sec (Printf.sprintf "ep-%d" i))
+
+let forge prms upd =
+  { upd with
+    Tre.update_value = Curve.add prms.Pairing.curve upd.Tre.update_value prms.Pairing.g }
+
+let test_verify_updates_all_sets () =
+  List.iter
+    (fun name ->
+      let prms, _, srv_sec, srv_pub = fixtures name in
+      let vrf = Tre.Verifier.create prms srv_pub in
+      let upds = updates prms srv_sec 5 in
+      Alcotest.(check bool) (name ^ ": per-item all pass") true
+        (List.for_all (Tre.Verifier.verify_update prms vrf) upds);
+      Alcotest.(check bool) (name ^ ": batch agrees") true
+        (Tre.Verifier.verify_updates prms vrf upds);
+      Alcotest.(check bool) (name ^ ": empty batch") true
+        (Tre.Verifier.verify_updates prms vrf []);
+      (* Forge each position in turn — soundness must not depend on where
+         the bad update sits in the batch. *)
+      List.iteri
+        (fun i _ ->
+          let poisoned = List.mapi (fun j u -> if i = j then forge prms u else u) upds in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: forged at %d rejected" name i)
+            false
+            (Tre.Verifier.verify_updates prms vrf poisoned))
+        upds)
+    Pairing.all_names
+
+let test_verify_updates_pool_agreement () =
+  let prms, _, srv_sec, srv_pub = fixtures "toy64" in
+  let vrf = Tre.Verifier.create prms srv_pub in
+  let upds = updates prms srv_sec 17 in
+  Alcotest.(check bool) "pooled verdict true" true
+    (Tre.Verifier.verify_updates ~pool prms vrf upds);
+  let poisoned = forge prms (List.hd upds) :: List.tl upds in
+  Alcotest.(check bool) "pooled verdict false" false
+    (Tre.Verifier.verify_updates ~pool prms vrf poisoned);
+  (* Updates for a DIFFERENT server's key must not batch-verify. *)
+  let rng2 = Hashing.Drbg.create ~seed:"batch-other-server" () in
+  let other_sec, _ = Tre.Server.keygen prms rng2 in
+  Alcotest.(check bool) "wrong server rejected" false
+    (Tre.Verifier.verify_updates prms vrf (updates prms other_sec 5))
+
+let test_off_subgroup_rejected () =
+  (* Subgroup checks in the batch are cofactored: items pay only the
+     on-curve test and one q-mult checks the weighted sum. An on-curve
+     point OUTSIDE the order-q subgroup (here: a raw hash lift before
+     cofactor clearing) must still be rejected — its cofactor component
+     survives into the weighted sum, which then fails the aggregate
+     subgroup check. *)
+  let prms, _, srv_sec, srv_pub = fixtures "toy64" in
+  let vrf = Tre.Verifier.create prms srv_pub in
+  let junk = Pairing.hash_to_g1_unclamped prms "off-subgroup junk" in
+  Alcotest.(check bool) "junk is on-curve" true
+    (Curve.on_curve prms.Pairing.curve junk);
+  Alcotest.(check bool) "junk is not in G1" false (Pairing.in_g1 prms junk);
+  let upds = updates prms srv_sec 4 in
+  let poisoned =
+    List.mapi
+      (fun i u -> if i = 2 then { u with Tre.update_value = junk } else u)
+      upds
+  in
+  Alcotest.(check bool) "per-item rejects junk" false
+    (List.for_all (Tre.Verifier.verify_update prms vrf) poisoned);
+  Alcotest.(check bool) "batch rejects junk" false
+    (Tre.Verifier.verify_updates prms vrf poisoned);
+  Alcotest.(check bool) "pooled batch rejects junk" false
+    (Tre.Verifier.verify_updates ~pool prms vrf poisoned)
+
+let test_bls_batch_pool_agreement () =
+  let prms = Option.get (Pairing.by_name "toy64") in
+  let rng = Hashing.Drbg.create ~seed:"batch-bls" () in
+  let sk, pk = Bls.keygen prms rng in
+  let pairs =
+    List.init 17 (fun i ->
+        let m = Printf.sprintf "msg-%d" i in
+        (m, Bls.sign prms sk m))
+  in
+  Alcotest.(check bool) "serial true" true (Bls.verify_batch prms pk pairs);
+  Alcotest.(check bool) "pooled true" true (Bls.verify_batch ~pool prms pk pairs);
+  let poisoned = ("msg-0", prms.Pairing.g) :: List.tl pairs in
+  Alcotest.(check bool) "serial false" false (Bls.verify_batch prms pk poisoned);
+  Alcotest.(check bool) "pooled false" false (Bls.verify_batch ~pool prms pk poisoned);
+  let vrf = Bls.make_verifier prms pk in
+  Alcotest.(check bool) "prepared pooled true" true
+    (Bls.verify_batch_with ~pool prms vrf pairs);
+  Alcotest.(check bool) "prepared pooled false" false
+    (Bls.verify_batch_with ~pool prms vrf poisoned)
+
+let test_tre_decrypt_batch () =
+  let prms, rng, srv_sec, srv_pub = fixtures "toy64" in
+  let usr_sec, usr_pub = Tre.User.keygen prms srv_pub rng in
+  let pairs =
+    List.init 13 (fun i ->
+        let t = Printf.sprintf "ep-%d" i in
+        let m = Printf.sprintf "plaintext number %d" i in
+        ( Tre.issue_update prms srv_sec t,
+          Tre.encrypt prms srv_pub usr_pub ~release_time:t rng m ))
+  in
+  let serial = List.map (fun (u, ct) -> Tre.decrypt prms usr_sec u ct) pairs in
+  Alcotest.(check (list string)) "serial batch identical" serial
+    (Tre.decrypt_batch prms usr_sec pairs);
+  Alcotest.(check (list string)) "pooled batch identical" serial
+    (Tre.decrypt_batch ~pool prms usr_sec pairs);
+  Alcotest.(check bool) "plaintexts recovered" true
+    (List.for_all2 (fun m (_, _) -> String.length m > 0) serial pairs);
+  (* A mismatched pair raises through the pool exactly as serially. *)
+  let wrong = Tre.issue_update prms srv_sec "some-other-epoch" in
+  let mismatched = (wrong, snd (List.hd pairs)) :: List.tl pairs in
+  Alcotest.check_raises "mismatch raises (serial)" Tre.Update_mismatch (fun () ->
+      ignore (Tre.decrypt_batch prms usr_sec mismatched));
+  Alcotest.check_raises "mismatch raises (pooled)" Tre.Update_mismatch (fun () ->
+      ignore (Tre.decrypt_batch ~pool prms usr_sec mismatched))
+
+let test_id_tre_decrypt_batch () =
+  let prms = Option.get (Pairing.by_name "toy64") in
+  let rng = Hashing.Drbg.create ~seed:"batch-idtre" () in
+  let id_sec, id_pub = Id_tre.Server.keygen prms rng in
+  let private_key = Id_tre.Server.extract prms id_sec "alice" in
+  let pairs =
+    List.init 9 (fun i ->
+        let t = Printf.sprintf "ep-%d" i in
+        ( Id_tre.Server.issue_update prms id_sec t,
+          Id_tre.encrypt prms id_pub "alice" ~release_time:t rng
+            (Printf.sprintf "id message %d" i) ))
+  in
+  let serial = List.map (fun (u, ct) -> Id_tre.decrypt prms ~private_key u ct) pairs in
+  Alcotest.(check (list string)) "pooled identical" serial
+    (Id_tre.decrypt_batch ~pool prms ~private_key pairs);
+  Alcotest.(check (list string)) "serial identical" serial
+    (Id_tre.decrypt_batch prms ~private_key pairs)
+
+let test_exponents_derandomized () =
+  (* Same key + same batch -> same exponents (reproducible verdicts);
+     changing either the batch content or the seed changes them. *)
+  let prms = Option.get (Pairing.by_name "toy64") in
+  let e1 = Pairing.batch_exponents prms ~seed:"seed-A" 8 in
+  let e2 = Pairing.batch_exponents prms ~seed:"seed-A" 8 in
+  let e3 = Pairing.batch_exponents prms ~seed:"seed-B" 8 in
+  Alcotest.(check bool) "deterministic" true (List.for_all2 Bigint.equal e1 e2);
+  Alcotest.(check bool) "seed-sensitive" false (List.for_all2 Bigint.equal e1 e3);
+  Alcotest.(check bool) "nonzero" true
+    (List.for_all (fun d -> Bigint.sign d > 0) e1);
+  Alcotest.(check int) "count" 8 (List.length e1)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "verify-updates",
+        [
+          Alcotest.test_case "all parameter sets" `Quick test_verify_updates_all_sets;
+          Alcotest.test_case "pool agreement" `Quick test_verify_updates_pool_agreement;
+          Alcotest.test_case "off-subgroup rejected" `Quick test_off_subgroup_rejected;
+        ] );
+      ("bls", [ Alcotest.test_case "pool agreement" `Quick test_bls_batch_pool_agreement ]);
+      ( "decrypt",
+        [
+          Alcotest.test_case "tre batch" `Quick test_tre_decrypt_batch;
+          Alcotest.test_case "id-tre batch" `Quick test_id_tre_decrypt_batch;
+        ] );
+      ( "exponents",
+        [ Alcotest.test_case "derandomized" `Quick test_exponents_derandomized ] );
+    ]

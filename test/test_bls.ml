@@ -64,9 +64,41 @@ let test_batch_verify () =
     ("poisoned", Bls.sign prms sk "other") :: List.tl pairs
   in
   Alcotest.(check bool) "poisoned batch" false (Bls.verify_batch prms pk poisoned);
-  (* Duplicate messages are refused (aggregation unsound otherwise). *)
+  (* Duplicate messages are sound under random-exponent batching: each
+     occurrence gets its own d_i, so a repeated valid pair still verifies
+     and a tampered duplicate still poisons. *)
   let dup = List.hd pairs :: pairs in
-  Alcotest.(check bool) "duplicates refused" false (Bls.verify_batch prms pk dup)
+  Alcotest.(check bool) "duplicates fine" true (Bls.verify_batch prms pk dup);
+  let m0, s0 = List.hd pairs in
+  let bad_dup = (m0, Curve.add prms.Pairing.curve s0 prms.Pairing.g) :: pairs in
+  Alcotest.(check bool) "tampered duplicate" false (Bls.verify_batch prms pk bad_dup)
+
+let test_batch_cancellation_attack () =
+  (* The attack random exponents exist to stop: shift one signature by +D
+     and another by -D. The unweighted sums are unchanged, so a naive
+     aggregate check would accept; with per-item d_i the shifts pick up
+     different coefficients and must be caught. *)
+  let curve = prms.Pairing.curve in
+  let d = Curve.mul curve (B.of_int 424242) prms.Pairing.g in
+  let s1 = Bls.sign prms sk "cancel-1" and s2 = Bls.sign prms sk "cancel-2" in
+  let forged =
+    [ ("cancel-1", Curve.add curve s1 d);
+      ("cancel-2", Curve.add curve s2 (Curve.neg curve d)) ]
+  in
+  Alcotest.(check bool) "sanity: honest pair verifies" true
+    (Bls.verify_batch prms pk [ ("cancel-1", s1); ("cancel-2", s2) ]);
+  Alcotest.(check bool) "cancellation rejected" false (Bls.verify_batch prms pk forged)
+
+let test_batch_with_matches_batch () =
+  let pairs = List.init 6 (fun i ->
+      let m = Printf.sprintf "with-%d" i in
+      (m, Bls.sign prms sk m))
+  in
+  let vrf = Bls.make_verifier prms pk in
+  Alcotest.(check bool) "prepared batch agrees" true (Bls.verify_batch_with prms vrf pairs);
+  let poisoned = ("with-0", prms.Pairing.g) :: List.tl pairs in
+  Alcotest.(check bool) "prepared poisoned agrees" false
+    (Bls.verify_batch_with prms vrf poisoned)
 
 let test_signature_codec () =
   let s = Bls.sign prms sk "roundtrip" in
@@ -112,7 +144,12 @@ let () =
           Alcotest.test_case "custom generator" `Quick test_custom_generator;
           Alcotest.test_case "secret_of_scalar" `Quick test_secret_of_scalar;
         ] );
-      ("batch", [ Alcotest.test_case "batch verify" `Quick test_batch_verify ]);
+      ( "batch",
+        [
+          Alcotest.test_case "batch verify" `Quick test_batch_verify;
+          Alcotest.test_case "cancellation attack" `Quick test_batch_cancellation_attack;
+          Alcotest.test_case "prepared verifier" `Quick test_batch_with_matches_batch;
+        ] );
       ( "codec",
         [
           Alcotest.test_case "signature" `Quick test_signature_codec;

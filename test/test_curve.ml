@@ -163,6 +163,42 @@ let prop_mul_paths_agree =
       Curve.equal (Curve.mul curve k g) reference
       && Curve.equal (Curve.Table.mul table_g k) reference)
 
+let msm_reference pairs =
+  List.fold_left
+    (fun acc (k, p) -> Curve.add curve acc (Curve.mul curve k p))
+    Curve.infinity pairs
+
+let prop_msm_agrees =
+  (* Random mixes of wide/negative scalars and subgroup points, plus the
+     occasional infinity term. *)
+  let gen_term =
+    QCheck2.Gen.(
+      let* bytes = string_size ~gen:char (int_range 0 12) in
+      let* negate = bool in
+      let* inf = frequency [ (9, return false); (1, return true) ] in
+      let* p = gen_subgroup_point in
+      let k = B.of_bytes_be bytes in
+      let k = if negate then B.neg k else k in
+      return (k, if inf then Curve.infinity else p))
+  in
+  QCheck2.Test.make ~name:"msm = sum of muls" ~count:50
+    QCheck2.Gen.(list_size (int_range 0 10) gen_term)
+    (fun pairs -> Curve.equal (Curve.msm curve pairs) (msm_reference pairs))
+
+let test_msm_edges () =
+  let check name pairs =
+    Alcotest.check point name (msm_reference pairs) (Curve.msm curve pairs)
+  in
+  check "empty" [];
+  check "single" [ (B.of_int 7, g) ];
+  check "zero scalars" [ (B.zero, g); (B.zero, Curve.mul curve B.two g) ];
+  check "cancellation" [ (B.of_int 5, g); (B.of_int (-5), g) ];
+  (* 2-torsion terms take the low-order fallback inside msm. *)
+  let t = Curve.make curve ~x:(Fp.zero fp) ~y:(Fp.zero fp) in
+  check "2-torsion mix" [ (B.of_int 3, t); (B.of_int 11, g); (q, t) ];
+  check "full-order point" [ (B.of_int 9, Curve.mul curve B.two g); (B.of_int 4, t) ];
+  check "wide scalars" [ (B.mul q q, g); (B.neg (B.succ q), g) ]
+
 let test_mul_paths_all_param_sets () =
   (* Every named parameter set (both curve families, up to 512-bit p). *)
   let rng = Hashing.Drbg.create ~seed:"mul-paths-params" () in
@@ -264,10 +300,11 @@ let () =
             prop_on_curve_closed;
           ] );
       ( "mul-paths",
-        qc [ prop_mul_paths_agree ]
+        qc [ prop_mul_paths_agree; prop_msm_agrees ]
         @ [
             Alcotest.test_case "edge scalars" `Quick test_mul_paths_edge_scalars;
             Alcotest.test_case "2-torsion fallbacks" `Quick test_mul_paths_two_torsion;
+            Alcotest.test_case "msm edges" `Quick test_msm_edges;
             Alcotest.test_case "all parameter sets" `Slow test_mul_paths_all_param_sets;
           ] );
       ( "codec",

@@ -1,0 +1,116 @@
+(* The domain pool: determinism, exception propagation, reuse, degeneration.
+
+   The pool's contract is that Pool.map is OBSERVABLY List.map — same
+   results, same order, same exceptions — with the work merely sharded
+   across domains. Every test here checks that contract, because the
+   crypto layers above lean on it for bit-identical batch verdicts. *)
+
+exception Boom of int
+
+let test_map_matches_list_map () =
+  let pool = Pool.create ~domains:2 () in
+  let f x = (x * 31) lxor (x lsl 3) in
+  List.iter
+    (fun n ->
+      let xs = List.init n (fun i -> i - 7) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "map n=%d" n)
+        (List.map f xs) (Pool.map pool f xs))
+    [ 0; 1; 2; 3; 7; 64; 1000 ];
+  Pool.shutdown pool
+
+let test_map_string_results () =
+  (* Heap-allocated results cross domains too; order must hold. *)
+  let pool = Pool.create ~domains:3 () in
+  let xs = List.init 200 (fun i -> Printf.sprintf "item-%d" i) in
+  let f s = String.uppercase_ascii s ^ "!" in
+  Alcotest.(check (list string)) "strings in order" (List.map f xs) (Pool.map pool f xs);
+  Pool.shutdown pool
+
+let test_exception_propagates () =
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.check_raises "raises from worker" (Boom 13) (fun () ->
+      ignore (Pool.map pool (fun x -> if x = 13 then raise (Boom 13) else x)
+                (List.init 100 Fun.id)));
+  Pool.shutdown pool
+
+let test_pool_survives_exception () =
+  (* A failed map must not wedge the pool: the next map still works. *)
+  let pool = Pool.create ~domains:2 () in
+  (try ignore (Pool.map pool (fun _ -> raise (Boom 1)) [ 1; 2; 3 ]) with Boom _ -> ());
+  let xs = List.init 50 Fun.id in
+  Alcotest.(check (list int)) "reusable after failure" (List.map succ xs)
+    (Pool.map pool succ xs);
+  Pool.shutdown pool
+
+let test_pool_reuse () =
+  let pool = Pool.create ~domains:2 () in
+  for round = 1 to 20 do
+    let xs = List.init (10 * round) (fun i -> i * round) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d" round)
+      (List.map (fun x -> x + round) xs)
+      (Pool.map pool (fun x -> x + round) xs)
+  done;
+  Pool.shutdown pool
+
+let test_size_one_is_serial () =
+  (* A size-1 pool degenerates to the caller's domain — no spawns. *)
+  let pool = Pool.create ~domains:1 () in
+  Alcotest.(check int) "size clamps to 1" 1 (Pool.size pool);
+  let key = Domain.self () in
+  let seen = Pool.map pool (fun _ -> Domain.self () = key) (List.init 10 Fun.id) in
+  Alcotest.(check bool) "runs on caller domain" true (List.for_all Fun.id seen);
+  Pool.shutdown pool
+
+let test_iter_runs_all () =
+  let pool = Pool.create ~domains:2 () in
+  let hits = Array.make 100 0 in
+  (* Disjoint writes per element — the same isolation the simnet drain
+     relies on. *)
+  Pool.iter pool (fun i -> hits.(i) <- hits.(i) + 1) (List.init 100 Fun.id);
+  Alcotest.(check bool) "every element exactly once" true
+    (Array.for_all (fun c -> c = 1) hits);
+  Pool.shutdown pool
+
+let test_default_pool_shared () =
+  let p1 = Pool.default () in
+  let p2 = Pool.default () in
+  Alcotest.(check bool) "default is a singleton" true (p1 == p2);
+  Alcotest.(check bool) "default sized by recommendation" true
+    (Pool.size p1 = Pool.recommended ());
+  let xs = List.init 64 Fun.id in
+  Alcotest.(check (list int)) "default pool works" (List.map (fun x -> x * x) xs)
+    (Pool.map p1 (fun x -> x * x) xs)
+
+let test_shutdown_degrades_gracefully () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* Mapping on a stopped pool falls back to the serial path. *)
+  let xs = List.init 10 Fun.id in
+  Alcotest.(check (list int)) "map after shutdown" (List.map succ xs)
+    (Pool.map pool succ xs)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches List.map" `Quick test_map_matches_list_map;
+          Alcotest.test_case "string results" `Quick test_map_string_results;
+          Alcotest.test_case "iter covers all" `Quick test_iter_runs_all;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "pool survives" `Quick test_pool_survives_exception;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "size-1 serial" `Quick test_size_one_is_serial;
+          Alcotest.test_case "default shared" `Quick test_default_pool_shared;
+          Alcotest.test_case "shutdown" `Quick test_shutdown_degrades_gracefully;
+        ] );
+    ]
