@@ -123,87 +123,93 @@ let write_json path rows =
   output_string oc "\n]\n";
   close_out oc
 
-(* Median-of-samples timer: robust against transient load, used for all
-   cross-scheme ratio tables (bechamel OLS estimates remain for the E1
-   single-op listing). *)
-let median_time ?(samples = 5) f =
+(* Median-of-samples timer + allocation meter: robust against transient
+   load, used for all cross-scheme ratio tables (bechamel OLS estimates
+   remain for the E1 single-op listing). Every timed table row carries
+   both nanoseconds/op and allocated words/op — [Gc.allocated_bytes]
+   sampled over the same iterations the timing uses, so the perf
+   trajectory (time AND allocation) is machine-readable from the JSON
+   dumps. *)
+let median_time_alloc ?(samples = 5) f =
   ignore (f ());
   (* Pick an iteration count that makes one sample >= ~20 ms. *)
   let t0 = Sys.time () in
   ignore (f ());
   let once = Stdlib.max 1e-7 (Sys.time () -. t0) in
   let iters = Stdlib.max 1 (int_of_float (0.02 /. once)) in
-  let timed =
+  let samples_ =
     List.init samples (fun _ ->
+        let a0 = Gc.allocated_bytes () in
         let t0 = Sys.time () in
         for _ = 1 to iters do
           ignore (f ())
         done;
-        (Sys.time () -. t0) /. float_of_int iters)
+        let dt = (Sys.time () -. t0) /. float_of_int iters in
+        let dw = (Gc.allocated_bytes () -. a0) /. 8.0 /. float_of_int iters in
+        (dt, dw))
   in
-  let sorted = List.sort compare timed in
+  let sorted = List.sort compare samples_ in
   match List.nth_opt sorted (List.length sorted / 2) with
-  | Some m -> m *. 1e9
-  | None -> nan
+  | Some (t, w) -> (t *. 1e9, w)
+  | None -> (nan, nan)
+
+let median_time ?samples f = fst (median_time_alloc ?samples f)
+
+let pp_words w =
+  if Float.is_nan w then "n/a"
+  else if w >= 1e6 then Printf.sprintf "%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
 
 
 (* =========================================================================
    E1 - operation costs of the schemes
    ========================================================================= *)
 
+let e1_ops =
+  [
+    ( "tre-encrypt",
+      fun () -> ignore (Tre.encrypt prms srv_pub usr_pub ~release_time:t_label rng msg32) );
+    ( "tre-encrypt-prevalidated",
+      fun () ->
+        ignore
+          (Tre.encrypt_prevalidated prms srv_pub usr_pub ~release_time:t_label rng msg32) );
+    ("tre-decrypt", fun () -> ignore (Tre.decrypt prms usr_sec upd tre_ct));
+    ( "fo-encrypt",
+      fun () -> ignore (Tre_fo.encrypt prms srv_pub usr_pub ~release_time:t_label rng msg32) );
+    ("fo-decrypt", fun () -> ignore (Tre_fo.decrypt prms srv_pub usr_pub usr_sec upd fo_ct));
+    ( "react-encrypt",
+      fun () ->
+        ignore (Tre_react.encrypt prms srv_pub usr_pub ~release_time:t_label rng msg32) );
+    ("react-decrypt", fun () -> ignore (Tre_react.decrypt prms usr_sec upd react_ct));
+    ( "idtre-encrypt",
+      fun () ->
+        ignore (Id_tre.encrypt prms id_pub "bench-user" ~release_time:t_label rng msg32) );
+    ("idtre-decrypt", fun () -> ignore (Id_tre.decrypt prms ~private_key:id_priv id_upd id_ct));
+    ("update-generate", fun () -> ignore (Tre.issue_update prms srv_sec t_label));
+    ("update-verify", fun () -> ignore (Tre.verify_update prms srv_pub upd));
+    ("validate-receiver-key", fun () -> ignore (Tre.validate_receiver_key prms srv_pub usr_pub));
+    ("pairing", fun () -> ignore (Pairing.pairing prms prms.Pairing.g prms.Pairing.g));
+    ("hash-to-g1", fun () -> ignore (Pairing.hash_to_g1 prms t_label));
+  ]
+
 let e1_tests =
   Test.make_grouped ~name:"e1" ~fmt:"%s/%s"
-    [
-      Test.make ~name:"tre-encrypt"
-        (Staged.stage (fun () ->
-             Tre.encrypt prms srv_pub usr_pub ~release_time:t_label rng msg32));
-      Test.make ~name:"tre-encrypt-prevalidated"
-        (Staged.stage (fun () ->
-             Tre.encrypt_prevalidated prms srv_pub usr_pub ~release_time:t_label rng
-               msg32));
-      Test.make ~name:"tre-decrypt"
-        (Staged.stage (fun () -> Tre.decrypt prms usr_sec upd tre_ct));
-      Test.make ~name:"fo-encrypt"
-        (Staged.stage (fun () ->
-             Tre_fo.encrypt prms srv_pub usr_pub ~release_time:t_label rng msg32));
-      Test.make ~name:"fo-decrypt"
-        (Staged.stage (fun () -> Tre_fo.decrypt prms srv_pub usr_pub usr_sec upd fo_ct));
-      Test.make ~name:"react-encrypt"
-        (Staged.stage (fun () ->
-             Tre_react.encrypt prms srv_pub usr_pub ~release_time:t_label rng msg32));
-      Test.make ~name:"react-decrypt"
-        (Staged.stage (fun () -> Tre_react.decrypt prms usr_sec upd react_ct));
-      Test.make ~name:"idtre-encrypt"
-        (Staged.stage (fun () ->
-             Id_tre.encrypt prms id_pub "bench-user" ~release_time:t_label rng msg32));
-      Test.make ~name:"idtre-decrypt"
-        (Staged.stage (fun () -> Id_tre.decrypt prms ~private_key:id_priv id_upd id_ct));
-      Test.make ~name:"update-generate"
-        (Staged.stage (fun () -> Tre.issue_update prms srv_sec t_label));
-      Test.make ~name:"update-verify"
-        (Staged.stage (fun () -> Tre.verify_update prms srv_pub upd));
-      Test.make ~name:"validate-receiver-key"
-        (Staged.stage (fun () -> Tre.validate_receiver_key prms srv_pub usr_pub));
-      Test.make ~name:"pairing"
-        (Staged.stage (fun () -> Pairing.pairing prms prms.Pairing.g prms.Pairing.g));
-      Test.make ~name:"hash-to-g1"
-        (Staged.stage (fun () -> Pairing.hash_to_g1 prms t_label));
-    ]
+    (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) e1_ops)
+
+(* Allocation meter alone (the timing for these rows comes from bechamel). *)
+let alloc_words_of f = snd (median_time_alloc ~samples:3 f)
 
 let e1_report results =
   heading "E1: operation costs (mid128: 128-bit q, 256-bit p; 32-byte message)";
-  Printf.printf "%-28s %12s\n" "operation" "time/op";
+  Printf.printf "%-28s %12s %10s\n" "operation" "time/op" "words/op";
   List.iter
-    (fun name ->
+    (fun (name, f) ->
       let ns = ns_of results ("e1/" ^ name) in
-      record "E1" [ ("operation", S name); ("ns", F ns) ];
-      Printf.printf "%-28s %12s\n" name (pp_time ns))
-    [
-      "tre-encrypt"; "tre-encrypt-prevalidated"; "tre-decrypt"; "fo-encrypt";
-      "fo-decrypt"; "react-encrypt";
-      "react-decrypt"; "idtre-encrypt"; "idtre-decrypt"; "update-generate";
-      "update-verify"; "validate-receiver-key"; "pairing"; "hash-to-g1";
-    ];
+      let w = alloc_words_of f in
+      record "E1" [ ("operation", S name); ("ns", F ns); ("alloc_words", F w) ];
+      Printf.printf "%-28s %12s %10s\n" name (pp_time ns) (pp_words w))
+    e1_ops;
   Printf.printf
     "shape check: enc/dec are within small factors of one pairing; update\n\
      generation is one hash-to-G1 + one scalar mult; verification ~2 pairings.\n"
@@ -228,25 +234,26 @@ let e2_report results =
   (* Median timing keeps the ratios consistent under load (the bechamel
      single-op estimates above can drift between groups). *)
   let tre_enc =
-    median_time (fun () ->
+    median_time_alloc (fun () ->
         ignore (Tre.encrypt prms srv_pub usr_pub ~release_time:t_label rng msg32))
   in
   let tre_enc_pre =
-    median_time (fun () ->
+    median_time_alloc (fun () ->
         ignore (Tre.encrypt_prevalidated prms srv_pub usr_pub ~release_time:t_label rng msg32))
   in
-  let tre_dec = median_time (fun () -> ignore (Tre.decrypt prms usr_sec upd tre_ct)) in
+  let tre_dec = median_time_alloc (fun () -> ignore (Tre.decrypt prms usr_sec upd tre_ct)) in
   let hyb_enc =
-    median_time (fun () ->
+    median_time_alloc (fun () ->
         ignore (Hybrid_baseline.encrypt prms srv_pub hyb_pub ~release_time:t_label rng msg32))
   in
   let hyb_dec =
-    median_time (fun () -> ignore (Hybrid_baseline.decrypt prms hyb_sec upd hyb_ct))
+    median_time_alloc (fun () -> ignore (Hybrid_baseline.decrypt prms hyb_sec upd hyb_ct))
   in
   Printf.printf "%-22s %12s %12s %9s\n" "operation" "TRE" "hybrid" "hyb/TRE";
-  let e2_row name tre hyb =
+  let e2_row name (tre, tre_w) (hyb, hyb_w) =
     record "E2"
-      [ ("operation", S name); ("ns_tre", F tre); ("ns_hybrid", F hyb);
+      [ ("operation", S name); ("ns_tre", F tre); ("alloc_words_tre", F tre_w);
+        ("ns_hybrid", F hyb); ("alloc_words_hybrid", F hyb_w);
         ("ratio", F (hyb /. tre)) ];
     Printf.printf "%-22s %12s %12s %8.2fx\n" name (pp_time tre) (pp_time hyb)
       (hyb /. tre)
@@ -476,7 +483,7 @@ let e5_report results =
   Printf.printf "%-10s %12s %12s %14s\n" "servers" "encrypt" "decrypt" "ciphertext B";
   List.iter
     (fun n ->
-      let _, _, _, ct, _ = e5_fixture n in
+      let pubs, pk, a, ct, updates = e5_fixture n in
       let size =
         4
         + (Array.length ct.Multi_server.us * Pairing.point_bytes prms)
@@ -484,8 +491,16 @@ let e5_report results =
       in
       let enc = ns_of results (Printf.sprintf "e5/encrypt-n%d" n) in
       let dec = ns_of results (Printf.sprintf "e5/decrypt-n%d" n) in
+      let w_enc =
+        alloc_words_of (fun () ->
+            ignore (Multi_server.encrypt prms pubs pk ~release_time:t_label rng msg32))
+      in
+      let w_dec =
+        alloc_words_of (fun () -> ignore (Multi_server.decrypt prms a updates ct))
+      in
       record "E5"
-        [ ("servers", I n); ("ns_encrypt", F enc); ("ns_decrypt", F dec);
+        [ ("servers", I n); ("ns_encrypt", F enc); ("alloc_words_encrypt", F w_enc);
+          ("ns_decrypt", F dec); ("alloc_words_decrypt", F w_dec);
           ("ciphertext_bytes", I size) ];
       Printf.printf "%-10d %12s %12s %14d\n" n (pp_time enc) (pp_time dec) size)
     e5_cases;
@@ -523,9 +538,14 @@ let e6_report results =
     (100 * sig_bytes / upd_bytes);
   let single = ns_of results "e6/verify-single" in
   let batch = ns_of results "e6/verify-batch32" in
+  let bls_pub = { Bls.g = srv_pub.Tre.Server.g; pk = srv_pub.Tre.Server.sg } in
+  let pairs = List.map (fun (m, u) -> (m, u.Tre.update_value)) e6_batch in
+  let w_single = alloc_words_of (fun () -> ignore (Tre.verify_update prms srv_pub upd)) in
+  let w_batch = alloc_words_of (fun () -> ignore (Bls.verify_batch prms bls_pub pairs)) in
   record "E6"
     [ ("update_bytes", I upd_bytes); ("sig_bytes", I sig_bytes);
-      ("ns_verify_single", F single); ("ns_verify_batch32", F batch);
+      ("ns_verify_single", F single); ("alloc_words_verify_single", F w_single);
+      ("ns_verify_batch32", F batch); ("alloc_words_verify_batch32", F w_batch);
       ("batch_speedup", F (32.0 *. single /. batch)) ];
   Printf.printf "verify single update: %12s\n" (pp_time single);
   Printf.printf "verify batch of 32:   %12s (%s/update, %.1fx faster than 32 singles)\n"
@@ -632,13 +652,19 @@ let e9_tests =
 
 let e9_report results =
   heading "E9: key insulation - epoch-key decryption vs direct secret use";
-  Printf.printf "%-26s %12s\n" "operation" "time/op";
+  Printf.printf "%-26s %12s %10s\n" "operation" "time/op" "words/op";
   List.iter
-    (fun n ->
+    (fun (n, f) ->
       let ns = ns_of results ("e9/" ^ n) in
-      record "E9" [ ("operation", S n); ("ns", F ns) ];
-      Printf.printf "%-26s %12s\n" n (pp_time ns))
-    [ "decrypt-with-a"; "decrypt-with-epoch-key"; "derive-epoch-key" ];
+      let w = alloc_words_of f in
+      record "E9" [ ("operation", S n); ("ns", F ns); ("alloc_words", F w) ];
+      Printf.printf "%-26s %12s %10s\n" n (pp_time ns) (pp_words w))
+    [
+      ("decrypt-with-a", fun () -> ignore (Tre.decrypt prms usr_sec upd tre_ct));
+      ( "decrypt-with-epoch-key",
+        fun () -> ignore (Key_insulation.decrypt prms epoch_key tre_ct) );
+      ("derive-epoch-key", fun () -> ignore (Key_insulation.derive prms usr_sec upd));
+    ];
   (* Exposure simulation: compromise the epoch-3 key out of 10 epochs. *)
   let epochs = List.init 10 (fun i -> Printf.sprintf "ep-%d" i) in
   let cts =
@@ -704,8 +730,10 @@ let e1b_report () =
       List.iter
         (fun (set_name, ops) ->
           let f = List.assoc op ops in
-          let t = median_time f in
-          record "E1b" [ ("operation", S op); ("params", S set_name); ("ns", F t) ];
+          let t, w = median_time_alloc f in
+          record "E1b"
+            [ ("operation", S op); ("params", S set_name); ("ns", F t);
+              ("alloc_words", F w) ];
           Printf.printf " %16s" (String.trim (pp_time t)))
         tables;
       print_newline ())
@@ -840,10 +868,12 @@ let e1opt_report () =
   Printf.printf "%-26s %12s %12s %9s\n" "operation" "reference" "optimized" "speedup";
   List.iter
     (fun r ->
-      let t_ref = median_time r.reference and t_opt = median_time r.optimized in
+      let t_ref, w_ref = median_time_alloc r.reference
+      and t_opt, w_opt = median_time_alloc r.optimized in
       record "E1opt"
         [ ("operation", S r.row_name); ("ns_reference", F t_ref);
-          ("ns_optimized", F t_opt); ("speedup", F (t_ref /. t_opt)) ];
+          ("alloc_words_reference", F w_ref); ("ns_optimized", F t_opt);
+          ("alloc_words_optimized", F w_opt); ("speedup", F (t_ref /. t_opt)) ];
       Printf.printf "%-26s %12s %12s %8.2fx\n" r.row_name (pp_time t_ref) (pp_time t_opt)
         (t_ref /. t_opt))
     rows;
@@ -866,6 +896,181 @@ let e1opt_smoke () =
       Printf.printf "%-26s OK (%.2fx)\n" r.row_name (t_ref /. t_opt))
     rows;
   Printf.printf "all optimized paths agree with reference\n"
+
+(* =========================================================================
+   E1-kernel - fixed-limb in-place kernels vs the generic Mont reference
+   ========================================================================= *)
+
+(* Each row pits the variable-length generic path (Modarith.Mont, or the
+   functional curve/pairing formulas built on it in spirit) against the
+   fixed-limb in-place kernel path the schemes now run, asserts
+   bit-identity first, then reports time AND allocated words per op for
+   both. The end-to-end scheme rows have no surviving reference variant
+   (the kernels are wired under everything), so they report the kernel
+   column only — their trajectory across PRs lives in the JSON dump. *)
+type kernel_row = {
+  krow_name : string;
+  kref : (unit -> unit) option;
+  kker : unit -> unit;
+  kagree : unit -> bool;
+}
+
+let e1kernel_sets = [ "toy64"; "mid128"; "std160" ]
+
+let e1kernel_rows set_name =
+  let p = Option.get (Pairing.by_name set_name) in
+  let fp = p.Pairing.fp in
+  let curve = p.Pairing.curve in
+  let g = p.Pairing.g in
+  let rng = Hashing.Drbg.create ~seed:("e1k-" ^ set_name) () in
+  let mont = Modarith.Mont.create p.Pairing.p in
+  let rand_elt () =
+    Bigint.erem
+      (Bigint.of_bytes_be (Hashing.Drbg.generate rng (Fp.byte_length fp + 3)))
+      p.Pairing.p
+  in
+  let xb = rand_elt () and yb = rand_elt () in
+  let xk = Fp.of_bigint fp xb and yk = Fp.of_bigint fp yb in
+  let xm = Modarith.Mont.of_bigint mont xb
+  and ym = Modarith.Mont.of_bigint mont yb in
+  let dst = Fp.Mut.alloc fp in
+  let steps = 64 in
+  let srng = Hashing.Drbg.create ~seed:("e1k-tre-" ^ set_name) () in
+  let ssec, spub = Tre.Server.keygen p srng in
+  let usec, upub = Tre.User.keygen p spub srng in
+  let u = Tre.issue_update p ssec t_label in
+  let ct = Tre.encrypt p spub upub ~release_time:t_label srng msg32 in
+  [
+    {
+      krow_name = "field-mul";
+      kref = Some (fun () -> ignore (Modarith.Mont.mul mont xm ym));
+      kker = (fun () -> Fp.Mut.mul_into fp dst xk yk);
+      kagree =
+        (fun () ->
+          Bigint.equal
+            (Modarith.Mont.to_bigint mont (Modarith.Mont.mul mont xm ym))
+            (Fp.to_bigint fp (Fp.mul fp xk yk)));
+    };
+    {
+      krow_name = "field-sqr";
+      kref = Some (fun () -> ignore (Modarith.Mont.sqr mont xm));
+      kker = (fun () -> Fp.Mut.sqr_into fp dst xk);
+      kagree =
+        (fun () ->
+          Bigint.equal
+            (Modarith.Mont.to_bigint mont (Modarith.Mont.sqr mont xm))
+            (Fp.to_bigint fp (Fp.sqr fp xk)));
+    };
+    {
+      krow_name = "field-inv";
+      kref = Some (fun () -> ignore (Modarith.Mont.inv mont xm));
+      kker = (fun () -> ignore (Fp.inv fp xk));
+      kagree =
+        (fun () ->
+          Bigint.equal
+            (Modarith.Mont.to_bigint mont (Modarith.Mont.inv mont xm))
+            (Fp.to_bigint fp (Fp.inv fp xk)));
+    };
+    {
+      krow_name = Printf.sprintf "curve-steps (%d dbl+add)" steps;
+      kref = Some (fun () -> ignore (Curve.jac_steps_ref curve g steps));
+      kker = (fun () -> ignore (Curve.jac_steps_kernel curve g steps));
+      kagree =
+        (fun () ->
+          Curve.equal
+            (Curve.jac_steps_ref curve g steps)
+            (Curve.jac_steps_kernel curve g steps));
+    };
+    {
+      krow_name = "pairing";
+      kref = Some (fun () -> ignore (Pairing.pairing_ref p g g));
+      kker = (fun () -> ignore (Pairing.pairing p g g));
+      kagree =
+        (fun () -> Fp2.equal (Pairing.pairing_ref p g g) (Pairing.pairing p g g));
+    };
+    {
+      krow_name = "tre-encrypt";
+      kref = None;
+      kker =
+        (fun () ->
+          ignore
+            (Tre.encrypt_prevalidated p spub upub ~release_time:t_label srng msg32));
+      kagree = (fun () -> true);
+    };
+    {
+      krow_name = "tre-decrypt";
+      kref = None;
+      kker = (fun () -> ignore (Tre.decrypt p usec u ct));
+      kagree = (fun () -> true);
+    };
+  ]
+
+let e1kernel_check rows =
+  List.iter
+    (fun r ->
+      if not (r.kagree ()) then
+        failwith
+          (Printf.sprintf "E1-kernel: %s: kernel path disagrees with reference"
+             r.krow_name))
+    rows
+
+let e1kernel_report () =
+  heading "E1-kernel: fixed-limb in-place kernels vs generic Mont reference";
+  let kernel_rows = ref [] in
+  List.iter
+    (fun set_name ->
+      let rows = e1kernel_rows set_name in
+      e1kernel_check rows;
+      Printf.printf "\n[%s]\n" set_name;
+      Printf.printf "%-26s %12s %9s %12s %9s %9s\n" "operation" "reference"
+        "ref w/op" "kernel" "ker w/op" "speedup";
+      List.iter
+        (fun r ->
+          let t_ker, w_ker = median_time_alloc r.kker in
+          let t_ref, w_ref =
+            match r.kref with
+            | Some f -> median_time_alloc f
+            | None -> (nan, nan)
+          in
+          let fields =
+            [ ("params", S set_name); ("operation", S r.krow_name);
+              ("ns_reference", F t_ref); ("alloc_words_reference", F w_ref);
+              ("ns_kernel", F t_ker); ("alloc_words_kernel", F w_ker);
+              ("speedup", F (t_ref /. t_ker)) ]
+          in
+          record "E1-kernel" fields;
+          kernel_rows := ("E1-kernel", fields) :: !kernel_rows;
+          match r.kref with
+          | Some _ ->
+              Printf.printf "%-26s %12s %9s %12s %9s %8.2fx\n" r.krow_name
+                (pp_time t_ref) (pp_words w_ref) (pp_time t_ker)
+                (pp_words w_ker) (t_ref /. t_ker)
+          | None ->
+              Printf.printf "%-26s %12s %9s %12s %9s %9s\n" r.krow_name "-" "-"
+                (pp_time t_ker) (pp_words w_ker) "-")
+        rows)
+    e1kernel_sets;
+  write_json "BENCH_E1_KERNEL.json" (List.rev !kernel_rows);
+  Printf.printf "\nwrote %d rows to BENCH_E1_KERNEL.json\n"
+    (List.length !kernel_rows);
+  Printf.printf
+    "shape check: the in-place product-scanning kernel multiplies >=2x faster at\n\
+     mid128 with ~zero allocated words/op (the generic reference pays\n\
+     scratch + Array.sub copies + a normalization pass per call); the\n\
+     gap compounds up the stack through the curve step and the Miller\n\
+     loop into the end-to-end scheme operations.\n"
+
+(* [--smoke]: bit-identity of every kernel path against the generic
+   reference, across all three named parameter sets. *)
+let e1kernel_smoke () =
+  Printf.printf "E1-kernel smoke: in-place kernels vs generic reference\n";
+  List.iter
+    (fun set_name ->
+      let rows = e1kernel_rows set_name in
+      e1kernel_check rows;
+      Printf.printf "kernel-vs-ref %-12s OK\n" set_name)
+    e1kernel_sets;
+  Printf.printf "all kernel paths agree with the generic reference\n"
 
 (* [--smoke] for the batch/parallel layer: every batched or pool-sharded
    path must agree EXACTLY with its serial reference — same verdicts, same
@@ -979,10 +1184,12 @@ let a1_report () =
   in
   ignore naive_verify;
   let naive_verify = naive_eq in
-  let t_naive = median_time naive_verify and t_prod = median_time product_verify in
+  let t_naive, w_naive = median_time_alloc naive_verify
+  and t_prod, w_prod = median_time_alloc product_verify in
   record "A1"
     [ ("operation", S "update-verify"); ("ns_naive", F t_naive);
-      ("ns_product", F t_prod); ("speedup", F (t_naive /. t_prod)) ];
+      ("alloc_words_naive", F w_naive); ("ns_product", F t_prod);
+      ("alloc_words_product", F w_prod); ("speedup", F (t_naive /. t_prod)) ];
   Printf.printf "update verification:  2 pairings %s | product+1 final-exp %s (%.2fx)\n"
     (String.trim (pp_time t_naive))
     (String.trim (pp_time t_prod))
@@ -1007,10 +1214,12 @@ let a1_report () =
          (Pairing.h2 prms k (String.length ct4.Multi_server.v)))
   in
   let product_ms () = ignore (Multi_server.decrypt prms a4 upds4 ct4) in
-  let t_naive = median_time naive_ms and t_prod = median_time product_ms in
+  let t_naive, w_naive = median_time_alloc naive_ms
+  and t_prod, w_prod = median_time_alloc product_ms in
   record "A1"
     [ ("operation", S "multi-server-decrypt-n4"); ("ns_naive", F t_naive);
-      ("ns_product", F t_prod); ("speedup", F (t_naive /. t_prod)) ];
+      ("alloc_words_naive", F w_naive); ("ns_product", F t_prod);
+      ("alloc_words_product", F w_prod); ("speedup", F (t_naive /. t_prod)) ];
   Printf.printf "multi-server dec n=4: 4 pairings %s | product form       %s (%.2fx)\n"
     (String.trim (pp_time t_naive))
     (String.trim (pp_time t_prod))
@@ -1047,16 +1256,17 @@ let e10_report () =
   in
   assert (not (Tre.Verifier.verify_updates prms verifier forged));
   let e10_rows = ref [] in
-  let t_serial =
-    median_time ~samples:11 (fun () ->
+  let t_serial, w_serial =
+    median_time_alloc ~samples:11 (fun () ->
         ignore (List.for_all (Tre.verify_update_with prms verifier) updates))
   in
   Printf.printf "%-22s %8s %13s %13s %9s\n" "verify mode" "domains" "time/batch"
     "updates/s" "speedup";
-  let row mode domains t =
+  let row mode domains (t, w) =
     let fields =
       [ ("mode", S mode); ("domains", S domains); ("batch", I e10_batch_n);
-        ("ns_per_batch", F t); ("updates_per_sec", F (n /. (t /. 1e9)));
+        ("ns_per_batch", F t); ("alloc_words_per_batch", F w);
+        ("updates_per_sec", F (n /. (t /. 1e9)));
         ("speedup_vs_serial", F (t_serial /. t)) ]
     in
     record "E10" fields;
@@ -1068,11 +1278,12 @@ let e10_report () =
      plain public API). The speedup column stays anchored to the
      stronger prepared-serial baseline below. *)
   row "serial (cold verifier)" "-"
-    (median_time ~samples:11 (fun () ->
+    (median_time_alloc ~samples:11 (fun () ->
          ignore (List.for_all (Tre.verify_update prms srv_pub) updates)));
-  row "serial per-item" "-" t_serial;
+  row "serial per-item" "-" (t_serial, w_serial);
   row "batched (2 pairings)" "-"
-    (median_time ~samples:11 (fun () -> ignore (Tre.Verifier.verify_updates prms verifier updates)));
+    (median_time_alloc ~samples:11 (fun () ->
+         ignore (Tre.Verifier.verify_updates prms verifier updates)));
   List.iter
     (fun d ->
       let pool = Pool.create ~domains:d () in
@@ -1081,7 +1292,7 @@ let e10_report () =
       assert (Tre.Verifier.verify_updates ~pool prms verifier updates);
       assert (not (Tre.Verifier.verify_updates ~pool prms verifier forged));
       row "batched + pool" (string_of_int d)
-        (median_time ~samples:11 (fun () ->
+        (median_time_alloc ~samples:11 (fun () ->
              ignore (Tre.Verifier.verify_updates ~pool prms verifier updates)));
       Pool.shutdown pool)
     [ 1; 2; 4; 8 ];
@@ -1097,19 +1308,21 @@ let e10_report () =
   in
   let serial_pts = List.map (fun (u, ct) -> Tre.decrypt prms usr_sec u ct) cts in
   let t_dec_serial =
-    median_time ~samples:11 (fun () ->
+    median_time_alloc ~samples:11 (fun () ->
         ignore (List.map (fun (u, ct) -> Tre.decrypt prms usr_sec u ct) cts))
   in
   let pool = Pool.create ~domains:4 () in
   assert (Tre.decrypt_batch ~pool prms usr_sec cts = serial_pts);
   let t_dec_pool =
-    median_time ~samples:11 (fun () -> ignore (Tre.decrypt_batch ~pool prms usr_sec cts))
+    median_time_alloc ~samples:11 (fun () ->
+        ignore (Tre.decrypt_batch ~pool prms usr_sec cts))
   in
   Pool.shutdown pool;
-  let dec_row mode domains t =
+  let dec_row mode domains (t, w) =
     let fields =
       [ ("mode", S mode); ("domains", S domains); ("batch", I e10_batch_n);
-        ("ns_per_batch", F t); ("ops_per_sec", F (n /. (t /. 1e9))) ]
+        ("ns_per_batch", F t); ("alloc_words_per_batch", F w);
+        ("ops_per_sec", F (n /. (t /. 1e9))) ]
     in
     record "E10-decrypt" fields;
     e10_rows := ("E10-decrypt", fields) :: !e10_rows;
@@ -1162,16 +1375,21 @@ let e12_report () =
   let tree = Time_tree.create ~depth:8 in
   let ct = Resilient_tre.encrypt prms tree srv_pub usr_pub ~release_epoch:100 rng msg32 in
   let cover = Resilient_tre.issue_cover prms tree srv_sec ~epoch:200 in
-  let t_enc =
-    median_time (fun () ->
+  let t_enc, w_enc =
+    median_time_alloc (fun () ->
         ignore (Resilient_tre.encrypt prms tree srv_pub usr_pub ~release_epoch:100 rng msg32))
   in
-  let t_dec =
-    median_time (fun () -> ignore (Resilient_tre.decrypt prms tree usr_sec ~cover ct))
+  let t_dec, w_dec =
+    median_time_alloc (fun () -> ignore (Resilient_tre.decrypt prms tree usr_sec ~cover ct))
   in
-  let t_cover =
-    median_time (fun () -> ignore (Resilient_tre.issue_cover prms tree srv_sec ~epoch:200))
+  let t_cover, w_cover =
+    median_time_alloc (fun () ->
+        ignore (Resilient_tre.issue_cover prms tree srv_sec ~epoch:200))
   in
+  record "E12-timing"
+    [ ("depth", I 8); ("ns_encrypt", F t_enc); ("alloc_words_encrypt", F w_enc);
+      ("ns_decrypt", F t_dec); ("alloc_words_decrypt", F w_dec);
+      ("ns_issue_cover", F t_cover); ("alloc_words_issue_cover", F w_cover) ];
   Printf.printf
     "depth 8: encrypt %s (%d headers), decrypt %s, server cover issue %s\n"
     (String.trim (pp_time t_enc))
@@ -1200,20 +1418,24 @@ let e11_report () =
         List.map (fun s -> Threshold_server.issue_partial prms s t_label) servers
       in
       let quorum = List.filteri (fun i _ -> i < k) partials in
-      let t_issue =
-        median_time (fun () ->
+      let t_issue, w_issue =
+        median_time_alloc (fun () ->
             ignore (Threshold_server.issue_partial prms (List.hd servers) t_label))
       in
-      let t_verify =
-        median_time (fun () ->
+      let t_verify, w_verify =
+        median_time_alloc (fun () ->
             ignore (Threshold_server.verify_partial prms system t_label (List.hd partials)))
       in
-      let t_combine =
-        median_time (fun () -> ignore (Threshold_server.combine prms system t_label quorum))
+      let t_combine, w_combine =
+        median_time_alloc (fun () ->
+            ignore (Threshold_server.combine prms system t_label quorum))
       in
       record "E11"
         [ ("k", I k); ("n", I n); ("ns_partial_issue", F t_issue);
-          ("ns_partial_verify", F t_verify); ("ns_combine", F t_combine);
+          ("alloc_words_partial_issue", F w_issue);
+          ("ns_partial_verify", F t_verify);
+          ("alloc_words_partial_verify", F w_verify);
+          ("ns_combine", F t_combine); ("alloc_words_combine", F w_combine);
           ("ns_single_server", F single) ];
       Printf.printf "%-10s %14s %14s %14s %16s\n"
         (Printf.sprintf "(%d, %d)" k n)
@@ -1234,6 +1456,7 @@ let e11_report () =
 let () =
   if smoke then begin
     e1opt_smoke ();
+    e1kernel_smoke ();
     batch_smoke ();
     exit 0
   end;
@@ -1248,6 +1471,7 @@ let () =
   let results = run_benchmarks (Test.make_grouped ~name:"" ~fmt:"%s%s" groups) in
   e1_report results;
   e1opt_report ();
+  e1kernel_report ();
   e1b_report ();
   e2_report results;
   e3_report ();

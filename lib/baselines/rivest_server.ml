@@ -10,7 +10,7 @@ let sym_decrypt ~key ct =
   else begin
     let tag = String.sub ct 0 tag_bytes in
     let body = String.sub ct tag_bytes (String.length ct - tag_bytes) in
-    if Hashing.Hmac.equal tag (Hashing.Hmac.mac ~key ("rsw-tag|" ^ body)) then
+    if Hashing.ct_equal tag (Hashing.Hmac.mac ~key ("rsw-tag|" ^ body)) then
       Some (Hashing.Kdf.xor_mask ~seed:("rsw-sym|" ^ key) body)
     else None
   end

@@ -1,0 +1,599 @@
+(* Fixed-width, destination-passing Montgomery field kernels.
+
+   Where {!Modarith.Mont} works over normalized variable-length {!Nat}
+   limbs — allocating a scratch accumulator, two [Array.sub] copies and a
+   normalization pass per multiplication — this module freezes the limb
+   count [k] at context creation and runs every operation over flat
+   [int array] buffers of exactly [k] limbs that the *caller* provides.
+   The hot kernels ([mul_into], [sqr_into], [add_into], [sub_into],
+   [neg_into]) allocate nothing: their working space comes from a
+   per-domain scratch record ({!Domain.DLS}), so concurrent use from a
+   {!Pool} of domains is race-free by construction.
+
+   The limb base is 2^26, not {!Nat}'s 2^31, and that choice is the
+   performance core of the module: 26-bit limbs make every partial
+   product fit in 52 bits, so a 62-bit native int can accumulate hundreds
+   of them before overflowing. Multiplication and Montgomery reduction
+   therefore run *product scanning with delayed carries*: the inner loops
+   are pure multiply-accumulate with no carry extraction, which breaks
+   the loop-carried add->mask->shift dependency chain that serializes a
+   word-by-word CIOS at base 2^31. Carries are propagated in one cheap
+   linear pass at the end. (Bound: each wide position accumulates at most
+   2k products of < 2^52 plus one carry, safe in 62 bits for any k up to
+   ~500 — far beyond the 20 limbs of a 512-bit modulus.)
+
+   Representation invariant: an [elt] is exactly [k] base-2^26 limbs,
+   little-endian, holding the canonical Montgomery residue value*R mod m
+   in [0, m), R = 2^(26k). Because every kernel fully reduces its result,
+   the representation of a given field value is unique — which is what
+   makes "bit-identical to the generic {!Modarith.Mont} reference" a
+   meaningful and testable contract regardless of the internal algorithm.
+
+   Conditional subtractions are branchless: borrows are extracted from
+   the sign bit of the 63-bit native int ([(d lsr 62) land 1]) and the
+   subtrahend is selected with a full-width mask, so the reduced-kernel
+   limb loops have no data-dependent branches.
+
+   The limb loops use unchecked array accesses ([Array.unsafe_get]/
+   [unsafe_set] — declared [external] so they inline on a non-flambda
+   compiler): every index is bounded by [ctx.k] (or the wide size [2k+2])
+   and every buffer is at least that long by the [elt] invariant and the
+   scratch-growth rule, so the checks are provably dead — but the
+   compiler cannot see that, and they cost ~30% of the inner loops. *)
+
+external ( .!() ) : int array -> int -> int = "%array_unsafe_get"
+external ( .!()<- ) : int array -> int -> int -> unit = "%array_unsafe_set"
+
+(* Kernel limb base: 26 bits (see the header comment for why not 31). *)
+let kb = 26
+let kbase = 1 lsl kb
+let kmask = kbase - 1
+
+type ctx = {
+  m : Bigint.t;
+  ml : int array; (* the modulus, exactly k limbs *)
+  k : int;
+  m0_inv_neg : int; (* -m^{-1} mod 2^26 *)
+  one_m : int array; (* R mod m — the Montgomery one, k limbs *)
+  r2 : int array; (* R^2 mod m, k limbs *)
+  r3 : int array; (* R^3 mod m, k limbs: single-conversion inversion *)
+  m2w : int array; (* m^2 as a wide (2k+2) buffer, for lazy reduction *)
+  lazy_ok : bool; (* 4m <= R: unreduced sums of two residues fit k limbs
+                     and every lazy-reduction input stays below m*R *)
+}
+
+type elt = int array
+
+(* --- per-domain scratch ---
+
+   One grow-only record per domain: the wide (2k+2 limb) accumulator
+   shared by [mul_into] and [sqr_into]. Neither kernel calls the other
+   and the Fp2 lazy pipeline brings its own wide buffers, so one slot
+   suffices. Loops are bounded by [ctx.k], never by the array length, so
+   a scratch grown for a large context serves smaller ones unchanged. *)
+type scratch = { mutable ws : int array }
+
+let scratch_key = Domain.DLS.new_key (fun () -> { ws = [||] })
+
+let scratch k =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.ws < (2 * k) + 2 then s.ws <- Array.make ((2 * k) + 2) 0;
+  s
+
+(* --- raw helpers over caller-sized buffers --- *)
+
+let alloc ctx = Array.make ctx.k 0
+let wide_alloc ctx = Array.make ((2 * ctx.k) + 2) 0
+let limb_count ctx = ctx.k
+let modulus ctx = ctx.m
+let lazy_ok ctx = ctx.lazy_ok
+
+let copy_into ctx dst src = Array.blit src 0 dst 0 ctx.k
+
+let set_zero ctx dst = Array.fill dst 0 ctx.k 0
+let set_one ctx dst = copy_into ctx dst ctx.one_m
+
+let is_zero ctx a =
+  let orv = ref 0 in
+  for i = 0 to ctx.k - 1 do
+    orv := !orv lor a.(i)
+  done;
+  !orv = 0
+
+let equal ctx a b =
+  let d = ref 0 in
+  for i = 0 to ctx.k - 1 do
+    d := !d lor (a.(i) lxor b.(i))
+  done;
+  !d = 0
+
+(* dst <- dst - (m masked by -take); branchless second half of the
+   conditional subtraction (the caller has already decided [take]). *)
+let masked_sub_in ctx dst take =
+  let k = ctx.k and m = ctx.ml in
+  let mask = -take in
+  let bor = ref 0 in
+  for i = 0 to k - 1 do
+    let d = dst.!(i) - (m.!(i) land mask) - !bor in
+    bor := (d lsr 62) land 1;
+    dst.!(i) <- d land kmask
+  done
+
+(* dst (k limbs, value dst + extra*R) minus m if that is >= m; branchless.
+   Requires dst + extra*R < 2m. *)
+let cond_sub_in ctx dst extra =
+  let k = ctx.k and m = ctx.ml in
+  let bor = ref 0 in
+  for i = 0 to k - 1 do
+    let d = dst.!(i) - m.!(i) - !bor in
+    bor := (d lsr 62) land 1
+  done;
+  (* dst + extra*R >= m  <=>  extra = 1 or no borrow. *)
+  masked_sub_in ctx dst (extra lor (1 - !bor))
+
+let add_into ctx dst a b =
+  let k = ctx.k in
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let s = a.!(i) + b.!(i) + !carry in
+    dst.!(i) <- s land kmask;
+    carry := s lsr kb
+  done;
+  cond_sub_in ctx dst !carry
+
+(* Plain limb addition with no reduction: requires [ctx.lazy_ok] (so that
+   a + b < 2m < R fits in k limbs). Feeds the Fp2 lazy-reduction path. *)
+let add_nored_into ctx dst a b =
+  let k = ctx.k in
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let s = a.!(i) + b.!(i) + !carry in
+    dst.!(i) <- s land kmask;
+    carry := s lsr kb
+  done;
+  assert (!carry = 0)
+
+let sub_into ctx dst a b =
+  let k = ctx.k and m = ctx.ml in
+  let bor = ref 0 in
+  for i = 0 to k - 1 do
+    let d = a.!(i) - b.!(i) - !bor in
+    bor := (d lsr 62) land 1;
+    dst.!(i) <- d land kmask
+  done;
+  (* Add m back iff the subtraction went negative; masked, branchless. *)
+  let mask = - !bor in
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let s = dst.!(i) + (m.!(i) land mask) + !carry in
+    dst.!(i) <- s land kmask;
+    carry := s lsr kb
+  done
+
+let neg_into ctx dst a =
+  let k = ctx.k and m = ctx.ml in
+  let orv = ref 0 in
+  for i = 0 to k - 1 do
+    orv := !orv lor a.(i)
+  done;
+  (* mask = all-ones iff a <> 0 (branchless nonzero test on 63-bit ints). *)
+  let nz = ((!orv lor - !orv) lsr 62) land 1 in
+  let mask = -nz in
+  let bor = ref 0 in
+  for i = 0 to k - 1 do
+    let d = m.!(i) - a.!(i) - !bor in
+    bor := (d lsr 62) land 1;
+    dst.!(i) <- d land kmask land mask
+  done
+
+(* --- the delayed-carry wide pipeline ---
+
+   [accum_product_raw] and [accum_square_raw] leave the wide buffer
+   *unpropagated*: position i+j holds a sum of up to k raw products
+   (< 2k * 2^52, fine in 62 bits). [redc_into] accepts such buffers —
+   it only ever needs the value of a position mod 2^26 after all lower
+   positions' carries have been folded in, which its own left-to-right
+   pass guarantees. The public wide entry points propagate before
+   returning so that the Fp2 lazy pipeline's limb-wise add/sub/double
+   operate on canonical 26-bit limbs. *)
+
+(* w <- a*b, carries delayed. Writes w.(0 .. 2k-1); the caller zeroes
+   the two top limbs. Row 0 initializes by plain store, so no zero-fill
+   pass over the product range is needed. *)
+let accum_product_raw k w a b =
+  let a0 = a.!(0) in
+  for j = 0 to k - 1 do
+    w.!(j) <- a0 * b.!(j)
+  done;
+  w.!(k) <- 0;
+  for i = 1 to k - 1 do
+    let ai = a.!(i) in
+    w.!(i + k) <- 0;
+    if ai <> 0 then
+      for j = 0 to k - 1 do
+        w.!(i + j) <- w.!(i + j) + (ai * b.!(j))
+      done
+  done
+
+(* w <- a^2, carries delayed: each cross product computed once and
+   pre-doubled in the 62-bit accumulator (2 * 2^52 * k stays far under
+   the overflow budget), diagonal squares added on top. Writes
+   w.(0 .. 2k-1); the caller zeroes the two top limbs. *)
+let accum_square_raw k w a =
+  for i = 0 to (2 * k) - 1 do
+    w.!(i) <- 0
+  done;
+  for i = 0 to k - 2 do
+    let ai = a.!(i) in
+    if ai <> 0 then
+      for j = i + 1 to k - 1 do
+        w.!(i + j) <- w.!(i + j) + ((ai * a.!(j)) lsl 1)
+      done
+  done;
+  for i = 0 to k - 1 do
+    let ai = a.!(i) in
+    w.!(2 * i) <- w.!(2 * i) + (ai * ai)
+  done
+
+(* One linear pass: fold delayed carries into canonical 26-bit limbs. *)
+let propagate_wide k w =
+  let c = ref 0 in
+  for i = 0 to (2 * k) + 1 do
+    let v = w.!(i) + !c in
+    w.!(i) <- v land kmask;
+    c := v lsr kb
+  done;
+  assert (!c = 0)
+
+(* Montgomery reduction of a wide value: dst <- w * R^{-1} mod m,
+   canonical. Requires value(w) < m*R (callers guarantee this via
+   [lazy_ok] or via w = a*b with a, b < m); accepts both canonical and
+   delayed-carry buffers; destroys [w]. *)
+let redc_into ctx dst w =
+  let k = ctx.k and m = ctx.ml in
+  let m' = ctx.m0_inv_neg in
+  for i = 0 to k - 1 do
+    (* w.(i)'s low 26 bits are exact: lower positions' carries were
+       folded in by the previous iterations' shift-down step. *)
+    let u = (w.!(i) land kmask) * m' land kmask in
+    if u <> 0 then
+      for j = 0 to k - 1 do
+        w.!(i + j) <- w.!(i + j) + (u * m.!(j))
+      done;
+    (* w.(i) is now 0 mod 2^26; push its carry up before it is needed. *)
+    w.!(i + 1) <- w.!(i + 1) + (w.!(i) lsr kb)
+  done;
+  let c = ref 0 in
+  for i = 0 to k - 1 do
+    let v = w.!(i + k) + !c in
+    dst.!(i) <- v land kmask;
+    c := v lsr kb
+  done;
+  (* value(w)/R < 2m <= 2R, so the overflow beyond k limbs is one bit. *)
+  cond_sub_in ctx dst (w.!(2 * k) + !c)
+
+(* Montgomery multiplication: dst <- a*b*R^{-1} mod m, canonical.
+
+   Product scanning fused with the reduction: columns are processed left
+   to right with a single register accumulator; at column c < k the
+   Montgomery digit u_c is chosen to zero the column, at column c >= k
+   the result limb drops out. One pass, no wide buffer — the only memory
+   written is the k-limb u-digit store (per-domain scratch) and [dst].
+   Accumulator bound: a column sums at most 2k products of < 2^52 plus a
+   carry < 2^32, safe in 62 bits for k up to ~500.
+
+   [dst] may alias [a] and/or [b]: dst.(c-k) is written at column c, and
+   columns c' > c only read operand limbs with index > c-k.
+   Allocation-free. *)
+let mul_into ctx dst a b =
+  let k = ctx.k and m = ctx.ml in
+  let m' = ctx.m0_inv_neg in
+  let u = (scratch k).ws in
+  let acc = ref 0 in
+  for c = 0 to k - 1 do
+    (* Two independent accumulation chains per column (operand products
+       and u*m digits) halve the critical add-latency path; each stays
+       under k * 2^52, well within the 62-bit budget. *)
+    let s = ref 0 and t = ref 0 in
+    for i = 0 to c do
+      s := !s + (a.!(i) * b.!(c - i))
+    done;
+    for j = 0 to c - 1 do
+      t := !t + (u.!(j) * m.!(c - j))
+    done;
+    let av = !acc + !s + !t in
+    let uc = (av land kmask) * m' land kmask in
+    u.!(c) <- uc;
+    acc := (av + (uc * m.!(0))) lsr kb
+  done;
+  (* The high columns also thread the trial borrow of the final
+     conditional subtraction, so no separate compare pass is needed. *)
+  let bor = ref 0 in
+  for c = k to (2 * k) - 1 do
+    let s = ref 0 and t = ref 0 in
+    for i = c - k + 1 to k - 1 do
+      s := !s + (a.!(i) * b.!(c - i))
+    done;
+    for j = c - k + 1 to k - 1 do
+      t := !t + (u.!(j) * m.!(c - j))
+    done;
+    let av = !acc + !s + !t in
+    let limb = av land kmask in
+    dst.!(c - k) <- limb;
+    acc := av lsr kb;
+    let d = limb - m.!(c - k) - !bor in
+    bor := (d lsr 62) land 1
+  done;
+  masked_sub_in ctx dst (!acc lor (1 - !bor))
+
+(* Dedicated squaring, same fused column pass: each cross product is
+   computed once and pre-doubled in the accumulator (the budget above
+   absorbs the extra bit), diagonal squares land on even columns. *)
+let sqr_into ctx dst a =
+  let k = ctx.k and m = ctx.ml in
+  let m' = ctx.m0_inv_neg in
+  let u = (scratch k).ws in
+  let acc = ref 0 in
+  for c = 0 to k - 1 do
+    for i = 0 to (c - 1) asr 1 do
+      acc := !acc + ((a.!(i) * a.!(c - i)) lsl 1)
+    done;
+    if c land 1 = 0 then begin
+      let h = a.!(c / 2) in
+      acc := !acc + (h * h)
+    end;
+    for j = 0 to c - 1 do
+      acc := !acc + (u.!(j) * m.!(c - j))
+    done;
+    let uc = (!acc land kmask) * m' land kmask in
+    u.!(c) <- uc;
+    acc := (!acc + (uc * m.!(0))) lsr kb
+  done;
+  (* As in [mul_into], thread the conditional-subtraction trial borrow
+     through the output columns instead of a separate compare pass. *)
+  let bor = ref 0 in
+  for c = k to (2 * k) - 1 do
+    for i = c - k + 1 to (c - 1) asr 1 do
+      acc := !acc + ((a.!(i) * a.!(c - i)) lsl 1)
+    done;
+    if c land 1 = 0 then begin
+      let h = a.!(c / 2) in
+      acc := !acc + (h * h)
+    end;
+    for j = c - k + 1 to k - 1 do
+      acc := !acc + (u.!(j) * m.!(c - j))
+    done;
+    let limb = !acc land kmask in
+    dst.!(c - k) <- limb;
+    acc := !acc lsr kb;
+    let d = limb - m.!(c - k) - !bor in
+    bor := (d lsr 62) land 1
+  done;
+  masked_sub_in ctx dst (!acc lor (1 - !bor))
+
+(* Wide (2k-limb, canonical) product of two k-limb operands into [w];
+   the two extra top limbs end up zero so callers can accumulate. *)
+let mul_wide_into ctx w a b =
+  let k = ctx.k in
+  w.(2 * k) <- 0;
+  w.((2 * k) + 1) <- 0;
+  accum_product_raw k w a b;
+  propagate_wide k w
+
+let sqr_wide_into ctx w a =
+  let k = ctx.k in
+  w.(2 * k) <- 0;
+  w.((2 * k) + 1) <- 0;
+  accum_square_raw k w a;
+  propagate_wide k w
+
+(* w <- wa - wb over 2k+1 wide limbs; requires wa >= wb. *)
+let wide_sub_into ctx w wa wb =
+  let n = (2 * ctx.k) + 1 in
+  let bor = ref 0 in
+  for i = 0 to n - 1 do
+    let d = wa.!(i) - wb.!(i) - !bor in
+    bor := (d lsr 62) land 1;
+    w.!(i) <- d land kmask
+  done;
+  assert (!bor = 0)
+
+(* w <- w + m^2 over 2k+1 wide limbs (keeps lazy-reduction differences
+   non-negative: x + m^2 - y >= 0 for any wide products x, y < m^2). *)
+let wide_add_m2_into ctx w =
+  let n = (2 * ctx.k) + 1 in
+  let m2 = ctx.m2w in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = w.!(i) + m2.!(i) + !carry in
+    w.!(i) <- s land kmask;
+    carry := s lsr kb
+  done;
+  assert (!carry = 0)
+
+(* w <- 2w over 2k+1 wide limbs. *)
+let wide_double_into ctx w =
+  let n = (2 * ctx.k) + 1 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let v = (w.!(i) lsl 1) lor !carry in
+    w.!(i) <- v land kmask;
+    carry := v lsr kb
+  done;
+  assert (!carry = 0)
+
+(* --- conversions ---
+
+   The kernel base (2^26) differs from {!Nat}'s (2^31), so crossing the
+   boundary re-chunks the bit stream; both directions are cold paths. *)
+
+(* dst (len limbs, base 2^26) <- the low bits of n (base-2^31 Nat). *)
+let repack_nat_into dst len (n : Nat.t) =
+  Array.fill dst 0 len 0;
+  let buf = ref 0 and have = ref 0 and o = ref 0 in
+  Array.iter
+    (fun limb ->
+      (* have < 26, limb < 2^31: buf stays under 2^57. *)
+      buf := !buf lor (limb lsl !have);
+      have := !have + Nat.base_bits;
+      while !have >= kb do
+        if !o < len then dst.(!o) <- !buf land kmask;
+        incr o;
+        buf := !buf lsr kb;
+        have := !have - kb
+      done)
+    n;
+  if !o < len then dst.(!o) <- !buf
+
+let import_into ctx dst (n : Nat.t) = repack_nat_into dst ctx.k n
+
+(* Bigint from [count] base-2^26 limbs (non-negative). *)
+let unpack_to_bigint a count =
+  let acc = ref Bigint.zero in
+  for i = count - 1 downto 0 do
+    acc := Bigint.add (Bigint.shift_left !acc kb) (Bigint.of_int a.(i))
+  done;
+  !acc
+
+let of_bigint_into ctx dst v =
+  let v = Bigint.erem v ctx.m in
+  import_into ctx dst (Bigint.magnitude v);
+  mul_into ctx dst dst ctx.r2
+
+let of_bigint ctx v =
+  let dst = alloc ctx in
+  of_bigint_into ctx dst v;
+  dst
+
+let to_bigint ctx a =
+  let k = ctx.k in
+  let w = (scratch k).ws in
+  Array.fill w 0 ((2 * k) + 2) 0;
+  Array.blit a 0 w 0 k;
+  let dst = alloc ctx in
+  redc_into ctx dst w;
+  unpack_to_bigint dst k
+
+(* --- exponentiation: in-place sliding window ---
+
+   Same window schedule as {!Modarith.window_pow}; the accumulator and
+   squaring chain reuse two buffers, the odd-powers table is the only
+   per-call allocation. Canonical representatives make the result
+   bit-identical to the generic path whatever the internal schedule. *)
+let pow_into ctx dst base e =
+  if Bigint.sign e < 0 then invalid_arg "Limbs.pow_into: negative exponent";
+  let n = Bigint.bit_length e in
+  if n = 0 then set_one ctx dst
+  else if n <= 8 then begin
+    let acc = alloc ctx in
+    set_one ctx acc;
+    for i = n - 1 downto 0 do
+      sqr_into ctx acc acc;
+      if Bigint.test_bit e i then mul_into ctx acc acc base
+    done;
+    copy_into ctx dst acc
+  end
+  else begin
+    let w = if n <= 96 then 3 else if n <= 320 then 4 else 5 in
+    (* tbl.(i) = base^(2i+1). *)
+    let tbl = Array.init (1 lsl (w - 1)) (fun _ -> alloc ctx) in
+    copy_into ctx tbl.(0) base;
+    let b2 = alloc ctx in
+    sqr_into ctx b2 base;
+    for i = 1 to Array.length tbl - 1 do
+      mul_into ctx tbl.(i) tbl.(i - 1) b2
+    done;
+    let acc = b2 in
+    (* reuse: b2 is dead once the table is built *)
+    set_one ctx acc;
+    let started = ref false in
+    let i = ref (n - 1) in
+    while !i >= 0 do
+      if not (Bigint.test_bit e !i) then begin
+        if !started then sqr_into ctx acc acc;
+        decr i
+      end
+      else begin
+        let l = ref (Stdlib.max 0 (!i - w + 1)) in
+        while not (Bigint.test_bit e !l) do
+          incr l
+        done;
+        let v = ref 0 in
+        for j = !i downto !l do
+          v := (!v lsl 1) lor (if Bigint.test_bit e j then 1 else 0)
+        done;
+        if !started then begin
+          for _ = 1 to !i - !l + 1 do
+            sqr_into ctx acc acc
+          done;
+          mul_into ctx acc acc tbl.((!v - 1) / 2)
+        end
+        else begin
+          copy_into ctx acc tbl.((!v - 1) / 2);
+          started := true
+        end;
+        i := !l - 1
+      end
+    done;
+    copy_into ctx dst acc
+  end
+
+(* Single-conversion inversion: for a = x*R, [invmod] of the *plain* limb
+   value a gives (x*R)^{-1} = x^{-1} R^{-1} mod m; one Montgomery
+   multiplication by R^3 lands back on x^{-1} R with no round trip
+   through the Montgomery encode/decode pair. Raises [Division_by_zero]
+   (from [invmod]) when a is not invertible. *)
+let inv_into ctx dst a =
+  let raw = unpack_to_bigint a ctx.k in
+  let vinv = Modarith.invmod raw ctx.m in
+  import_into ctx dst (Bigint.magnitude vinv);
+  mul_into ctx dst dst ctx.r3
+
+(* --- context creation --- *)
+
+(* Inverse of odd [v] mod 2^26 by Newton iteration; 5 steps suffice. *)
+let inv_limb v =
+  let x = ref v in
+  for _ = 1 to 5 do
+    x := !x * (2 - (v * !x)) land kmask
+  done;
+  !x land kmask
+
+let create m =
+  if Bigint.sign m <= 0 || Bigint.is_even m || Bigint.compare m (Bigint.of_int 3) < 0
+  then invalid_arg "Limbs.create: modulus must be odd and >= 3";
+  let bits = Bigint.bit_length m in
+  let k = (bits + kb - 1) / kb in
+  let ml = Array.make k 0 in
+  repack_nat_into ml k (Bigint.magnitude m);
+  let m0_inv_neg = (kbase - inv_limb ml.(0)) land kmask in
+  let r = Bigint.shift_left Bigint.one (k * kb) in
+  let r_mod = Bigint.erem r m in
+  let r2_b = Bigint.erem (Bigint.mul r_mod r_mod) m in
+  let lazy_ok = bits + 2 <= k * kb in
+  let pack v =
+    let out = Array.make k 0 in
+    repack_nat_into out k (Bigint.magnitude v);
+    out
+  in
+  let m2w =
+    let w = Array.make ((2 * k) + 2) 0 in
+    repack_nat_into w ((2 * k) + 2) (Nat.sqr (Bigint.magnitude m));
+    w
+  in
+  let ctx =
+    {
+      m;
+      ml;
+      k;
+      m0_inv_neg;
+      one_m = pack r_mod;
+      r2 = pack r2_b;
+      r3 = Array.make k 0;
+      m2w;
+      lazy_ok;
+    }
+  in
+  (* R^3 = mont_mul(R^2, R^2); needs the rest of the context first. *)
+  mul_into ctx ctx.r3 ctx.r2 ctx.r2;
+  ctx

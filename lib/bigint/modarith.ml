@@ -113,6 +113,7 @@ module Mont = struct
     m0_inv_neg : int; (* -m^{-1} mod 2^31 *)
     r_mod_m : Nat.t; (* R mod m, the Montgomery one *)
     r2_mod_m : Nat.t; (* R^2 mod m, for of_bigint *)
+    r3_mod_m : Nat.t; (* R^3 mod m, for single-conversion inversion *)
   }
 
   type elt = Nat.t (* value * R mod m, k limbs semantically, normalized *)
@@ -136,7 +137,8 @@ module Mont = struct
     let r = Nat.shift_left Nat.one (k * Nat.base_bits) in
     let r_mod_m = snd (Nat.divmod r m_limbs) in
     let r2_mod_m = snd (Nat.divmod (Nat.sqr r_mod_m) m_limbs) in
-    { m; m_limbs; k; m0_inv_neg = m0_inv_neg land limb_mask; r_mod_m; r2_mod_m }
+    let r3_mod_m = snd (Nat.divmod (Nat.mul r2_mod_m r_mod_m) m_limbs) in
+    { m; m_limbs; k; m0_inv_neg = m0_inv_neg land limb_mask; r_mod_m; r2_mod_m; r3_mod_m }
 
   let modulus ctx = ctx.m
 
@@ -215,9 +217,14 @@ module Mont = struct
     if Bigint.sign e < 0 then invalid_arg "Mont.pow: negative exponent";
     window_pow ~one:(one ctx) ~mul:(mul ctx) ~sqr:(sqr ctx) base e
 
+  (* Single-conversion inversion: for a = x*R, [invmod] of the plain
+     integer value of the limbs gives (x*R)^{-1} = x^{-1} R^{-1} mod m;
+     one Montgomery multiplication by R^3 lands on x^{-1} R directly —
+     no decode/encode round trip (which cost two extra Montgomery
+     multiplications and two erem passes per inversion). *)
   let inv ctx a =
-    let v = to_bigint ctx a in
-    of_bigint ctx (invmod v ctx.m)
+    let v = invmod (Bigint.of_nat a) ctx.m in
+    mont_mul ctx (Bigint.magnitude v) ctx.r3_mod_m
 end
 
 let powmod b e m =

@@ -194,6 +194,156 @@ let batch_to_affine ctx (pts : jacobian array) : (Fp.t * Fp.t) array =
   done;
   out
 
+(* --- in-place Jacobian register file ---
+
+   The wNAF / MSM / fixed-base loops below run thousands of doublings and
+   mixed additions per scalar; with the functional formulas each step
+   allocated ~15 fresh field elements. The register file holds one
+   accumulator (ax, ay, az) plus seven temporaries, all allocated ONCE
+   per scalar multiplication and mutated in place by the {!Fp.Mut}
+   kernels — the loops themselves allocate nothing. The schedules below
+   compute exactly the same field expressions as [jac_double] /
+   [jac_add_affine]; canonical representatives make the results
+   bit-identical, which [mul_double_add] (kept functional) pins in the
+   equivalence tests. Inputs from outside the file (table entries, point
+   coordinates, ctx.a) are read-only. *)
+type jregs = {
+  ax : Fp.t;
+  ay : Fp.t;
+  az : Fp.t;
+  t0 : Fp.t;
+  t1 : Fp.t;
+  t2 : Fp.t;
+  t3 : Fp.t;
+  t4 : Fp.t;
+  t5 : Fp.t;
+  tn : Fp.t; (* negated table y, alive across the add call *)
+}
+
+let jregs_alloc fp =
+  {
+    ax = Fp.Mut.alloc fp;
+    ay = Fp.Mut.alloc fp;
+    az = Fp.Mut.alloc fp;
+    t0 = Fp.Mut.alloc fp;
+    t1 = Fp.Mut.alloc fp;
+    t2 = Fp.Mut.alloc fp;
+    t3 = Fp.Mut.alloc fp;
+    t4 = Fp.Mut.alloc fp;
+    t5 = Fp.Mut.alloc fp;
+    tn = Fp.Mut.alloc fp;
+  }
+
+(* Accumulator <- infinity, in the same {1, 1, 0} encoding as
+   [jac_infinity]. *)
+let jset_infinity fp r =
+  Fp.Mut.set_one fp r.ax;
+  Fp.Mut.set_one fp r.ay;
+  Fp.Mut.set_zero fp r.az
+
+let jdouble_in ctx r =
+  let fp = ctx.fp in
+  if Fp.is_zero fp r.az || Fp.is_zero fp r.ay then jset_infinity fp r
+  else begin
+    Fp.Mut.sqr_into fp r.t0 r.ay; (* t0 = Y^2 *)
+    Fp.Mut.mul_into fp r.t1 r.ax r.t0; (* t1 = X*Y^2 *)
+    Fp.Mut.add_into fp r.t1 r.t1 r.t1;
+    Fp.Mut.add_into fp r.t1 r.t1 r.t1; (* t1 = s = 4*X*Y^2 *)
+    Fp.Mut.sqr_into fp r.t2 r.az; (* t2 = Z^2 *)
+    Fp.Mut.sqr_into fp r.t3 r.ax; (* t3 = X^2 *)
+    Fp.Mut.add_into fp r.t4 r.t3 r.t3;
+    Fp.Mut.add_into fp r.t4 r.t4 r.t3; (* t4 = 3*X^2 *)
+    if not ctx.a_is_zero then begin
+      Fp.Mut.sqr_into fp r.t5 r.t2;
+      Fp.Mut.mul_into fp r.t5 ctx.a r.t5;
+      Fp.Mut.add_into fp r.t4 r.t4 r.t5 (* t4 = M = 3X^2 + a*Z^4 *)
+    end;
+    Fp.Mut.sqr_into fp r.t5 r.t4;
+    Fp.Mut.sub_into fp r.t5 r.t5 r.t1;
+    Fp.Mut.sub_into fp r.t5 r.t5 r.t1; (* t5 = X' = M^2 - 2s *)
+    Fp.Mut.sqr_into fp r.t0 r.t0;
+    Fp.Mut.add_into fp r.t0 r.t0 r.t0;
+    Fp.Mut.add_into fp r.t0 r.t0 r.t0;
+    Fp.Mut.add_into fp r.t0 r.t0 r.t0; (* t0 = 8*Y^4 *)
+    Fp.Mut.sub_into fp r.t1 r.t1 r.t5;
+    Fp.Mut.mul_into fp r.t1 r.t4 r.t1;
+    Fp.Mut.sub_into fp r.t1 r.t1 r.t0; (* t1 = Y' = M(s - X') - 8Y^4 *)
+    Fp.Mut.add_into fp r.t2 r.ay r.ay;
+    Fp.Mut.mul_into fp r.az r.t2 r.az; (* Z' = 2*Y*Z *)
+    Fp.Mut.set fp r.ax r.t5;
+    Fp.Mut.set fp r.ay r.t1
+  end
+
+let jadd_affine_in ctx r ~x2 ~y2 =
+  let fp = ctx.fp in
+  if Fp.is_zero fp r.az then begin
+    Fp.Mut.set fp r.ax x2;
+    Fp.Mut.set fp r.ay y2;
+    Fp.Mut.set_one fp r.az
+  end
+  else begin
+    Fp.Mut.sqr_into fp r.t0 r.az; (* t0 = Z^2 *)
+    Fp.Mut.mul_into fp r.t1 x2 r.t0;
+    Fp.Mut.sub_into fp r.t1 r.t1 r.ax; (* t1 = h = x2*Z^2 - X *)
+    Fp.Mut.mul_into fp r.t2 r.t0 r.az;
+    Fp.Mut.mul_into fp r.t2 y2 r.t2;
+    Fp.Mut.sub_into fp r.t2 r.t2 r.ay; (* t2 = r = y2*Z^3 - Y *)
+    if Fp.is_zero fp r.t1 then
+      if Fp.is_zero fp r.t2 then jdouble_in ctx r else jset_infinity fp r
+    else begin
+      Fp.Mut.sqr_into fp r.t3 r.t1; (* t3 = h^2 *)
+      Fp.Mut.mul_into fp r.t4 r.t3 r.t1; (* t4 = h^3 *)
+      Fp.Mut.mul_into fp r.t3 r.ax r.t3; (* t3 = X*h^2 *)
+      Fp.Mut.sqr_into fp r.t5 r.t2;
+      Fp.Mut.sub_into fp r.t5 r.t5 r.t4;
+      Fp.Mut.sub_into fp r.t5 r.t5 r.t3;
+      Fp.Mut.sub_into fp r.t5 r.t5 r.t3; (* t5 = X' = r^2 - h^3 - 2Xh^2 *)
+      Fp.Mut.sub_into fp r.t3 r.t3 r.t5;
+      Fp.Mut.mul_into fp r.t3 r.t2 r.t3;
+      Fp.Mut.mul_into fp r.t4 r.ay r.t4;
+      Fp.Mut.sub_into fp r.t3 r.t3 r.t4; (* t3 = Y' = r(Xh^2 - X') - Y*h^3 *)
+      Fp.Mut.mul_into fp r.az r.az r.t1; (* Z' = Z*h *)
+      Fp.Mut.set fp r.ax r.t5;
+      Fp.Mut.set fp r.ay r.t3
+    end
+  end
+
+(* Snapshot the accumulator registers as a (functional) Jacobian point;
+   [jac_to_affine] only reads its argument, and its outputs are fresh. *)
+let jregs_to_affine ctx r =
+  jac_to_affine ctx { jx = r.ax; jy = r.ay; jz = r.az }
+
+(* Benchmark/ablation probes: [steps] iterations of double-then-mixed-add
+   starting from [point], through the functional formulas and through the
+   register file respectively. Same field expressions, canonical
+   representatives — the results must be bit-identical, which the bench
+   smoke mode and equivalence tests assert. *)
+let jac_steps_ref ctx point steps =
+  match point with
+  | Infinity -> Infinity
+  | Affine { x = x2; y = y2 } ->
+      let acc = ref { jx = x2; jy = y2; jz = Fp.one ctx.fp } in
+      for _ = 1 to steps do
+        acc := jac_double ctx !acc;
+        acc := jac_add_affine ctx !acc ~x2 ~y2
+      done;
+      jac_to_affine ctx !acc
+
+let jac_steps_kernel ctx point steps =
+  match point with
+  | Infinity -> Infinity
+  | Affine { x = x2; y = y2 } ->
+      let fp = ctx.fp in
+      let r = jregs_alloc fp in
+      Fp.Mut.set fp r.ax x2;
+      Fp.Mut.set fp r.ay y2;
+      Fp.Mut.set_one fp r.az;
+      for _ = 1 to steps do
+        jdouble_in ctx r;
+        jadd_affine_in ctx r ~x2 ~y2
+      done;
+      jregs_to_affine ctx r
+
 let mul_double_add ctx k point =
   let k, point =
     if Bigint.sign k >= 0 then (k, point) else (Bigint.neg k, neg ctx point)
@@ -287,17 +437,21 @@ let mul ctx k point =
           while !top > 0 && digits.(!top) = 0 do
             decr top
           done;
-          let acc = ref (jac_infinity fp) in
+          let r = jregs_alloc fp in
+          jset_infinity fp r;
           for i = !top downto 0 do
-            acc := jac_double ctx !acc;
+            jdouble_in ctx r;
             let d = digits.(i) in
             if d <> 0 then begin
               let tx, ty = tbl.((Stdlib.abs d - 1) / 2) in
-              let ty = if d < 0 then Fp.neg fp ty else ty in
-              acc := jac_add_affine ctx !acc ~x2:tx ~y2:ty
+              if d < 0 then begin
+                Fp.Mut.neg_into fp r.tn ty;
+                jadd_affine_in ctx r ~x2:tx ~y2:r.tn
+              end
+              else jadd_affine_in ctx r ~x2:tx ~y2:ty
             end
           done;
-          jac_to_affine ctx !acc
+          jregs_to_affine ctx r
         end
       end
 
@@ -363,22 +517,26 @@ let msm ctx pairs =
             Stdlib.max hi !t)
           0 terms
       in
-      let acc = ref (jac_infinity fp) in
+      let r = jregs_alloc fp in
+      jset_infinity fp r;
       for i = top downto 0 do
-        acc := jac_double ctx !acc;
+        jdouble_in ctx r;
         List.iter
           (fun (digits, tbl) ->
             if i < Array.length digits then begin
               let d = digits.(i) in
               if d <> 0 then begin
                 let tx, ty = tbl.((Stdlib.abs d - 1) / 2) in
-                let ty = if d < 0 then Fp.neg fp ty else ty in
-                acc := jac_add_affine ctx !acc ~x2:tx ~y2:ty
+                if d < 0 then begin
+                  Fp.Mut.neg_into fp r.tn ty;
+                  jadd_affine_in ctx r ~x2:tx ~y2:r.tn
+                end
+                else jadd_affine_in ctx r ~x2:tx ~y2:ty
               end
             end)
           terms
       done;
-      add ctx (jac_to_affine ctx !acc) !plain
+      add ctx (jregs_to_affine ctx r) !plain
 
 (* Fixed-base precomputation (Yao/BGMW style): for a base P used with many
    scalars, store every multiple m * 2^(j*w) * P (1 <= m < 2^w) in affine
@@ -447,7 +605,8 @@ module Table = struct
     end
     else begin
       let fp = t.ctx.fp in
-      let acc = ref (jac_infinity fp) in
+      let r = jregs_alloc fp in
+      jset_infinity fp r;
       for j = 0 to Array.length t.windows - 1 do
         (* Digit m = bits [j*w, (j+1)*w) of k. *)
         let m = ref 0 in
@@ -456,10 +615,10 @@ module Table = struct
         done;
         if !m > 0 then begin
           let x2, y2 = t.windows.(j).(!m - 1) in
-          acc := jac_add_affine t.ctx !acc ~x2 ~y2
+          jadd_affine_in t.ctx r ~x2 ~y2
         end
       done;
-      let p = jac_to_affine t.ctx !acc in
+      let p = jregs_to_affine t.ctx r in
       if negate then neg t.ctx p else p
     end
 end

@@ -42,6 +42,14 @@ val mul_double_add : ctx -> Bigint.t -> point -> point
 (** Reference Jacobian double-and-add ladder. Always agrees with {!mul};
     kept for the equivalence tests and the before/after benchmark. *)
 
+val jac_steps_ref : ctx -> point -> int -> point
+val jac_steps_kernel : ctx -> point -> int -> point
+(** Ablation probes for the benchmark: [steps] iterations of Jacobian
+    double-then-mixed-add from the given point, via the functional
+    formulas ([_ref], allocating per step) and via the in-place register
+    file ([_kernel], allocation-free loop). Bit-identical results — the
+    equivalence tests and [bench --smoke] assert it. *)
+
 val msm : ctx -> (Bigint.t * point) list -> point
 (** Multi-scalar multiplication [sum_i k_i * P_i]: interleaved wNAF digit
     streams over one shared doubling chain, one shared Montgomery batch

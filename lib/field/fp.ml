@@ -1,14 +1,22 @@
-module Mont = Modarith.Mont
+(* GF(p) on the fixed-limb in-place kernels ({!Limbs}).
+
+   The functional API below is unchanged: every operation allocates one
+   fresh destination buffer and never mutates its arguments, so values
+   stay immutable-by-convention. The {!Mut} face exposes the raw
+   destination-passing kernels for the hot consumers (curve, pairing)
+   that reuse buffers across loop iterations. Both faces produce
+   canonical representatives, so results are bit-identical to the generic
+   {!Modarith.Mont} reference whatever the path. *)
 
 type ctx = {
   p : Bigint.t;
-  mont : Mont.ctx;
+  kern : Limbs.ctx;
   sqrt_exp : Bigint.t; (* (p+1)/4 *)
   euler_exp : Bigint.t; (* (p-1)/2 *)
   bytes : int;
 }
 
-type t = Mont.elt
+type t = Limbs.elt
 
 let create p =
   if Bigint.compare p (Bigint.of_int 3) < 0 || Bigint.is_even p then
@@ -17,36 +25,70 @@ let create p =
     invalid_arg "Fp.create: modulus must be 3 mod 4";
   {
     p;
-    mont = Mont.create p;
+    kern = Limbs.create p;
     sqrt_exp = Bigint.shift_right (Bigint.succ p) 2;
     euler_exp = Bigint.shift_right (Bigint.pred p) 1;
     bytes = (Bigint.bit_length p + 7) / 8;
   }
 
+let kernel ctx = ctx.kern
 let modulus ctx = ctx.p
 let byte_length ctx = ctx.bytes
-let zero ctx = Mont.zero ctx.mont
-let one ctx = Mont.one ctx.mont
-let of_bigint ctx v = Mont.of_bigint ctx.mont v
+let zero ctx = Limbs.alloc ctx.kern
+
+let one ctx =
+  let d = Limbs.alloc ctx.kern in
+  Limbs.set_one ctx.kern d;
+  d
+
+let of_bigint ctx v = Limbs.of_bigint ctx.kern v
 let of_int ctx v = of_bigint ctx (Bigint.of_int v)
-let to_bigint ctx e = Mont.to_bigint ctx.mont e
-let equal = Mont.equal
-let is_zero ctx e = Mont.equal e (Mont.zero ctx.mont)
-let add ctx = Mont.add ctx.mont
-let sub ctx = Mont.sub ctx.mont
-let neg ctx = Mont.neg ctx.mont
-let mul ctx = Mont.mul ctx.mont
-let sqr ctx = Mont.sqr ctx.mont
+let to_bigint ctx e = Limbs.to_bigint ctx.kern e
+
+(* Fixed width + canonical representative: structural equality is value
+   equality, preserving the ctx-free signature relied on by Fp2/Curve. *)
+let equal (a : t) (b : t) = a = b
+
+let is_zero ctx e = Limbs.is_zero ctx.kern e
+
+let add ctx a b =
+  let d = Limbs.alloc ctx.kern in
+  Limbs.add_into ctx.kern d a b;
+  d
+
+let sub ctx a b =
+  let d = Limbs.alloc ctx.kern in
+  Limbs.sub_into ctx.kern d a b;
+  d
+
+let neg ctx a =
+  let d = Limbs.alloc ctx.kern in
+  Limbs.neg_into ctx.kern d a;
+  d
+
+let mul ctx a b =
+  let d = Limbs.alloc ctx.kern in
+  Limbs.mul_into ctx.kern d a b;
+  d
+
+let sqr ctx a =
+  let d = Limbs.alloc ctx.kern in
+  Limbs.sqr_into ctx.kern d a;
+  d
 
 let inv ctx e =
   if is_zero ctx e then raise Division_by_zero;
-  Mont.inv ctx.mont e
+  let d = Limbs.alloc ctx.kern in
+  Limbs.inv_into ctx.kern d e;
+  d
 
 let div ctx a b = mul ctx a (inv ctx b)
 
 let pow ctx e n =
-  if Bigint.sign n >= 0 then Mont.pow ctx.mont e n
-  else Mont.pow ctx.mont (inv ctx e) (Bigint.neg n)
+  let d = Limbs.alloc ctx.kern in
+  if Bigint.sign n >= 0 then Limbs.pow_into ctx.kern d e n
+  else Limbs.pow_into ctx.kern d (inv ctx e) (Bigint.neg n);
+  d
 
 let is_square ctx e =
   is_zero ctx e || equal (pow ctx e ctx.euler_exp) (one ctx)
@@ -68,3 +110,21 @@ let of_bytes ctx s =
   end
 
 let pp ctx fmt e = Bigint.pp fmt (to_bigint ctx e)
+
+module Mut = struct
+  let alloc ctx = Limbs.alloc ctx.kern
+
+  let copy ctx src =
+    let d = Limbs.alloc ctx.kern in
+    Limbs.copy_into ctx.kern d src;
+    d
+
+  let set ctx dst src = Limbs.copy_into ctx.kern dst src
+  let set_zero ctx dst = Limbs.set_zero ctx.kern dst
+  let set_one ctx dst = Limbs.set_one ctx.kern dst
+  let add_into ctx dst a b = Limbs.add_into ctx.kern dst a b
+  let sub_into ctx dst a b = Limbs.sub_into ctx.kern dst a b
+  let neg_into ctx dst a = Limbs.neg_into ctx.kern dst a
+  let mul_into ctx dst a b = Limbs.mul_into ctx.kern dst a b
+  let sqr_into ctx dst a = Limbs.sqr_into ctx.kern dst a
+end

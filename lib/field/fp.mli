@@ -6,8 +6,13 @@
     {!Fp2}. *)
 
 type ctx
-type t
-(** A field element, tied to the [ctx] that created it. *)
+
+type t = Limbs.elt
+(** A field element, tied to the [ctx] that created it: a canonical
+    Montgomery residue over exactly [k] fixed limbs (see {!Limbs.elt}).
+    The representation is exposed within the library so {!Fp2} can run
+    the lazy-reduction wide pipeline on raw coefficients; downstream code
+    must treat values as immutable and go through this interface. *)
 
 val create : Bigint.t -> ctx
 (** [create p] builds a context for GF(p).
@@ -56,3 +61,36 @@ val of_bytes : ctx -> string -> t option
 (** Rejects wrong width and non-canonical (>= p) encodings. *)
 
 val pp : ctx -> Format.formatter -> t -> unit
+
+(** {1 In-place kernel face}
+
+    Destination-passing operations over caller-owned buffers, for hot
+    loops that reuse storage across iterations (Jacobian scalar
+    multiplication, the Miller loop). Values produced through {!Mut} are
+    ordinary [t]s — canonical, so bit-identical to the functional face.
+    Discipline: a loop mutates only buffers it allocated (or explicitly
+    copied) itself; anything received from outside is read-only. All
+    [*_into] kernels tolerate [dst] aliasing their inputs, and their
+    scratch space is per-domain, so concurrent use from a [Pool] is
+    race-free. *)
+module Mut : sig
+  val alloc : ctx -> t
+  (** A fresh zero buffer. *)
+
+  val copy : ctx -> t -> t
+  val set : ctx -> t -> t -> unit
+  (** [set ctx dst src] overwrites [dst] with [src]'s value. *)
+
+  val set_zero : ctx -> t -> unit
+  val set_one : ctx -> t -> unit
+  val add_into : ctx -> t -> t -> t -> unit
+  val sub_into : ctx -> t -> t -> t -> unit
+  val neg_into : ctx -> t -> t -> unit
+  val mul_into : ctx -> t -> t -> t -> unit
+  val sqr_into : ctx -> t -> t -> unit
+end
+
+val kernel : ctx -> Limbs.ctx
+(** The underlying fixed-limb kernel context (internal: {!Fp2}'s
+    lazy-reduction pipeline and the benchmark ablations reach through
+    this). *)

@@ -1,3 +1,26 @@
+(* GF(p^2) = GF(p)[i]/(i^2 + 1) on the fixed-limb kernels.
+
+   Multiplication and squaring run a Karatsuba-style 3-product /
+   2-product schedule with LAZY REDUCTION: the cross terms are
+   accumulated as full double-width integers and each output coefficient
+   pays exactly one Montgomery reduction, instead of one reduction per
+   base-field multiplication. The identities need headroom — unreduced
+   sums of two residues in k limbs, differences kept non-negative by a
+   +p^2 offset, every reduction input below p*R — which
+   [Limbs.lazy_ok] guarantees (4p <= R; true for every named parameter
+   set). Contexts without the headroom fall back to the plain reduced
+   formulas; both paths yield canonical coefficients, hence bit-identical
+   results.
+
+   For mul, with w0 = re_a*re_b, w1 = im_a*im_b (wide, < p^2) and
+   w2 = (re_a + im_a)(re_b + im_b) taken over UNREDUCED sums (< 4p^2):
+     im = redc(w2 - w0 - w1)        (exact integer, in [0, 2p^2))
+     re = redc(w0 + p^2 - w1)       (offset keeps it non-negative)
+   For sqr, with u = re + (p - im) < 2p and v = re + im < 2p:
+     re = redc(u * v)               (u*v = re^2 - im^2 + p*(re+im))
+     im = redc(2 * (re*im))
+   All inputs to redc are < 4p^2 <= p*R. *)
+
 type t = { re : Fp.t; im : Fp.t }
 
 let make ~re ~im = { re; im }
@@ -11,21 +34,99 @@ let add ctx a b = { re = Fp.add ctx a.re b.re; im = Fp.add ctx a.im b.im }
 let sub ctx a b = { re = Fp.sub ctx a.re b.re; im = Fp.sub ctx a.im b.im }
 let neg ctx a = { re = Fp.neg ctx a.re; im = Fp.neg ctx a.im }
 
-(* Karatsuba-style 3-multiplication product with i^2 = -1. *)
-let mul ctx a b =
+(* Per-domain scratch for the lazy pipeline: two unreduced-sum buffers
+   and three wide accumulators, grown on demand and bounded by the
+   current context's limb count. Disjoint from the {!Limbs} internal
+   scratch, so the kernels called here never clobber it. *)
+type scratch = {
+  mutable s1 : int array;
+  mutable s2 : int array;
+  mutable w0 : int array;
+  mutable w1 : int array;
+  mutable w2 : int array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { s1 = [||]; s2 = [||]; w0 = [||]; w1 = [||]; w2 = [||] })
+
+let scratch kern =
+  let k = Limbs.limb_count kern in
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.s1 < k then begin
+    s.s1 <- Array.make k 0;
+    s.s2 <- Array.make k 0
+  end;
+  if Array.length s.w0 < (2 * k) + 2 then begin
+    s.w0 <- Array.make ((2 * k) + 2) 0;
+    s.w1 <- Array.make ((2 * k) + 2) 0;
+    s.w2 <- Array.make ((2 * k) + 2) 0
+  end;
+  s
+
+(* Reduced-formula reference paths (also the fallback when the modulus
+   leaves no lazy-reduction headroom). *)
+let mul_plain ctx a b =
   let t0 = Fp.mul ctx a.re b.re in
   let t1 = Fp.mul ctx a.im b.im in
   let t2 = Fp.mul ctx (Fp.add ctx a.re a.im) (Fp.add ctx b.re b.im) in
   { re = Fp.sub ctx t0 t1; im = Fp.sub ctx (Fp.sub ctx t2 t0) t1 }
 
-let mul_fp ctx s a = { re = Fp.mul ctx s a.re; im = Fp.mul ctx s a.im }
-
-(* (a+bi)^2 = (a+b)(a-b) + 2ab i. *)
-let sqr ctx a =
+let sqr_plain ctx a =
   let re = Fp.mul ctx (Fp.add ctx a.re a.im) (Fp.sub ctx a.re a.im) in
   let ab = Fp.mul ctx a.re a.im in
   { re; im = Fp.add ctx ab ab }
 
+(* Lazy-reduction product into caller buffers; [dre]/[dim] may alias the
+   coefficient buffers of [a] and [b] (all reads happen in the wide
+   phase, before either destination is written). *)
+let mul_lazy_into ctx dre dim a b =
+  let kern = Fp.kernel ctx in
+  let s = scratch kern in
+  Limbs.add_nored_into kern s.s1 a.re a.im;
+  Limbs.add_nored_into kern s.s2 b.re b.im;
+  Limbs.mul_wide_into kern s.w0 a.re b.re;
+  Limbs.mul_wide_into kern s.w1 a.im b.im;
+  Limbs.mul_wide_into kern s.w2 s.s1 s.s2;
+  Limbs.wide_sub_into kern s.w2 s.w2 s.w0;
+  Limbs.wide_sub_into kern s.w2 s.w2 s.w1;
+  Limbs.redc_into kern dim s.w2;
+  Limbs.wide_add_m2_into kern s.w0;
+  Limbs.wide_sub_into kern s.w0 s.w0 s.w1;
+  Limbs.redc_into kern dre s.w0
+
+let sqr_lazy_into ctx dre dim a =
+  let kern = Fp.kernel ctx in
+  let s = scratch kern in
+  (* u = re + (p - im), v = re + im; both < 2p, unreduced. *)
+  Limbs.neg_into kern s.s1 a.im;
+  Limbs.add_nored_into kern s.s1 a.re s.s1;
+  Limbs.add_nored_into kern s.s2 a.re a.im;
+  Limbs.mul_wide_into kern s.w1 a.re a.im;
+  Limbs.mul_wide_into kern s.w0 s.s1 s.s2;
+  Limbs.redc_into kern dre s.w0;
+  Limbs.wide_double_into kern s.w1;
+  Limbs.redc_into kern dim s.w1
+
+let mul ctx a b =
+  let kern = Fp.kernel ctx in
+  if Limbs.lazy_ok kern then begin
+    let dre = Limbs.alloc kern and dim = Limbs.alloc kern in
+    mul_lazy_into ctx dre dim a b;
+    { re = dre; im = dim }
+  end
+  else mul_plain ctx a b
+
+let sqr ctx a =
+  let kern = Fp.kernel ctx in
+  if Limbs.lazy_ok kern then begin
+    let dre = Limbs.alloc kern and dim = Limbs.alloc kern in
+    sqr_lazy_into ctx dre dim a;
+    { re = dre; im = dim }
+  end
+  else sqr_plain ctx a
+
+let mul_fp ctx s a = { re = Fp.mul ctx s a.re; im = Fp.mul ctx s a.im }
 let conj ctx a = { a with im = Fp.neg ctx a.im }
 let norm ctx a = Fp.add ctx (Fp.sqr ctx a.re) (Fp.sqr ctx a.im)
 
@@ -34,6 +135,29 @@ let inv ctx a =
   if Fp.is_zero ctx n then raise Division_by_zero;
   let ninv = Fp.inv ctx n in
   { re = Fp.mul ctx a.re ninv; im = Fp.neg ctx (Fp.mul ctx a.im ninv) }
+
+(* In-place face for the accumulator loops (Miller loop squarings and
+   line-value products, GT exponentiation). A [Mut]-allocated value is an
+   ordinary [t] whose coefficient buffers the owner may overwrite. *)
+module Mut = struct
+  let alloc ctx = { re = Fp.Mut.alloc ctx; im = Fp.Mut.alloc ctx }
+
+  let set ctx dst src =
+    Fp.Mut.set ctx dst.re src.re;
+    Fp.Mut.set ctx dst.im src.im
+
+  let set_one ctx dst =
+    Fp.Mut.set_one ctx dst.re;
+    Fp.Mut.set_zero ctx dst.im
+
+  let mul_into ctx dst a b =
+    if Limbs.lazy_ok (Fp.kernel ctx) then mul_lazy_into ctx dst.re dst.im a b
+    else set ctx dst (mul_plain ctx a b)
+
+  let sqr_into ctx dst a =
+    if Limbs.lazy_ok (Fp.kernel ctx) then sqr_lazy_into ctx dst.re dst.im a
+    else set ctx dst (sqr_plain ctx a)
+end
 
 let pow_binary ctx base n =
   let base, n =
@@ -48,13 +172,67 @@ let pow_binary ctx base n =
   !acc
 
 (* GT exponentiation is on the hot path of every encryption/decryption
-   (K^r, K^a) and of the final pairing exponentiation; sliding windows cut
-   the multiplication count by ~2/3 at these exponent sizes. *)
+   (K^r, K^a) and of the final pairing exponentiation; sliding windows
+   cut the multiplication count by ~2/3 at these exponent sizes, and the
+   in-place accumulator makes the squaring chain allocation-free. *)
 let pow ctx base n =
   let base, n =
     if Bigint.sign n >= 0 then (base, n) else (inv ctx base, Bigint.neg n)
   in
-  Modarith.window_pow ~one:(one ctx) ~mul:(mul ctx) ~sqr:(sqr ctx) base n
+  let bits = Bigint.bit_length n in
+  if bits = 0 then one ctx
+  else if bits <= 8 then begin
+    let acc = Mut.alloc ctx in
+    Mut.set_one ctx acc;
+    for i = bits - 1 downto 0 do
+      Mut.sqr_into ctx acc acc;
+      if Bigint.test_bit n i then Mut.mul_into ctx acc acc base
+    done;
+    acc
+  end
+  else begin
+    let w = if bits <= 96 then 3 else if bits <= 320 then 4 else 5 in
+    (* tbl.(i) = base^(2i+1). *)
+    let tbl = Array.init (1 lsl (w - 1)) (fun _ -> Mut.alloc ctx) in
+    Mut.set ctx tbl.(0) base;
+    let b2 = Mut.alloc ctx in
+    Mut.sqr_into ctx b2 base;
+    for i = 1 to Array.length tbl - 1 do
+      Mut.mul_into ctx tbl.(i) tbl.(i - 1) b2
+    done;
+    let acc = b2 (* dead once the table is built *) in
+    Mut.set_one ctx acc;
+    let started = ref false in
+    let i = ref (bits - 1) in
+    while !i >= 0 do
+      if not (Bigint.test_bit n !i) then begin
+        if !started then Mut.sqr_into ctx acc acc;
+        decr i
+      end
+      else begin
+        let l = ref (Stdlib.max 0 (!i - w + 1)) in
+        while not (Bigint.test_bit n !l) do
+          incr l
+        done;
+        let v = ref 0 in
+        for j = !i downto !l do
+          v := (!v lsl 1) lor (if Bigint.test_bit n j then 1 else 0)
+        done;
+        if !started then begin
+          for _ = 1 to !i - !l + 1 do
+            Mut.sqr_into ctx acc acc
+          done;
+          Mut.mul_into ctx acc acc tbl.((!v - 1) / 2)
+        end
+        else begin
+          Mut.set ctx acc tbl.((!v - 1) / 2);
+          started := true
+        end;
+        i := !l - 1
+      end
+    done;
+    acc
+  end
 
 let to_bytes ctx a = Fp.to_bytes ctx a.re ^ Fp.to_bytes ctx a.im
 

@@ -46,3 +46,20 @@ val to_bytes : Fp.ctx -> t -> string
 
 val of_bytes : Fp.ctx -> string -> t option
 val pp : Fp.ctx -> Format.formatter -> t -> unit
+
+(** {1 In-place accumulator face}
+
+    Destination-passing product/squaring over caller-owned coefficient
+    buffers, for the Miller loop's f-accumulator and GT exponentiation
+    chains. Same discipline as {!Fp.Mut}: a loop mutates only values it
+    allocated itself; [dst] may alias the operands; results are
+    canonical, hence bit-identical to the functional face. *)
+module Mut : sig
+  val alloc : Fp.ctx -> t
+  (** A fresh zero value whose coefficient buffers the caller owns. *)
+
+  val set : Fp.ctx -> t -> t -> unit
+  val set_one : Fp.ctx -> t -> unit
+  val mul_into : Fp.ctx -> t -> t -> t -> unit
+  val sqr_into : Fp.ctx -> t -> t -> unit
+end

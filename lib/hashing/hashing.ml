@@ -1,0 +1,19 @@
+(* Library interface: re-exports the hash/KDF toolkit and hosts the one
+   primitive that belongs to no single submodule. *)
+
+module Sha256 = Sha256
+module Hmac = Hmac
+module Hkdf = Hkdf
+module Kdf = Kdf
+module Drbg = Drbg
+module Hex = Hex
+module Base64 = Base64
+
+(* Constant-time equality for every secret-derived comparison (MAC tags,
+   KDF-derived key-confirmation values) in the decryption paths. A plain
+   [=] on such strings leaks the position of the first mismatching byte
+   through timing, which classically enables byte-at-a-time tag forgery
+   against an oracle that answers many decryption attempts. [ct_equal]
+   compares the full length unconditionally (an implementation detail of
+   {!Hmac}, surfaced here as the library-wide primitive). *)
+let ct_equal = Hmac.equal

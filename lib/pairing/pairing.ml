@@ -418,8 +418,12 @@ let gt_one prms = Fp2.one prms.fp
    shorter) cofactor h. *)
 
 (* The Miller function f_{q,P}(phi Q) for the y^2 = x^3 + x family,
-   before final exponentiation. *)
-let miller_loop_xx prms pt qt =
+   before final exponentiation. Functional reference path: allocates a
+   fresh element per field operation. The production path below
+   ([miller_loop_xx]) computes the same schedule through the in-place
+   kernels; canonical representatives make the two bit-identical, which
+   the equivalence tests and [bench --smoke] assert. *)
+let miller_loop_xx_ref prms pt qt =
   let fp = prms.fp in
   match (pt, qt) with
   | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one fp
@@ -504,6 +508,129 @@ let miller_loop_xx prms pt qt =
       done;
       !f
 
+(* In-place Miller loop for the x^3 + x family: one register file (the
+   Jacobian accumulator T, six temporaries, a reusable line value) plus
+   the GF(p^2) accumulator f, all allocated once per call and mutated by
+   the {!Fp.Mut} / {!Fp2.Mut} kernels — the ~bits iterations allocate
+   nothing. Same field expressions as [miller_loop_xx_ref] above. [f]'s
+   buffers are freshly allocated here, so returning it is safe; the
+   caller owns an ordinary immutable value. *)
+let miller_loop_xx prms pt qt =
+  let fp = prms.fp in
+  match (pt, qt) with
+  | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one fp
+  | Curve.Affine p', Curve.Affine q' ->
+      let xp = p'.x and yp = p'.y in
+      let xq = q'.x and yq = q'.y in
+      let f = Fp2.Mut.alloc fp in
+      Fp2.Mut.set_one fp f;
+      let mx = Fp.Mut.copy fp xp
+      and my = Fp.Mut.copy fp yp
+      and mz = Fp.Mut.alloc fp in
+      Fp.Mut.set_one fp mz;
+      let u0 = Fp.Mut.alloc fp
+      and u1 = Fp.Mut.alloc fp
+      and u2 = Fp.Mut.alloc fp
+      and u3 = Fp.Mut.alloc fp
+      and u4 = Fp.Mut.alloc fp
+      and u5 = Fp.Mut.alloc fp in
+      let lre = Fp.Mut.alloc fp and lim = Fp.Mut.alloc fp in
+      let line = Fp2.make ~re:lre ~im:lim in
+      let set_torsion () =
+        Fp.Mut.set_one fp mx;
+        Fp.Mut.set_one fp my;
+        Fp.Mut.set_zero fp mz
+      in
+      let bits = Bigint.bit_length prms.q in
+      for i = bits - 2 downto 0 do
+        Fp2.Mut.sqr_into fp f f;
+        if Fp.is_zero fp mz then ()
+        else if Fp.is_zero fp my then set_torsion ()
+        else begin
+          (* Doubling with scaled tangent line, as in the reference:
+             M = 3X^2 + Z^4, W = 2YZ;
+             l = [M*(Z^2 xq + X) - 2Y^2] + (W Z^2 yq) i. *)
+          Fp.Mut.sqr_into fp u0 my; (* u0 = Y^2 *)
+          Fp.Mut.sqr_into fp u1 mz; (* u1 = Z^2 *)
+          Fp.Mut.sqr_into fp u2 mx; (* u2 = X^2 *)
+          Fp.Mut.add_into fp u3 u2 u2;
+          Fp.Mut.add_into fp u3 u3 u2; (* u3 = 3X^2 *)
+          Fp.Mut.sqr_into fp u4 u1;
+          Fp.Mut.add_into fp u3 u3 u4; (* u3 = M *)
+          Fp.Mut.add_into fp u4 my my;
+          Fp.Mut.mul_into fp mz u4 mz; (* Z' = W = 2YZ; old Z^2 lives in u1 *)
+          Fp.Mut.mul_into fp u4 u1 xq;
+          Fp.Mut.add_into fp u4 u4 mx;
+          Fp.Mut.mul_into fp u4 u3 u4;
+          Fp.Mut.add_into fp u5 u0 u0;
+          Fp.Mut.sub_into fp lre u4 u5; (* re = M(Z^2 xq + X) - 2Y^2 *)
+          Fp.Mut.mul_into fp u4 mz u1;
+          Fp.Mut.mul_into fp lim u4 yq; (* im = W Z^2 yq *)
+          Fp2.Mut.mul_into fp f f line;
+          (* Complete the doubling. *)
+          Fp.Mut.mul_into fp u4 mx u0;
+          Fp.Mut.add_into fp u4 u4 u4;
+          Fp.Mut.add_into fp u4 u4 u4; (* u4 = s = 4XY^2 *)
+          Fp.Mut.sqr_into fp u2 u3;
+          Fp.Mut.sub_into fp u2 u2 u4;
+          Fp.Mut.sub_into fp u2 u2 u4; (* u2 = X' = M^2 - 2s *)
+          Fp.Mut.sqr_into fp u0 u0;
+          Fp.Mut.add_into fp u0 u0 u0;
+          Fp.Mut.add_into fp u0 u0 u0;
+          Fp.Mut.add_into fp u0 u0 u0; (* u0 = 8Y^4 *)
+          Fp.Mut.sub_into fp u4 u4 u2;
+          Fp.Mut.mul_into fp u4 u3 u4;
+          Fp.Mut.sub_into fp u4 u4 u0; (* u4 = Y' = M(s - X') - 8Y^4 *)
+          Fp.Mut.set fp mx u2;
+          Fp.Mut.set fp my u4
+        end;
+        if Bigint.test_bit prms.q i then begin
+          if Fp.is_zero fp mz then begin
+            Fp.Mut.set fp mx xp;
+            Fp.Mut.set fp my yp;
+            Fp.Mut.set_one fp mz
+          end
+          else begin
+            (* Mixed addition with scaled chord line:
+               H = xp Z^2 - X, R = yp Z^3 - Y, Z' = Z H;
+               l = [R*(xq + xp) - Z' yp] + (Z' yq) i. *)
+            Fp.Mut.sqr_into fp u0 mz; (* u0 = Z^2 *)
+            Fp.Mut.mul_into fp u1 xp u0;
+            Fp.Mut.sub_into fp u1 u1 mx; (* u1 = H *)
+            Fp.Mut.mul_into fp u2 u0 mz;
+            Fp.Mut.mul_into fp u2 yp u2;
+            Fp.Mut.sub_into fp u2 u2 my; (* u2 = R *)
+            if Fp.is_zero fp u1 then begin
+              if not (Fp.is_zero fp u2) then set_torsion ()
+              (* else T = P mid-loop: unreachable for prime q *)
+            end
+            else begin
+              Fp.Mut.mul_into fp mz mz u1; (* Z' = Z H *)
+              Fp.Mut.add_into fp u3 xq xp;
+              Fp.Mut.mul_into fp u3 u2 u3;
+              Fp.Mut.mul_into fp u4 mz yp;
+              Fp.Mut.sub_into fp lre u3 u4; (* re = R(xq + xp) - Z' yp *)
+              Fp.Mut.mul_into fp lim mz yq; (* im = Z' yq *)
+              Fp2.Mut.mul_into fp f f line;
+              Fp.Mut.sqr_into fp u3 u1; (* u3 = H^2 *)
+              Fp.Mut.mul_into fp u4 u3 u1; (* u4 = H^3 *)
+              Fp.Mut.mul_into fp u3 mx u3; (* u3 = X H^2 *)
+              Fp.Mut.sqr_into fp u5 u2;
+              Fp.Mut.sub_into fp u5 u5 u4;
+              Fp.Mut.sub_into fp u5 u5 u3;
+              Fp.Mut.sub_into fp u5 u5 u3; (* u5 = X' = R^2 - H^3 - 2XH^2 *)
+              Fp.Mut.sub_into fp u3 u3 u5;
+              Fp.Mut.mul_into fp u3 u2 u3;
+              Fp.Mut.mul_into fp u4 my u4;
+              Fp.Mut.sub_into fp u3 u3 u4; (* u3 = Y' = R(XH^2 - X') - Y H^3 *)
+              Fp.Mut.set fp mx u5;
+              Fp.Mut.set fp my u3
+            end
+          end
+        end
+      done;
+      f
+
 (* The Miller function for the y^2 = x^3 + 1 family, evaluated at the
    distorted point phi(Q) = (zeta xq, yq) with zeta in GF(p^2). Because
    the distorted x-coordinate is a full GF(p^2) element, vertical lines do
@@ -586,6 +713,14 @@ let miller_loop prms pt qt =
   | Y2_x3_x -> miller_loop_xx prms pt qt
   | Y2_x3_1 -> miller_loop_x1 prms pt qt
 
+(* Functional-path dispatch, pinned as the reference the kernel path is
+   measured and tested against. (The x^3 + 1 family has a single,
+   functional implementation, shared by both dispatches.) *)
+let miller_loop_ref prms pt qt =
+  match prms.family with
+  | Y2_x3_x -> miller_loop_xx_ref prms pt qt
+  | Y2_x3_1 -> miller_loop_x1 prms pt qt
+
 (* f^((p^2-1)/q): f^(p-1) = conj(f)/f via Frobenius, then pow by the
    cofactor h = (p+1)/q. *)
 let final_exponentiation prms f =
@@ -594,6 +729,9 @@ let final_exponentiation prms f =
   Fp2.pow fp fp1 prms.cofactor
 
 let pairing prms pt qt = final_exponentiation prms (miller_loop prms pt qt)
+
+let pairing_ref prms pt qt =
+  final_exponentiation prms (miller_loop_ref prms pt qt)
 
 let pairing_product prms pairs =
   let fp = prms.fp in
@@ -619,21 +757,29 @@ let miller_prepared_xx prms steps qt =
   | Curve.Infinity -> Fp2.one fp
   | Curve.Affine q' ->
       let xq = q'.x and yq = q'.y in
-      let f = ref (Fp2.one fp) in
+      (* Same in-place discipline as [miller_loop_xx]: the accumulator
+         and the line value are allocated once, and each recorded step
+         costs one squaring plus (per line) two muls, one add and one
+         GF(p^2) product — no allocation. *)
+      let f = Fp2.Mut.alloc fp in
+      Fp2.Mut.set_one fp f;
+      let lre = Fp.Mut.alloc fp and lim = Fp.Mut.alloc fp in
+      let line = Fp2.make ~re:lre ~im:lim in
       Array.iter
         (fun { pdbl; padd } ->
-          f := Fp2.sqr fp !f;
+          Fp2.Mut.sqr_into fp f f;
           let apply = function
             | None -> ()
             | Some { l0; lx; ly } ->
-                let re = Fp.add fp l0 (Fp.mul fp lx xq) in
-                let im = Fp.mul fp ly yq in
-                f := Fp2.mul fp !f (Fp2.make ~re ~im)
+                Fp.Mut.mul_into fp lre lx xq;
+                Fp.Mut.add_into fp lre l0 lre;
+                Fp.Mut.mul_into fp lim ly yq;
+                Fp2.Mut.mul_into fp f f line
           in
           apply pdbl;
           apply padd)
         steps;
-      !f
+      f
 
 let miller_prepared_x1 prms steps qt =
   let fp = prms.fp in

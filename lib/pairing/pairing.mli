@@ -92,6 +92,12 @@ val pairing : params -> Curve.point -> Curve.point -> Fp2.t
 (** The modified Tate pairing of two G1 points; result in the order-q
     subgroup of GF(p^2)*. [pairing p G G] is a generator of G2. *)
 
+val pairing_ref : params -> Curve.point -> Curve.point -> Fp2.t
+(** The same pairing through the functional (allocating) Miller loop,
+    pinned as the reference for the in-place kernel path. Bit-identical
+    to {!pairing} — the equivalence tests and [bench --smoke] assert
+    it. *)
+
 val pairing_product : params -> (Curve.point * Curve.point) list -> Fp2.t
 (** [prod_i e^(P_i, Q_i)] with a single shared final exponentiation —
     measurably cheaper than multiplying separate pairings whenever more

@@ -50,8 +50,8 @@ let decrypt prms (srv : Tre.Server.public) (pk : Tre.User.public) a upd ct =
   if not (Curve.equal ct.u (Curve.mul prms.Pairing.curve r srv.Tre.Server.g)) then
     raise Decryption_failed;
   let k' = session_key prms pk ~release_time:ct.release_time ~r in
-  if Hashing.Kdf.xor seed (Pairing.h2 prms k' seed_bytes) <> ct.v then
-    raise Decryption_failed;
+  if not (Hashing.ct_equal (Hashing.Kdf.xor seed (Pairing.h2 prms k' seed_bytes)) ct.v)
+  then raise Decryption_failed;
   msg
 
 let ciphertext_to_bytes prms ct =

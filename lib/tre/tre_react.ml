@@ -46,7 +46,7 @@ let decrypt prms a upd ct =
   let msg = Hashing.Kdf.xor ct.c2 (mask_g seed (String.length ct.c2)) in
   let u_bytes = Curve.to_bytes prms.Pairing.curve ct.u in
   let expected = tag_h ~r:seed ~msg ~u_bytes ~c1:ct.c1 ~c2:ct.c2 in
-  if not (Hashing.Hmac.equal expected ct.tag) then raise Decryption_failed;
+  if not (Hashing.ct_equal expected ct.tag) then raise Decryption_failed;
   msg
 
 let ciphertext_to_bytes prms ct =

@@ -1,11 +1,13 @@
 The benchmark harness's --smoke mode asserts that every optimized hot
 path (fixed-base tables, wNAF, windowed exponentiation, dedicated
 squaring, prepared pairings, the encryptor cache) returns bit-identical
-results to its reference implementation, and that every batched or
-pool-sharded path (random-exponent batch verification, batch decryption,
-the simnet parallel drain, all on a 2-domain pool) agrees exactly with
-its serial reference. Ratios are machine-dependent, so sed masks them;
-the OK lines and the final assertions are the test.
+results to its reference implementation, that the fixed-limb in-place
+field kernels agree with the generic Montgomery reference across all
+named parameter sets (field ops, curve steps, full pairings), and that
+every batched or pool-sharded path (random-exponent batch verification,
+batch decryption, the simnet parallel drain, all on a 2-domain pool)
+agrees exactly with its serial reference. Ratios are machine-dependent,
+so sed masks them; the OK lines and the final assertions are the test.
 
   $ ../bench/main.exe --smoke | sed -E 's/\([0-9]+\.[0-9]+x\)/(N.NNx)/'
   E1-opt smoke: optimized vs reference at mid128
@@ -18,6 +20,11 @@ the OK lines and the final assertions are the test.
   update-verify              OK (N.NNx)
   tre-encrypt (same T)       OK (N.NNx)
   all optimized paths agree with reference
+  E1-kernel smoke: in-place kernels vs generic reference
+  kernel-vs-ref toy64        OK
+  kernel-vs-ref mid128       OK
+  kernel-vs-ref std160       OK
+  all kernel paths agree with the generic reference
   Batch/parallel smoke: 2-domain pool vs serial
   pool-map determinism       OK
   verify-updates batch       OK

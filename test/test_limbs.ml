@@ -1,0 +1,249 @@
+(* Differential tests: the fixed-limb in-place kernels ({!Limbs}) against
+   the generic variable-length Montgomery reference ({!Modarith.Mont}).
+
+   Both sides keep canonical (fully reduced) representatives, so the
+   contract is exact value equality through [to_bigint] on every
+   operation, for every modulus shape — including adversarial ones: edge
+   values 0, 1, m-1, values forcing full carry chains, and moduli that
+   fill their top limb (which disable the lazy-reduction gate). *)
+
+module B = Bigint
+module Mont = Modarith.Mont
+
+let bi = Alcotest.testable B.pp B.equal
+
+(* Deterministic RNG for reproducible failures. *)
+let rng = ref (Hashing.Drbg.create ~seed:"test-limbs" ())
+
+let random_bigint bytes =
+  B.of_bytes_be (Hashing.Drbg.generate !rng bytes)
+
+(* Moduli under test: every named parameter set's p and q (odd), the
+   256-bit test prime, a handful of random odd moduli of assorted limb
+   counts, and maximal-limb moduli (bit length = 26k, flush with the
+   kernel limb base) for which [Limbs.lazy_ok] is false and the reduced
+   kernels must carry the day. *)
+let moduli =
+  let named =
+    List.filter_map
+      (fun n ->
+        match Pairing.by_name n with
+        | Some prms -> Some prms.Pairing.p
+        | None -> None)
+      [ "toy64"; "mid128"; "std160"; "toy64b"; "mid128b" ]
+  in
+  let p256 = B.sub (B.pow B.two 256) (B.of_int 189) in
+  let random_odds =
+    List.map
+      (fun bytes ->
+        let v = random_bigint bytes in
+        let v = B.add v (B.shift_left B.one ((8 * bytes) - 1)) in
+        if B.is_even v then B.succ v else v)
+      [ 4; 9; 17; 33; 64 ]
+  in
+  (* Top kernel limb saturated: 26k-bit moduli, lazy gate off. *)
+  let maximal =
+    List.map
+      (fun k -> B.sub (B.shift_left B.one (26 * k)) (B.of_int 61))
+      [ 1; 3; 5; 9; 20 ]
+  in
+  named @ [ p256 ] @ random_odds @ maximal
+
+let edge_values m =
+  [ B.zero; B.one; B.of_int 2; B.pred m; B.sub m (B.of_int 2);
+    (* All-ones limb patterns force full carry/borrow chains. *)
+    B.erem (B.pred (B.shift_left B.one (31 * Nat.num_limbs (B.magnitude m)))) m;
+    B.erem (B.shift_left B.one (31 * (Nat.num_limbs (B.magnitude m) - 1))) m ]
+
+let values m n =
+  edge_values m
+  @ List.init n (fun _ -> B.erem (random_bigint (((B.bit_length m + 7) / 8) + 3)) m)
+
+let check_modulus m =
+  let kc = Limbs.create m in
+  let mc = Mont.create m in
+  let to_k v = Limbs.of_bigint kc v and to_m v = Mont.of_bigint mc v in
+  let name op = Format.asprintf "%s mod %a" op B.pp m in
+  let vs = values m 12 in
+  (* Round trip. *)
+  List.iter
+    (fun v ->
+      Alcotest.check bi (name "roundtrip") v (Limbs.to_bigint kc (to_k v)))
+    vs;
+  (* Unary ops. *)
+  List.iter
+    (fun v ->
+      let a = to_k v and am = to_m v in
+      let d = Limbs.alloc kc in
+      Limbs.neg_into kc d a;
+      Alcotest.check bi (name "neg") (Mont.to_bigint mc (Mont.neg mc am))
+        (Limbs.to_bigint kc d);
+      Limbs.sqr_into kc d a;
+      Alcotest.check bi (name "sqr") (Mont.to_bigint mc (Mont.sqr mc am))
+        (Limbs.to_bigint kc d);
+      (* sqr with dst aliasing the operand. *)
+      let a' = Limbs.of_bigint kc v in
+      Limbs.sqr_into kc a' a';
+      Alcotest.check bi (name "sqr-aliased")
+        (Mont.to_bigint mc (Mont.sqr mc am))
+        (Limbs.to_bigint kc a'))
+    vs;
+  (* Binary ops over all pairs of edge values plus random pairs. *)
+  let pairs =
+    let edges = edge_values m in
+    List.concat_map (fun a -> List.map (fun b -> (a, b)) edges) edges
+    @ List.init 20 (fun _ ->
+          ( B.erem (random_bigint (((B.bit_length m + 7) / 8) + 1)) m,
+            B.erem (random_bigint (((B.bit_length m + 7) / 8) + 1)) m ))
+  in
+  List.iter
+    (fun (x, y) ->
+      let a = to_k x and b = to_k y in
+      let am = to_m x and bm = to_m y in
+      let d = Limbs.alloc kc in
+      Limbs.add_into kc d a b;
+      Alcotest.check bi (name "add") (Mont.to_bigint mc (Mont.add mc am bm))
+        (Limbs.to_bigint kc d);
+      Limbs.sub_into kc d a b;
+      Alcotest.check bi (name "sub") (Mont.to_bigint mc (Mont.sub mc am bm))
+        (Limbs.to_bigint kc d);
+      Limbs.mul_into kc d a b;
+      Alcotest.check bi (name "mul") (Mont.to_bigint mc (Mont.mul mc am bm))
+        (Limbs.to_bigint kc d);
+      (* mul with dst aliasing both operand slots. *)
+      let a' = Limbs.of_bigint kc x in
+      Limbs.mul_into kc a' a' b;
+      Alcotest.check bi (name "mul-aliased")
+        (Mont.to_bigint mc (Mont.mul mc am bm))
+        (Limbs.to_bigint kc a');
+      (* Wide pipeline, gated exactly like the Fp2 lazy-reduction user. *)
+      if Limbs.lazy_ok kc then begin
+        let w = Limbs.wide_alloc kc in
+        Limbs.mul_wide_into kc w a b;
+        Limbs.redc_into kc d w;
+        Alcotest.check bi (name "mul-wide+redc")
+          (Mont.to_bigint mc (Mont.mul mc am bm))
+          (Limbs.to_bigint kc d);
+        Limbs.sqr_wide_into kc w a;
+        Limbs.redc_into kc d w;
+        Alcotest.check bi (name "sqr-wide+redc")
+          (Mont.to_bigint mc (Mont.sqr mc am))
+          (Limbs.to_bigint kc d);
+        (* redc(a*b + m^2 - a*b) = redc(m^2) = m*R... reduced: 0. *)
+        Limbs.mul_wide_into kc w a b;
+        Limbs.wide_add_m2_into kc w;
+        let w2 = Limbs.wide_alloc kc in
+        Limbs.mul_wide_into kc w2 a b;
+        Limbs.wide_sub_into kc w w w2;
+        Limbs.redc_into kc d w;
+        Alcotest.check bi (name "wide m^2 cancels") B.zero (Limbs.to_bigint kc d);
+        (* redc(2*(a*b)) = 2ab * R^-1. *)
+        Limbs.mul_wide_into kc w a b;
+        Limbs.wide_double_into kc w;
+        Limbs.redc_into kc d w;
+        let ab = Mont.mul mc am bm in
+        Alcotest.check bi (name "wide double")
+          (Mont.to_bigint mc (Mont.add mc ab ab))
+          (Limbs.to_bigint kc d)
+      end)
+    pairs;
+  (* pow against the generic reference, assorted exponents. *)
+  let exps =
+    [ B.zero; B.one; B.of_int 2; B.of_int 255; B.pred m; m; B.pow B.two 75 ]
+    @ List.init 4 (fun _ -> random_bigint 20)
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun e ->
+          let d = Limbs.alloc kc in
+          Limbs.pow_into kc d (to_k v) e;
+          Alcotest.check bi (name "pow")
+            (Mont.to_bigint mc (Mont.pow mc (to_m v) e))
+            (Limbs.to_bigint kc d))
+        exps)
+    [ B.zero; B.one; B.pred m; B.erem (random_bigint 16) m ];
+  (* inv: agreement with the (fixed) generic path, and a*a^-1 = 1 —
+     where gcd(a, m) = 1; both sides raise Division_by_zero otherwise. *)
+  List.iter
+    (fun v ->
+      if B.equal (Modarith.gcd v m) B.one && not (B.is_zero v) then begin
+        let d = Limbs.alloc kc in
+        Limbs.inv_into kc d (to_k v);
+        Alcotest.check bi (name "inv")
+          (Mont.to_bigint mc (Mont.inv mc (to_m v)))
+          (Limbs.to_bigint kc d);
+        Limbs.mul_into kc d d (to_k v);
+        Alcotest.check bi (name "a * a^-1") B.one (Limbs.to_bigint kc d)
+      end
+      else if not (B.is_zero (B.erem v m)) then
+        Alcotest.check_raises (name "inv non-invertible") Division_by_zero
+          (fun () ->
+            ignore (Limbs.inv_into kc (Limbs.alloc kc) (to_k v))))
+    (values m 6)
+
+let test_differential () = List.iter check_modulus moduli
+
+let test_mont_inv_roundtrip_equiv () =
+  (* The single-conversion [Mont.inv] must agree with the old
+     decode-invert-encode path on every modulus. *)
+  List.iter
+    (fun m ->
+      let mc = Mont.create m in
+      List.iter
+        (fun v ->
+          if B.equal (Modarith.gcd v m) B.one && not (B.is_zero v) then begin
+            let a = Mont.of_bigint mc v in
+            let old_path =
+              Mont.of_bigint mc (Modarith.invmod (Mont.to_bigint mc a) m)
+            in
+            Alcotest.check bi "inv = decode/invert/encode"
+              (Mont.to_bigint mc old_path)
+              (Mont.to_bigint mc (Mont.inv mc a))
+          end)
+        (values m 8))
+    moduli
+
+(* Concurrent kernel use from multiple domains must be race-free (each
+   domain owns its DLS scratch) and bit-identical to the serial run. *)
+let test_pool_race_free () =
+  let m = B.sub (B.pow B.two 256) (B.of_int 189) in
+  let kc = Limbs.create m in
+  let items =
+    List.init 64 (fun i ->
+        (B.erem (random_bigint 33) m, B.erem (random_bigint 33) m, i))
+  in
+  let work (x, y, i) =
+    (* A chain of kernel ops exercising every scratch slot. *)
+    let a = Limbs.of_bigint kc x and b = Limbs.of_bigint kc y in
+    let d = Limbs.alloc kc in
+    Limbs.mul_into kc d a b;
+    Limbs.sqr_into kc d d;
+    Limbs.add_into kc d d a;
+    Limbs.sub_into kc d d b;
+    Limbs.pow_into kc d d (B.of_int (97 + i));
+    let w = Limbs.wide_alloc kc in
+    Limbs.mul_wide_into kc w d a;
+    Limbs.redc_into kc d w;
+    Limbs.to_bigint kc d
+  in
+  let serial = List.map work items in
+  let pool = Pool.create ~domains:4 () in
+  let parallel = Pool.map pool work items in
+  Pool.shutdown pool;
+  List.iter2
+    (fun s p -> Alcotest.check bi "pool = serial" s p)
+    serial parallel
+
+let () =
+  Alcotest.run "limbs"
+    [
+      ( "kernel-vs-mont",
+        [
+          Alcotest.test_case "differential all moduli" `Quick test_differential;
+          Alcotest.test_case "mont inv single-conversion" `Quick
+            test_mont_inv_roundtrip_equiv;
+        ] );
+      ( "domains",
+        [ Alcotest.test_case "pool race-free" `Quick test_pool_race_free ] );
+    ]
