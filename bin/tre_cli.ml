@@ -34,47 +34,47 @@ let params_of_name name =
       die "unknown parameter set %S (available: %s)" name
         (String.concat ", " Pairing.all_names)
 
-let load ~kind path =
-  match Armor.unwrap (read_file path) with
-  | Some (k, params_name, payload) when k = kind -> (params_of_name params_name, payload)
-  | Some (k, _, _) -> die "%s: expected %s, found %s" path kind k
-  | None -> die "%s: not a valid TRE armored object" path
+(* Typed armor loading: the armor header and the payload's binary
+   envelope must agree on kind and parameter set (Armor.unwrap_object
+   cross-checks them), so relabeled or cross-parameter files die here. *)
+
+let load_object ~kind path =
+  match Armor.unwrap_object ~expect:kind (read_file path) with
+  | Ok (_, prms, payload) -> (prms, payload)
+  | Error e -> die "%s: %s" path e
 
 let load_with ~kind ~decode path =
-  let prms, payload = load ~kind path in
+  let prms, payload = load_object ~kind path in
   match decode prms payload with
-  | Some v -> (prms, v)
-  | None -> die "%s: malformed %s payload" path kind
+  | Ok v -> (prms, v)
+  | Error e -> die "%s: malformed %s payload: %s" path (Codec.kind_label kind) e
 
-(* Secret-key payloads: server = scalar || generator point; user = scalar. *)
+(* Secret-key payloads: server = scalar, generator point; user = scalar. *)
 
 let server_secret_to_bytes prms sec =
   let pub = Tre.Server.public_of_secret prms sec in
-  Bigint.to_bytes_be ~pad_to:(Pairing.scalar_bytes prms) (Tre.Server.secret_to_scalar sec)
-  ^ Curve.to_bytes prms.Pairing.curve pub.Tre.Server.g
+  Codec.encode prms Codec.Server_secret (fun buf ->
+      Codec.add_scalar prms buf (Tre.Server.secret_to_scalar sec);
+      Codec.add_point prms buf pub.Tre.Server.g)
 
 let server_secret_of_bytes prms payload =
-  let sw = Pairing.scalar_bytes prms in
-  if String.length payload <= sw then None
-  else begin
-    let scalar = Bigint.of_bytes_be (String.sub payload 0 sw) in
-    match
-      Curve.of_bytes prms.Pairing.curve (String.sub payload sw (String.length payload - sw))
-    with
-    | Some g -> (
-        match Tre.Server.secret_of_scalar prms ~g scalar with
-        | sec -> Some sec
-        | exception Invalid_argument _ -> None)
-    | None -> None
-  end
+  Codec.decode prms Codec.Server_secret payload (fun r ->
+      let scalar = Codec.read_scalar ~what:"server scalar" prms r in
+      let g = Codec.read_g1 ~what:"generator" prms r in
+      match Tre.Server.secret_of_scalar prms ~g scalar with
+      | sec -> sec
+      | exception Invalid_argument m -> Codec.fail "%s" m)
+
+let user_secret_to_bytes prms sec =
+  Codec.encode prms Codec.User_secret (fun buf ->
+      Codec.add_scalar prms buf (Tre.User.secret_to_scalar sec))
 
 let user_secret_of_bytes prms payload =
-  if String.length payload <> Pairing.scalar_bytes prms then None
-  else begin
-    match Tre.User.secret_of_scalar prms (Bigint.of_bytes_be payload) with
-    | sec -> Some sec
-    | exception Invalid_argument _ -> None
-  end
+  Codec.decode prms Codec.User_secret payload (fun r ->
+      let scalar = Codec.read_scalar ~what:"user scalar" prms r in
+      match Tre.User.secret_of_scalar prms scalar with
+      | sec -> sec
+      | exception Invalid_argument m -> Codec.fail "%s" m)
 
 let fresh_rng () = Hashing.Drbg.create ~seed:(Hashing.Drbg.system_entropy ()) ()
 
@@ -84,37 +84,35 @@ let do_server_keygen params_name out =
   let prms = params_of_name params_name in
   let sec, pub = Tre.Server.keygen prms (fresh_rng ()) in
   write_file (out ^ ".key")
-    (Armor.wrap ~kind:"SERVER SECRET KEY" ~params:params_name
-       (server_secret_to_bytes prms sec));
+    (Armor.wrap_object prms ~kind:Codec.Server_secret (server_secret_to_bytes prms sec));
   write_file (out ^ ".pub")
-    (Armor.wrap ~kind:"SERVER PUBLIC KEY" ~params:params_name
+    (Armor.wrap_object prms ~kind:Codec.Server_public
        (Tre.server_public_to_bytes prms pub));
   Printf.printf "wrote %s.key (keep offline!) and %s.pub\n" out out
 
 let do_user_keygen server_pub_path out password =
   let prms, srv =
-    load_with ~kind:"SERVER PUBLIC KEY" ~decode:Tre.server_public_of_bytes server_pub_path
+    load_with ~kind:Codec.Server_public ~decode:Tre.server_public_of_bytes
+      server_pub_path
   in
   let sec, pub =
     match password with
     | Some pw -> Tre.User.keygen_from_password prms srv ~password:pw
     | None -> Tre.User.keygen prms srv (fresh_rng ())
   in
-  let params = prms.Pairing.name in
   write_file (out ^ ".key")
-    (Armor.wrap ~kind:"USER SECRET KEY" ~params
-       (Bigint.to_bytes_be ~pad_to:(Pairing.scalar_bytes prms)
-          (Tre.User.secret_to_scalar sec)));
+    (Armor.wrap_object prms ~kind:Codec.User_secret (user_secret_to_bytes prms sec));
   write_file (out ^ ".pub")
-    (Armor.wrap ~kind:"USER PUBLIC KEY" ~params (Tre.user_public_to_bytes prms pub));
+    (Armor.wrap_object prms ~kind:Codec.User_public (Tre.user_public_to_bytes prms pub));
   Printf.printf "wrote %s.key and %s.pub (bound to this time server)\n" out out
 
 let do_validate_key server_pub_path user_pub_path =
   let prms, srv =
-    load_with ~kind:"SERVER PUBLIC KEY" ~decode:Tre.server_public_of_bytes server_pub_path
+    load_with ~kind:Codec.Server_public ~decode:Tre.server_public_of_bytes
+      server_pub_path
   in
   let prms2, usr =
-    load_with ~kind:"USER PUBLIC KEY" ~decode:Tre.user_public_of_bytes user_pub_path
+    load_with ~kind:Codec.User_public ~decode:Tre.user_public_of_bytes user_pub_path
   in
   if prms.Pairing.name <> prms2.Pairing.name then die "parameter sets differ";
   if Tre.validate_receiver_key prms srv usr then
@@ -126,43 +124,46 @@ let do_validate_key server_pub_path user_pub_path =
 
 let do_encrypt server_pub_path user_pub_path time input output cca =
   let prms, srv =
-    load_with ~kind:"SERVER PUBLIC KEY" ~decode:Tre.server_public_of_bytes server_pub_path
+    load_with ~kind:Codec.Server_public ~decode:Tre.server_public_of_bytes
+      server_pub_path
   in
   let prms2, usr =
-    load_with ~kind:"USER PUBLIC KEY" ~decode:Tre.user_public_of_bytes user_pub_path
+    load_with ~kind:Codec.User_public ~decode:Tre.user_public_of_bytes user_pub_path
   in
   if prms.Pairing.name <> prms2.Pairing.name then die "parameter sets differ";
   let msg = read_file input in
   let rng = fresh_rng () in
   let kind, payload =
     if cca then
-      ( "CIPHERTEXT FO",
+      ( Codec.Ciphertext_fo,
         Tre_fo.ciphertext_to_bytes prms
           (Tre_fo.encrypt prms srv usr ~release_time:time rng msg) )
     else
-      ( "CIPHERTEXT",
+      ( Codec.Ciphertext,
         Tre.ciphertext_to_bytes prms (Tre.encrypt prms srv usr ~release_time:time rng msg)
       )
   in
-  write_file output (Armor.wrap ~kind ~params:prms.Pairing.name payload);
+  write_file output (Armor.wrap_object prms ~kind payload);
   Printf.printf "encrypted %d bytes for release at %S -> %s\n" (String.length msg) time
     output
 
 let do_issue_update server_key_path time output =
   let prms, sec =
-    load_with ~kind:"SERVER SECRET KEY" ~decode:server_secret_of_bytes server_key_path
+    load_with ~kind:Codec.Server_secret ~decode:server_secret_of_bytes server_key_path
   in
   let upd = Tre.issue_update prms sec time in
   write_file output
-    (Armor.wrap ~kind:"KEY UPDATE" ~params:prms.Pairing.name
-       (Tre.update_to_bytes prms upd));
+    (Armor.wrap_object prms ~kind:Codec.Key_update (Tre.update_to_bytes prms upd));
   Printf.printf "issued time-bound key update for %S -> %s\n" time output
 
 let do_verify_update server_pub_path update_path =
   let prms, srv =
-    load_with ~kind:"SERVER PUBLIC KEY" ~decode:Tre.server_public_of_bytes server_pub_path
+    load_with ~kind:Codec.Server_public ~decode:Tre.server_public_of_bytes
+      server_pub_path
   in
-  let prms2, upd = load_with ~kind:"KEY UPDATE" ~decode:Tre.update_of_bytes update_path in
+  let prms2, upd =
+    load_with ~kind:Codec.Key_update ~decode:Tre.update_of_bytes update_path
+  in
   if prms.Pairing.name <> prms2.Pairing.name then die "parameter sets differ";
   if Tre.verify_update prms srv upd then
     Printf.printf "valid update for time %S (self-authenticated BLS signature)\n"
@@ -174,9 +175,11 @@ let do_verify_update server_pub_path update_path =
 
 let do_decrypt user_key_path update_path input output cca server_pub user_pub =
   let prms, sec =
-    load_with ~kind:"USER SECRET KEY" ~decode:user_secret_of_bytes user_key_path
+    load_with ~kind:Codec.User_secret ~decode:user_secret_of_bytes user_key_path
   in
-  let prms2, upd = load_with ~kind:"KEY UPDATE" ~decode:Tre.update_of_bytes update_path in
+  let prms2, upd =
+    load_with ~kind:Codec.Key_update ~decode:Tre.update_of_bytes update_path
+  in
   if prms.Pairing.name <> prms2.Pairing.name then die "parameter sets differ";
   let msg =
     if cca then begin
@@ -185,12 +188,14 @@ let do_decrypt user_key_path update_path input output cca server_pub user_pub =
       in
       let usr_path = match user_pub with Some p -> p | None -> die "--cca needs --to" in
       let _, srv =
-        load_with ~kind:"SERVER PUBLIC KEY" ~decode:Tre.server_public_of_bytes srv_path
+        load_with ~kind:Codec.Server_public ~decode:Tre.server_public_of_bytes srv_path
       in
       let _, usr =
-        load_with ~kind:"USER PUBLIC KEY" ~decode:Tre.user_public_of_bytes usr_path
+        load_with ~kind:Codec.User_public ~decode:Tre.user_public_of_bytes usr_path
       in
-      let _, ct = load_with ~kind:"CIPHERTEXT FO" ~decode:Tre_fo.ciphertext_of_bytes input in
+      let _, ct =
+        load_with ~kind:Codec.Ciphertext_fo ~decode:Tre_fo.ciphertext_of_bytes input
+      in
       match Tre_fo.decrypt prms srv usr sec upd ct with
       | msg -> msg
       | exception Tre_fo.Decryption_failed -> die "decryption failed: ciphertext tampered"
@@ -198,7 +203,9 @@ let do_decrypt user_key_path update_path input output cca server_pub user_pub =
           die "update is for a different time than the ciphertext"
     end
     else begin
-      let _, ct = load_with ~kind:"CIPHERTEXT" ~decode:Tre.ciphertext_of_bytes input in
+      let _, ct =
+        load_with ~kind:Codec.Ciphertext ~decode:Tre.ciphertext_of_bytes input
+      in
       match Tre.decrypt prms sec upd ct with
       | msg -> msg
       | exception Tre.Update_mismatch ->
@@ -210,25 +217,24 @@ let do_decrypt user_key_path update_path input output cca server_pub user_pub =
   Printf.printf "decrypted %d bytes -> %s\n" (String.length msg) output
 
 let do_info path =
-  match Armor.unwrap (read_file path) with
-  | None -> die "%s: not a valid TRE armored object" path
-  | Some (kind, params_name, payload) -> (
-      Printf.printf "kind:       %s\nparameters: %s\npayload:    %d bytes\n" kind
-        params_name (String.length payload);
-      let prms = params_of_name params_name in
+  match Armor.unwrap_object (read_file path) with
+  | Error e -> die "%s: %s" path e
+  | Ok (kind, prms, payload) -> (
+      Printf.printf "kind:       %s\nparameters: %s\npayload:    %d bytes\n"
+        (Codec.kind_label kind) prms.Pairing.name (String.length payload);
       match kind with
-      | "CIPHERTEXT" -> (
+      | Codec.Ciphertext -> (
           match Tre.ciphertext_of_bytes prms payload with
-          | Some ct -> Printf.printf "release at: %S\n" ct.Tre.release_time
-          | None -> ())
-      | "CIPHERTEXT FO" -> (
+          | Ok ct -> Printf.printf "release at: %S\n" ct.Tre.release_time
+          | Error _ -> ())
+      | Codec.Ciphertext_fo -> (
           match Tre_fo.ciphertext_of_bytes prms payload with
-          | Some ct -> Printf.printf "release at: %S (CCA-secure)\n" ct.Tre_fo.release_time
-          | None -> ())
-      | "KEY UPDATE" -> (
+          | Ok ct -> Printf.printf "release at: %S (CCA-secure)\n" ct.Tre_fo.release_time
+          | Error _ -> ())
+      | Codec.Key_update -> (
           match Tre.update_of_bytes prms payload with
-          | Some u -> Printf.printf "update for: %S\n" u.Tre.update_time
-          | None -> ())
+          | Ok u -> Printf.printf "update for: %S\n" u.Tre.update_time
+          | Error _ -> ())
       | _ -> ())
 
 (* --- cmdliner wiring --- *)

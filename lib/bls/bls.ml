@@ -131,27 +131,26 @@ let verify_batch_with ?pool prms vrf pairs =
           ~rhs:(vrf.vpk, sum_h)
   end
 
-let signature_bytes prms = Pairing.point_bytes prms
-let signature_to_bytes prms s = Curve.to_bytes prms.Pairing.curve s
+let signature_bytes prms = Codec.header_bytes + Pairing.point_bytes prms
 
+let signature_to_bytes prms s =
+  Codec.encode prms Codec.Bls_signature (fun buf -> Codec.add_point prms buf s)
+
+(* A BLS signature on a message outside H1's image can legitimately be
+   the identity only with negligible probability, but sigma = O is a
+   well-formed group element; [Codec.read_point] keeps accepting its
+   canonical encoding (and only that one). *)
 let signature_of_bytes prms bytes =
-  match Curve.of_bytes prms.Pairing.curve bytes with
-  | Some p when Pairing.in_g1 prms p -> Some p
-  | Some _ | None -> None
+  Codec.decode prms Codec.Bls_signature bytes (fun r ->
+      Codec.read_point ~what:"signature" prms r)
 
 let public_to_bytes prms pub =
-  Curve.to_bytes prms.Pairing.curve pub.g ^ Curve.to_bytes prms.Pairing.curve pub.pk
+  Codec.encode prms Codec.Bls_public (fun buf ->
+      Codec.add_point prms buf pub.g;
+      Codec.add_point prms buf pub.pk)
 
 let public_of_bytes prms bytes =
-  let w = Pairing.point_bytes prms in
-  if String.length bytes <> 2 * w then None
-  else begin
-    let curve = prms.Pairing.curve in
-    match
-      ( Curve.of_bytes curve (String.sub bytes 0 w),
-        Curve.of_bytes curve (String.sub bytes w w) )
-    with
-    | Some g, Some pk when Pairing.in_g1 prms g && Pairing.in_g1 prms pk ->
-        Some { g; pk }
-    | _ -> None
-  end
+  Codec.decode prms Codec.Bls_public bytes (fun r ->
+      let g = Codec.read_g1 ~what:"generator G" prms r in
+      let pk = Codec.read_g1 ~what:"public point sG" prms r in
+      { g; pk })

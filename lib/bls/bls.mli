@@ -64,11 +64,16 @@ val verify_batch_with :
     arithmetic of the two final pairings. *)
 
 val signature_bytes : Pairing.params -> int
-(** Size of a serialized signature — the "short" in short signatures. *)
+(** Size of a serialized signature — one compressed point (the "short" in
+    short signatures) plus the {!Codec} envelope. *)
 
 val signature_to_bytes : Pairing.params -> signature -> string
-val signature_of_bytes : Pairing.params -> string -> signature option
-(** Rejects off-curve and out-of-subgroup encodings. *)
+val signature_of_bytes : Pairing.params -> string -> (signature, string) result
+(** Strict {!Codec} envelope (kind [BLS SIGNATURE]). Rejects off-curve,
+    out-of-subgroup and non-canonical encodings; the identity element is
+    accepted only in its single canonical form. Never raises. *)
 
 val public_to_bytes : Pairing.params -> public -> string
-val public_of_bytes : Pairing.params -> string -> public option
+val public_of_bytes : Pairing.params -> string -> (public, string) result
+(** Strict {!Codec} envelope (kind [BLS PUBLIC KEY]); both points must be
+    non-identity subgroup members. Never raises. *)

@@ -1,0 +1,276 @@
+(* Strict versioned wire codec.
+
+   Every serialized object starts with a fixed envelope
+
+     magic "TRE1" (4) | format version (1) | kind tag (1) | params fingerprint (8)
+
+   followed by a kind-specific body built from a small set of strict
+   fields: fixed-width byte strings, bounded u32-length-prefixed strings,
+   fixed-width canonical compressed curve points, fixed-width scalars in
+   [1, q-1]. Decoding is combinator-style over a cursor; any violation
+   raises the internal {!Parse_error}, which {!decode} converts into a
+   diagnostic [Error] — decoders never leak exceptions.
+
+   The invariant the fuzz harness enforces: a decoder accepts exactly the
+   canonical encoding of each value, so every accepted byte string
+   re-encodes bit-identically, and cross-kind or cross-parameter-set
+   material dies on the envelope (tag / fingerprint) before any curve
+   arithmetic runs. *)
+
+let magic = "TRE1"
+let version = 1
+let fingerprint_bytes = 8
+let header_bytes = String.length magic + 2 + fingerprint_bytes
+let max_label_bytes = 4096
+let max_var_bytes = 1 lsl 30
+
+type kind =
+  | Ciphertext
+  | Ciphertext_fo
+  | Ciphertext_react
+  | Ciphertext_id
+  | Ciphertext_multi
+  | Key_update
+  | User_public
+  | Server_public
+  | User_secret
+  | Server_secret
+  | Bls_public
+  | Bls_signature
+  | Epoch_key
+  | Threshold_partial
+  | Multi_receiver
+
+let all_kinds =
+  [
+    Ciphertext; Ciphertext_fo; Ciphertext_react; Ciphertext_id; Ciphertext_multi;
+    Key_update; User_public; Server_public; User_secret; Server_secret;
+    Bls_public; Bls_signature; Epoch_key; Threshold_partial; Multi_receiver;
+  ]
+
+let kind_tag = function
+  | Ciphertext -> 0x01
+  | Ciphertext_fo -> 0x02
+  | Ciphertext_react -> 0x03
+  | Ciphertext_id -> 0x04
+  | Ciphertext_multi -> 0x05
+  | Key_update -> 0x06
+  | User_public -> 0x07
+  | Server_public -> 0x08
+  | User_secret -> 0x09
+  | Server_secret -> 0x0A
+  | Bls_public -> 0x0B
+  | Bls_signature -> 0x0C
+  | Epoch_key -> 0x0D
+  | Threshold_partial -> 0x0E
+  | Multi_receiver -> 0x0F
+
+let kind_of_tag tag = List.find_opt (fun k -> kind_tag k = tag) all_kinds
+
+let kind_label = function
+  | Ciphertext -> "CIPHERTEXT"
+  | Ciphertext_fo -> "CIPHERTEXT FO"
+  | Ciphertext_react -> "CIPHERTEXT REACT"
+  | Ciphertext_id -> "CIPHERTEXT ID"
+  | Ciphertext_multi -> "CIPHERTEXT MULTI"
+  | Key_update -> "KEY UPDATE"
+  | User_public -> "USER PUBLIC KEY"
+  | Server_public -> "SERVER PUBLIC KEY"
+  | User_secret -> "USER SECRET KEY"
+  | Server_secret -> "SERVER SECRET KEY"
+  | Bls_public -> "BLS PUBLIC KEY"
+  | Bls_signature -> "BLS SIGNATURE"
+  | Epoch_key -> "EPOCH KEY"
+  | Threshold_partial -> "THRESHOLD PARTIAL"
+  | Multi_receiver -> "MULTI RECEIVER KEY"
+
+let kind_of_label label = List.find_opt (fun k -> kind_label k = label) all_kinds
+
+(* --- length-prefixed hash inputs --- *)
+
+let u32_be n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
+
+let length_prefixed ~domain fields =
+  domain :: List.concat_map (fun f -> [ u32_be (String.length f); f ]) fields
+
+let hash_input ~domain fields = String.concat "" (length_prefixed ~domain fields)
+
+(* --- params fingerprint --- *)
+
+let family_byte = function Pairing.Y2_x3_x -> "\x01" | Pairing.Y2_x3_1 -> "\x02"
+
+let params_fingerprint prms =
+  let p = Bigint.to_bytes_be prms.Pairing.p in
+  let q = Bigint.to_bytes_be prms.Pairing.q in
+  let digest =
+    Hashing.Sha256.digest_concat
+      (length_prefixed ~domain:"TRE-params-fingerprint-v1"
+         [ family_byte prms.Pairing.family; p; q ])
+  in
+  String.sub digest 0 fingerprint_bytes
+
+(* --- emitters --- *)
+
+let add_u32 buf n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Codec.add_u32: out of range";
+  Buffer.add_string buf (u32_be n)
+
+let add_fixed = Buffer.add_string
+
+let add_var buf s =
+  if String.length s > max_var_bytes then invalid_arg "Codec.add_var: oversized field";
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_label buf s =
+  if String.length s > max_label_bytes then
+    invalid_arg "Codec.add_label: label exceeds the wire limit";
+  add_var buf s
+
+let add_point prms buf pt =
+  let w = Pairing.point_bytes prms in
+  let raw = Curve.to_bytes prms.Pairing.curve pt in
+  let n = String.length raw in
+  if n = w then Buffer.add_string buf raw
+  else if n = 1 && raw.[0] = '\x00' then begin
+    (* Infinity encodes as one byte; pad to the fixed frame width with
+       zeros (the decoder requires exactly this padding). *)
+    Buffer.add_string buf raw;
+    Buffer.add_string buf (String.make (w - 1) '\x00')
+  end
+  else invalid_arg "Codec.add_point: raw point encoding is neither 1 nor point_bytes wide"
+
+let add_scalar prms buf v =
+  if Bigint.sign v <= 0 || Bigint.compare v prms.Pairing.q >= 0 then
+    invalid_arg "Codec.add_scalar: scalar out of range [1, q-1]";
+  Buffer.add_string buf (Bigint.to_bytes_be ~pad_to:(Pairing.scalar_bytes prms) v)
+
+let add_envelope buf kind prms =
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr (kind_tag kind));
+  Buffer.add_string buf (params_fingerprint prms)
+
+let encode prms kind body =
+  let buf = Buffer.create 128 in
+  add_envelope buf kind prms;
+  body buf;
+  Buffer.contents buf
+
+(* --- strict readers --- *)
+
+type reader = { buf : string; mutable pos : int }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let remaining r = String.length r.buf - r.pos
+
+let need r n what =
+  if remaining r < n then
+    fail "%s: need %d byte(s) at offset %d, input has %d left" what n r.pos (remaining r)
+
+let read_fixed ?(what = "bytes") r n =
+  if n < 0 then fail "%s: negative length" what;
+  need r n what;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_u8 ?(what = "byte") r =
+  need r 1 what;
+  let c = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_u32 ?(what = "u32") ?(max = max_var_bytes) r =
+  need r 4 what;
+  let b i = Char.code r.buf.[r.pos + i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  r.pos <- r.pos + 4;
+  if n > max then fail "%s: %d exceeds the limit %d" what n max;
+  n
+
+let read_var ?(what = "string") ?max r =
+  let n = read_u32 ~what:(what ^ " length") ?max r in
+  read_fixed ~what r n
+
+let read_label ?(what = "label") r = read_var ~what ~max:max_label_bytes r
+
+let read_point ?(what = "point") prms r =
+  let w = Pairing.point_bytes prms in
+  let s = read_fixed ~what r w in
+  if s.[0] = '\x00' then begin
+    (* Canonical infinity: the single 0x00 tag byte followed by all-zero
+       padding. Any nonzero padding byte would give a second byte string
+       decoding to the same point, breaking canonicality. *)
+    for i = 1 to w - 1 do
+      if s.[i] <> '\x00' then fail "%s: non-canonical infinity padding" what
+    done;
+    Curve.infinity
+  end
+  else begin
+    match Curve.of_bytes prms.Pairing.curve s with
+    | Some p when Pairing.in_g1 prms p -> p
+    | Some _ -> fail "%s: point outside the order-q subgroup" what
+    | None -> fail "%s: malformed or non-canonical point encoding" what
+  end
+
+let read_g1 ?(what = "point") prms r =
+  let p = read_point ~what prms r in
+  if Curve.is_infinity p then fail "%s: identity point not allowed" what;
+  p
+
+let read_scalar ?(what = "scalar") prms r =
+  let s = read_fixed ~what r (Pairing.scalar_bytes prms) in
+  let v = Bigint.of_bytes_be s in
+  if Bigint.sign v <= 0 || Bigint.compare v prms.Pairing.q >= 0 then
+    fail "%s: scalar out of range [1, q-1]" what;
+  v
+
+(* --- envelope checking --- *)
+
+let check_envelope prms kind r =
+  let m = read_fixed ~what:"magic" r (String.length magic) in
+  if m <> magic then fail "bad magic: not a TRE1 wire object";
+  let v = read_u8 ~what:"format version" r in
+  if v <> version then fail "unsupported format version %d (this build reads %d)" v version;
+  let tag = read_u8 ~what:"kind tag" r in
+  (match kind_of_tag tag with
+  | None -> fail "unknown kind tag 0x%02x" tag
+  | Some k when k <> kind ->
+      fail "kind mismatch: expected %s, found %s" (kind_label kind) (kind_label k)
+  | Some _ -> ());
+  let fpr = read_fixed ~what:"params fingerprint" r fingerprint_bytes in
+  if fpr <> params_fingerprint prms then
+    fail "parameter-set fingerprint mismatch: object was encoded under different parameters"
+
+let decode prms kind s body =
+  let r = { buf = s; pos = 0 } in
+  match
+    check_envelope prms kind r;
+    let v = body r in
+    if remaining r > 0 then
+      fail "%d trailing byte(s) after a complete %s object" (remaining r) (kind_label kind);
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- envelope peeking (armor / info tooling) --- *)
+
+let peek_kind s =
+  if String.length s < header_bytes then Error "truncated envelope"
+  else if String.sub s 0 (String.length magic) <> magic then
+    Error "bad magic: not a TRE1 wire object"
+  else if Char.code s.[4] <> version then
+    Error (Printf.sprintf "unsupported format version %d" (Char.code s.[4]))
+  else begin
+    match kind_of_tag (Char.code s.[5]) with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "unknown kind tag 0x%02x" (Char.code s.[5]))
+  end
+
+let matches_params prms s =
+  String.length s >= header_bytes
+  && String.sub s 6 fingerprint_bytes = params_fingerprint prms

@@ -69,3 +69,45 @@ let unwrap_expecting ~kind ~params text =
       else if p <> params then
         Error (Printf.sprintf "parameter-set mismatch: expected %s, found %s" params p)
       else Ok payload
+
+(* Typed armor over {!Codec} envelopes: the human-readable header and the
+   binary envelope both name the kind and parameter set, and the two must
+   agree — relabeling the armor cannot retarget the payload. *)
+
+let wrap_object prms ~kind payload =
+  (match Codec.peek_kind payload with
+  | Ok k when k = kind && Codec.matches_params prms payload -> ()
+  | Ok _ | Error _ ->
+      invalid_arg
+        "Armor.wrap_object: payload envelope does not match the declared kind \
+         and parameter set");
+  wrap ~kind:(Codec.kind_label kind) ~params:prms.Pairing.name payload
+
+let unwrap_object ?expect text =
+  match unwrap text with
+  | None -> Error "not a valid TRE armored object"
+  | Some (label, params_name, payload) -> (
+      match Codec.kind_of_label label with
+      | None -> Error (Printf.sprintf "unknown object kind %S" label)
+      | Some kind -> (
+          match Pairing.by_name params_name with
+          | None -> Error (Printf.sprintf "unknown parameter set %S" params_name)
+          | Some prms -> (
+              match expect with
+              | Some k when k <> kind ->
+                  Error
+                    (Printf.sprintf "expected %s, found %s" (Codec.kind_label k)
+                       (Codec.kind_label kind))
+              | _ ->
+                  if Codec.peek_kind payload <> Ok kind then
+                    Error
+                      (Printf.sprintf
+                         "armor header says %s but the payload envelope disagrees"
+                         (Codec.kind_label kind))
+                  else if not (Codec.matches_params prms payload) then
+                    Error
+                      (Printf.sprintf
+                         "armor header says parameter set %S but the payload \
+                          envelope disagrees"
+                         params_name)
+                  else Ok (kind, prms, payload))))

@@ -23,3 +23,18 @@ val unwrap_expecting :
   kind:string -> params:string -> string -> (string, string) result
 (** Unwrap and check both the kind and the parameter-set name; the error
     is a human-readable reason. *)
+
+val wrap_object : Pairing.params -> kind:Codec.kind -> string -> string
+(** Armor a {!Codec}-framed payload. The armor header's kind label and
+    parameter-set name are derived from [kind] and [prms], and the payload
+    envelope must already carry the same kind tag and params fingerprint —
+    raises [Invalid_argument] otherwise, so a mislabeled armor can never
+    be produced. *)
+
+val unwrap_object :
+  ?expect:Codec.kind -> string -> (Codec.kind * Pairing.params * string, string) result
+(** Unwrap typed armor: resolves the header's kind label and parameter-set
+    name, and cross-checks both against the payload's binary envelope (a
+    relabeled armor is rejected even though the base64 body is intact).
+    [expect] additionally pins the kind. The returned payload still
+    carries its envelope — feed it to the matching [*_of_bytes]. *)

@@ -122,4 +122,17 @@ let escrow_decrypt prms (sec : Server.secret) id ct =
   let k = Pairing.pairing prms ct.u kd in
   Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
 
-let ciphertext_overhead prms = 4 + Pairing.point_bytes prms
+let ciphertext_to_bytes prms ct =
+  Codec.encode prms Codec.Ciphertext_id (fun buf ->
+      Codec.add_label buf ct.release_time;
+      Codec.add_point prms buf ct.u;
+      Codec.add_var buf ct.v)
+
+let ciphertext_of_bytes prms s =
+  Codec.decode prms Codec.Ciphertext_id s (fun r ->
+      let release_time = Codec.read_label ~what:"release time" r in
+      let u = Codec.read_g1 ~what:"U" prms r in
+      let v = Codec.read_var ~what:"V" r in
+      { u; v; release_time })
+
+let ciphertext_overhead prms = Codec.header_bytes + 8 + Pairing.point_bytes prms

@@ -80,4 +80,11 @@ val escrow_decrypt : Pairing.params -> Server.secret -> identity -> ciphertext -
     suite can assert the escrow weakness is real in ID-TRE and absent in
     TRE. *)
 
+val ciphertext_to_bytes : Pairing.params -> ciphertext -> string
+val ciphertext_of_bytes : Pairing.params -> string -> (ciphertext, string) result
+(** Strict {!Codec} envelope (kind [CIPHERTEXT ID]); only the canonical
+    encoding is accepted, and ciphertexts of the other schemes or of other
+    parameter sets are rejected by the envelope before any curve
+    arithmetic. Never raises. *)
+
 val ciphertext_overhead : Pairing.params -> int

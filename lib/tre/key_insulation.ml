@@ -14,10 +14,18 @@ let decrypt prms ek (ct : Tre.ciphertext) =
   let k = Pairing.pairing prms ct.Tre.u ek.k in
   Hashing.Kdf.xor ct.Tre.v (Pairing.h2 prms k (String.length ct.Tre.v))
 
+(* Own wire kind, deliberately distinct from [Tre.update]: an epoch key
+   a*s*H1(T) and a public update s*H1(T) have the same shape, and reusing
+   the update framing would let a stored epoch key be replayed where an
+   update is expected (and vice versa). The envelope tag now separates
+   them before any point decoding. *)
 let to_bytes prms ek =
-  Tre.update_to_bytes prms { Tre.update_time = ek.epoch; update_value = ek.k }
+  Codec.encode prms Codec.Epoch_key (fun buf ->
+      Codec.add_label buf ek.epoch;
+      Codec.add_point prms buf ek.k)
 
 let of_bytes prms s =
-  Option.map
-    (fun (u : Tre.update) -> { epoch = u.Tre.update_time; k = u.Tre.update_value })
-    (Tre.update_of_bytes prms s)
+  Codec.decode prms Codec.Epoch_key s (fun r ->
+      let epoch = Codec.read_label ~what:"epoch" r in
+      let k = Codec.read_g1 ~what:"epoch key value" prms r in
+      { epoch; k })

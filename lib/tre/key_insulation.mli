@@ -33,4 +33,8 @@ val decrypt : Pairing.params -> epoch_key -> Tre.ciphertext -> string
     key's epoch — an epoch key can only ever open its own epoch. *)
 
 val to_bytes : Pairing.params -> epoch_key -> string
-val of_bytes : Pairing.params -> string -> epoch_key option
+val of_bytes : Pairing.params -> string -> (epoch_key, string) result
+(** Strict {!Codec} envelope with its own kind (EPOCH KEY) — an epoch key
+    is not interchangeable with a key update on the wire even though both
+    carry (label, point); the envelope tag rejects the confusion before
+    any curve arithmetic. Never raises. *)

@@ -65,4 +65,43 @@ let decrypt prms a updates ct =
   let k = Pairing.gt_pow prms (Pairing.pairing_product prms pairs) scalar in
   Hashing.Kdf.xor ct.v (Pairing.h2 prms k (String.length ct.v))
 
-let ciphertext_overhead prms ~n_servers = 4 + (n_servers * Pairing.point_bytes prms)
+(* Wire bound on N: one byte would do for any deployment the paper
+   discusses, but the count is framed as a u32 with an explicit cap so the
+   decoder can reject absurd counts before allocating. *)
+let max_servers = 255
+
+let ciphertext_to_bytes prms ct =
+  let n = Array.length ct.us in
+  if n = 0 || n > max_servers then
+    invalid_arg "Multi_server.ciphertext_to_bytes: server count out of range";
+  Codec.encode prms Codec.Ciphertext_multi (fun buf ->
+      Codec.add_label buf ct.release_time;
+      Codec.add_u32 buf n;
+      Array.iter (Codec.add_point prms buf) ct.us;
+      Codec.add_var buf ct.v)
+
+let ciphertext_of_bytes prms s =
+  Codec.decode prms Codec.Ciphertext_multi s (fun r ->
+      let release_time = Codec.read_label ~what:"release time" r in
+      let n = Codec.read_u32 ~what:"server count" ~max:max_servers r in
+      if n = 0 then Codec.fail "server count must be positive";
+      let us =
+        Array.init n (fun i ->
+            Codec.read_g1 ~what:(Printf.sprintf "U[%d]" i) prms r)
+      in
+      let v = Codec.read_var ~what:"V" r in
+      { us; v; release_time })
+
+let receiver_public_to_bytes prms pk =
+  Codec.encode prms Codec.Multi_receiver (fun buf ->
+      Codec.add_point prms buf pk.ag;
+      Codec.add_point prms buf pk.k_new)
+
+let receiver_public_of_bytes prms s =
+  Codec.decode prms Codec.Multi_receiver s (fun r ->
+      let ag = Codec.read_g1 ~what:"aG" prms r in
+      let k_new = Codec.read_g1 ~what:"K_new" prms r in
+      { ag; k_new })
+
+let ciphertext_overhead prms ~n_servers =
+  Codec.header_bytes + 12 + (n_servers * Pairing.point_bytes prms)

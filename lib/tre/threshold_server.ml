@@ -58,6 +58,27 @@ let verify_partial prms system t partial =
            ~lhs:(Lazy.force prms.Pairing.g_prep, partial.value)
            ~rhs:(commitment_prep, Pairing.hash_to_g1 prms t)
 
+(* Share indices are small positive integers (Shamir evaluation points);
+   bound them on the wire so a forged partial cannot smuggle an absurd
+   index into the Lagrange combination. *)
+let max_partial_index = 0xFFFF
+
+let partial_to_bytes prms p =
+  if p.server_index <= 0 || p.server_index > max_partial_index then
+    invalid_arg "Threshold_server.partial_to_bytes: share index out of range";
+  Codec.encode prms Codec.Threshold_partial (fun buf ->
+      Codec.add_u32 buf p.server_index;
+      Codec.add_point prms buf p.value)
+
+let partial_of_bytes prms s =
+  Codec.decode prms Codec.Threshold_partial s (fun r ->
+      let server_index =
+        Codec.read_u32 ~what:"share index" ~max:max_partial_index r
+      in
+      if server_index = 0 then Codec.fail "share index must be positive";
+      let value = Codec.read_point ~what:"partial value" prms r in
+      { server_index; value })
+
 let combine prms system t partials =
   if List.length partials < system.k then
     invalid_arg "Threshold_server.combine: fewer than k partials";

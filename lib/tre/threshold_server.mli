@@ -43,6 +43,14 @@ val issue_partial : Pairing.params -> share_server -> Tre.time -> partial
 val verify_partial : Pairing.params -> system -> Tre.time -> partial -> bool
 (** e^(G, sigma_i) = e^(s_i G, H1(T)) — catches corrupt share-servers. *)
 
+val partial_to_bytes : Pairing.params -> partial -> string
+val partial_of_bytes : Pairing.params -> string -> (partial, string) result
+(** Strict {!Codec} envelope (kind [THRESHOLD PARTIAL]) so partials can
+    travel from share-servers to the combiner; the index is bounded on the
+    wire, and the point may be the identity only in its canonical form
+    (a zero share commitment never verifies anyway). Never raises on
+    decode. *)
+
 val combine : Pairing.params -> system -> Tre.time -> partial list -> Tre.update
 (** Lagrange-combine exactly k (or more) verified partials into the
     standard update. Raises [Invalid_argument] with fewer than k partials

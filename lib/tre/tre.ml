@@ -265,99 +265,58 @@ end
 
 (* --- serialization ---
 
-   Wire framing: a 4-byte big-endian length prefix for the variable-length
-   time label; points use the curve's compressed encoding. Infinity points
-   are rejected on decode wherever the scheme forbids them. *)
-
-let u32_to_bytes n =
-  String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xFF))
-
-let u32_of_bytes s off =
-  (Char.code s.[off] lsl 24)
-  lor (Char.code s.[off + 1] lsl 16)
-  lor (Char.code s.[off + 2] lsl 8)
-  lor Char.code s.[off + 3]
-
-let point_to_padded prms pt =
-  (* Infinity encodes as 1 byte; pad to fixed width for framing. *)
-  let w = Pairing.point_bytes prms in
-  let raw = Curve.to_bytes prms.Pairing.curve pt in
-  if String.length raw = w then raw else raw ^ String.make (w - 1) '\x00'
-
-let point_of_padded prms s off =
-  let w = Pairing.point_bytes prms in
-  if off + w > String.length s then None
-  else if s.[off] = '\x00' then Some (Curve.infinity, off + w)
-  else begin
-    match Curve.of_bytes prms.Pairing.curve (String.sub s off w) with
-    | Some p -> Some (p, off + w)
-    | None -> None
-  end
+   Every object is a Codec envelope (magic, version, kind tag, params
+   fingerprint) followed by strict fields: length-prefixed variable
+   strings, fixed-width canonical compressed points. Decoders return
+   [Error diagnostic] instead of raising, accept exactly the canonical
+   encoding (any accepted byte string re-encodes bit-identically), and
+   reject cross-kind or cross-parameter material on the envelope before
+   any curve arithmetic. *)
 
 let ciphertext_to_bytes prms ct =
-  u32_to_bytes (String.length ct.release_time)
-  ^ ct.release_time ^ point_to_padded prms ct.u ^ ct.v
+  Codec.encode prms Codec.Ciphertext (fun buf ->
+      Codec.add_label buf ct.release_time;
+      Codec.add_point prms buf ct.u;
+      Codec.add_var buf ct.v)
 
 let ciphertext_of_bytes prms s =
-  if String.length s < 4 then None
-  else begin
-    let tlen = u32_of_bytes s 0 in
-    if String.length s < 4 + tlen + Pairing.point_bytes prms then None
-    else begin
-      let release_time = String.sub s 4 tlen in
-      match point_of_padded prms s (4 + tlen) with
-      | Some (u, off) when Pairing.in_g1 prms u && not (Curve.is_infinity u) ->
-          Some { u; v = String.sub s off (String.length s - off); release_time }
-      | Some _ | None -> None
-    end
-  end
+  Codec.decode prms Codec.Ciphertext s (fun r ->
+      let release_time = Codec.read_label ~what:"release time" r in
+      let u = Codec.read_g1 ~what:"U" prms r in
+      let v = Codec.read_var ~what:"V" r in
+      { u; v; release_time })
 
 let update_to_bytes prms upd =
-  u32_to_bytes (String.length upd.update_time)
-  ^ upd.update_time ^ point_to_padded prms upd.update_value
+  Codec.encode prms Codec.Key_update (fun buf ->
+      Codec.add_label buf upd.update_time;
+      Codec.add_point prms buf upd.update_value)
 
 let update_of_bytes prms s =
-  if String.length s < 4 then None
-  else begin
-    let tlen = u32_of_bytes s 0 in
-    if String.length s <> 4 + tlen + Pairing.point_bytes prms then None
-    else begin
-      let update_time = String.sub s 4 tlen in
-      match point_of_padded prms s (4 + tlen) with
-      | Some (v, _) when Pairing.in_g1 prms v && not (Curve.is_infinity v) ->
-          Some { update_time; update_value = v }
-      | Some _ | None -> None
-    end
-  end
-
-let two_points_to_bytes prms a b =
-  point_to_padded prms a ^ point_to_padded prms b
-
-let two_points_of_bytes prms s =
-  if String.length s <> 2 * Pairing.point_bytes prms then None
-  else begin
-    match point_of_padded prms s 0 with
-    | None -> None
-    | Some (a, off) -> (
-        match point_of_padded prms s off with
-        | Some (b, _)
-          when Pairing.in_g1 prms a && Pairing.in_g1 prms b
-               && (not (Curve.is_infinity a))
-               && not (Curve.is_infinity b) ->
-            Some (a, b)
-        | Some _ | None -> None)
-  end
+  Codec.decode prms Codec.Key_update s (fun r ->
+      let update_time = Codec.read_label ~what:"update time" r in
+      let update_value = Codec.read_g1 ~what:"update value" prms r in
+      { update_time; update_value })
 
 let user_public_to_bytes prms (pk : User.public) =
-  two_points_to_bytes prms pk.User.ag pk.User.asg
+  Codec.encode prms Codec.User_public (fun buf ->
+      Codec.add_point prms buf pk.User.ag;
+      Codec.add_point prms buf pk.User.asg)
 
 let user_public_of_bytes prms s =
-  Option.map (fun (ag, asg) -> { User.ag; asg }) (two_points_of_bytes prms s)
+  Codec.decode prms Codec.User_public s (fun r ->
+      let ag = Codec.read_g1 ~what:"aG" prms r in
+      let asg = Codec.read_g1 ~what:"asG" prms r in
+      { User.ag; asg })
 
 let server_public_to_bytes prms (pk : Server.public) =
-  two_points_to_bytes prms pk.Server.g pk.Server.sg
+  Codec.encode prms Codec.Server_public (fun buf ->
+      Codec.add_point prms buf pk.Server.g;
+      Codec.add_point prms buf pk.Server.sg)
 
 let server_public_of_bytes prms s =
-  Option.map (fun (g, sg) -> { Server.g; sg }) (two_points_of_bytes prms s)
+  Codec.decode prms Codec.Server_public s (fun r ->
+      let g = Codec.read_g1 ~what:"G" prms r in
+      let sg = Codec.read_g1 ~what:"sG" prms r in
+      { Server.g; sg })
 
-let ciphertext_overhead prms = 4 + Pairing.point_bytes prms
+let ciphertext_overhead prms = Codec.header_bytes + 8 + Pairing.point_bytes prms

@@ -211,16 +211,20 @@ val decrypt_batch :
     across domains. Raises {!Update_mismatch} on the first mismatched
     pair, as the serial path would. *)
 
-(** {1 Serialization} — fixed wire format for the examples and CLI. *)
+(** {1 Serialization} — strict {!Codec} envelopes (magic, version, kind
+    tag, params fingerprint) with canonical bodies. Decoders return
+    [Error diagnostic] on any malformed, non-canonical, cross-kind or
+    cross-parameter-set input; they never raise. Every accepted byte
+    string re-encodes bit-identically. *)
 
 val ciphertext_to_bytes : Pairing.params -> ciphertext -> string
-val ciphertext_of_bytes : Pairing.params -> string -> ciphertext option
+val ciphertext_of_bytes : Pairing.params -> string -> (ciphertext, string) result
 val update_to_bytes : Pairing.params -> update -> string
-val update_of_bytes : Pairing.params -> string -> update option
+val update_of_bytes : Pairing.params -> string -> (update, string) result
 val user_public_to_bytes : Pairing.params -> User.public -> string
-val user_public_of_bytes : Pairing.params -> string -> User.public option
+val user_public_of_bytes : Pairing.params -> string -> (User.public, string) result
 val server_public_to_bytes : Pairing.params -> Server.public -> string
-val server_public_of_bytes : Pairing.params -> string -> Server.public option
+val server_public_of_bytes : Pairing.params -> string -> (Server.public, string) result
 
 (** {1 Cost accounting}
 
@@ -229,8 +233,9 @@ val server_public_of_bytes : Pairing.params -> string -> Server.public option
     compared structurally (E1/E2 in DESIGN.md). *)
 
 val ciphertext_overhead : Pairing.params -> int
-(** Ciphertext bytes beyond the plaintext length: one compressed point
-    plus framing (the variable-length time label is extra). *)
+(** Ciphertext bytes beyond the plaintext length: the codec envelope,
+    one compressed point and two length prefixes (the variable-length
+    time label is extra). *)
 
 (**/**)
 

@@ -9,10 +9,12 @@ type ciphertext = {
 
 let seed_bytes = 32
 
-(* H3: derive the encryption scalar from (seed, message, time). *)
+(* H3: derive the encryption scalar from (seed, message, time). Every
+   field is length-prefixed: bare concatenation would let (T="A", m="Bx")
+   and (T="AB", m="x") hash identically and derive the same scalar. *)
 let h3 prms ~seed ~msg ~release_time =
   Tre.scalar_of_seed prms
-    (Printf.sprintf "TRE-FO-H3|%d|%s%s%s" (String.length seed) seed release_time msg)
+    (Codec.hash_input ~domain:"TRE-FO-H3" [ seed; release_time; msg ])
 
 (* H4: the data-encapsulation mask. *)
 let h4 seed n = Hashing.Kdf.mask ("TRE-FO-H4|" ^ seed) n
@@ -55,19 +57,20 @@ let decrypt prms (srv : Tre.Server.public) (pk : Tre.User.public) a upd ct =
   msg
 
 let ciphertext_to_bytes prms ct =
-  Tre.ciphertext_to_bytes prms
-    { Tre.u = ct.u; v = ct.v ^ ct.w; release_time = ct.release_time }
+  if String.length ct.v <> seed_bytes then
+    invalid_arg "Tre_fo.ciphertext_to_bytes: V must be exactly seed_bytes wide";
+  Codec.encode prms Codec.Ciphertext_fo (fun buf ->
+      Codec.add_label buf ct.release_time;
+      Codec.add_point prms buf ct.u;
+      Codec.add_fixed buf ct.v;
+      Codec.add_var buf ct.w)
 
 let ciphertext_of_bytes prms s =
-  match Tre.ciphertext_of_bytes prms s with
-  | Some base when String.length base.Tre.v >= seed_bytes ->
-      Some
-        {
-          u = base.Tre.u;
-          v = String.sub base.Tre.v 0 seed_bytes;
-          w = String.sub base.Tre.v seed_bytes (String.length base.Tre.v - seed_bytes);
-          release_time = base.Tre.release_time;
-        }
-  | Some _ | None -> None
+  Codec.decode prms Codec.Ciphertext_fo s (fun r ->
+      let release_time = Codec.read_label ~what:"release time" r in
+      let u = Codec.read_g1 ~what:"U" prms r in
+      let v = Codec.read_fixed ~what:"V (committed seed)" r seed_bytes in
+      let w = Codec.read_var ~what:"W" r in
+      { u; v; w; release_time })
 
 let ciphertext_overhead prms = Tre.ciphertext_overhead prms + seed_bytes

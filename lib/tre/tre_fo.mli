@@ -41,7 +41,19 @@ val decrypt :
     re-encryption check. *)
 
 val ciphertext_to_bytes : Pairing.params -> ciphertext -> string
-val ciphertext_of_bytes : Pairing.params -> string -> ciphertext option
+val ciphertext_of_bytes : Pairing.params -> string -> (ciphertext, string) result
+(** Strict {!Codec} envelope (kind [CIPHERTEXT FO]); the decoder enforces
+    [V] to be exactly the committed-seed width and accepts only the
+    canonical encoding. Never raises. *)
 
 val ciphertext_overhead : Pairing.params -> int
-(** Bytes beyond the plaintext: point + 32-byte committed seed + framing. *)
+(** Bytes beyond the plaintext: envelope + point + 32-byte committed seed
+    + framing. *)
+
+(**/**)
+
+val h3 :
+  Pairing.params -> seed:string -> msg:string -> release_time:Tre.time -> Bigint.t
+(** Internal: the FO scalar derivation, exposed for the domain-separation
+    regression tests. Every variable-length field is length-prefixed, so
+    distinct (seed, T, M) triples give distinct hash inputs. *)

@@ -13,9 +13,14 @@ let tag_bytes = 32
 
 let mask_g r n = Hashing.Kdf.mask ("TRE-REACT-G|" ^ r) n
 
+(* Every field is length-prefixed: bare concatenation would let bytes
+   shift between [msg] and its neighbours across the fixed-width middle
+   fields without changing the hash input. *)
 let tag_h ~r ~msg ~u_bytes ~c1 ~c2 =
   Hashing.Sha256.digest_concat
-    [ "TRE-REACT-H|"; r; msg; u_bytes; c1; c2 ]
+    (Codec.length_prefixed ~domain:"TRE-REACT-H" [ r; msg; u_bytes; c1; c2 ])
+
+let tag = tag_h
 
 let encrypt prms (srv : Tre.Server.public) pk ~release_time rng msg =
   if not (Tre.validate_receiver_key prms srv pk) then raise Tre.Invalid_receiver_key;
@@ -50,21 +55,24 @@ let decrypt prms a upd ct =
   msg
 
 let ciphertext_to_bytes prms ct =
-  Tre.ciphertext_to_bytes prms
-    { Tre.u = ct.u; v = ct.c1 ^ ct.tag ^ ct.c2; release_time = ct.release_time }
+  if String.length ct.c1 <> r_bytes then
+    invalid_arg "Tre_react.ciphertext_to_bytes: C1 must be exactly r_bytes wide";
+  if String.length ct.tag <> tag_bytes then
+    invalid_arg "Tre_react.ciphertext_to_bytes: tag must be exactly tag_bytes wide";
+  Codec.encode prms Codec.Ciphertext_react (fun buf ->
+      Codec.add_label buf ct.release_time;
+      Codec.add_point prms buf ct.u;
+      Codec.add_fixed buf ct.c1;
+      Codec.add_fixed buf ct.tag;
+      Codec.add_var buf ct.c2)
 
 let ciphertext_of_bytes prms s =
-  match Tre.ciphertext_of_bytes prms s with
-  | Some base when String.length base.Tre.v >= r_bytes + tag_bytes ->
-      let v = base.Tre.v in
-      Some
-        {
-          u = base.Tre.u;
-          c1 = String.sub v 0 r_bytes;
-          tag = String.sub v r_bytes tag_bytes;
-          c2 = String.sub v (r_bytes + tag_bytes) (String.length v - r_bytes - tag_bytes);
-          release_time = base.Tre.release_time;
-        }
-  | Some _ | None -> None
+  Codec.decode prms Codec.Ciphertext_react s (fun r ->
+      let release_time = Codec.read_label ~what:"release time" r in
+      let u = Codec.read_g1 ~what:"U" prms r in
+      let c1 = Codec.read_fixed ~what:"C1" r r_bytes in
+      let tag = Codec.read_fixed ~what:"tag" r tag_bytes in
+      let c2 = Codec.read_var ~what:"C2" r in
+      { u; c1; c2; tag; release_time })
 
 let ciphertext_overhead prms = Tre.ciphertext_overhead prms + r_bytes + tag_bytes

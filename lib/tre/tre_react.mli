@@ -34,5 +34,18 @@ val decrypt :
     REACT validates with the tag, not by re-encryption. *)
 
 val ciphertext_to_bytes : Pairing.params -> ciphertext -> string
-val ciphertext_of_bytes : Pairing.params -> string -> ciphertext option
+val ciphertext_of_bytes : Pairing.params -> string -> (ciphertext, string) result
+(** Strict {!Codec} envelope (kind [CIPHERTEXT REACT]); [C1] and [tag]
+    widths are enforced and only the canonical encoding is accepted.
+    Never raises. *)
+
 val ciphertext_overhead : Pairing.params -> int
+
+(**/**)
+
+val tag :
+  r:string -> msg:string -> u_bytes:string -> c1:string -> c2:string -> string
+(** Internal: the REACT integrity tag H(R, M, U, C1, C2), exposed for the
+    domain-separation regression tests. Every field is length-prefixed,
+    so distinct field tuples give distinct hash inputs even when their
+    concatenations coincide. *)

@@ -80,12 +80,68 @@ let prop_armor_roundtrip =
       Armor.unwrap (Armor.wrap ~kind:"BLOB" ~params:"toy64" payload)
       = Some ("BLOB", "toy64", payload))
 
+(* --- typed armor over Codec envelopes --- *)
+
+let obj_prms = Pairing.toy64 ()
+let obj_rng = Hashing.Drbg.create ~seed:"typed-armor" ()
+let obj_srv_sec, _obj_srv_pub = Tre.Server.keygen obj_prms obj_rng
+let obj_upd = Tre.issue_update obj_prms obj_srv_sec "typed-epoch"
+let obj_payload = Tre.update_to_bytes obj_prms obj_upd
+
+let test_typed_armor_roundtrip () =
+  let armored = Armor.wrap_object obj_prms ~kind:Codec.Key_update obj_payload in
+  match Armor.unwrap_object ~expect:Codec.Key_update armored with
+  | Error e -> Alcotest.fail e
+  | Ok (kind, prms', payload) ->
+      Alcotest.(check bool) "kind" true (kind = Codec.Key_update);
+      Alcotest.(check string) "params" obj_prms.Pairing.name prms'.Pairing.name;
+      Alcotest.(check string) "payload intact" obj_payload payload
+
+let test_typed_armor_crlf_input () =
+  (* Armor that traveled through a CRLF channel (mail, Windows editors)
+     still unwraps, and the payload survives bit-exactly. *)
+  let armored = Armor.wrap_object obj_prms ~kind:Codec.Key_update obj_payload in
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' armored)
+  in
+  match Armor.unwrap_object ~expect:Codec.Key_update crlf with
+  | Error e -> Alcotest.fail e
+  | Ok (_, _, payload) -> Alcotest.(check string) "payload intact" obj_payload payload
+
+let test_typed_armor_relabel_rejected () =
+  (* Swap the armor header labels of an intact payload: the binary
+     envelope disagrees and unwrap_object must refuse. *)
+  let relabeled = Armor.wrap ~kind:"EPOCH KEY" ~params:"toy64" obj_payload in
+  (match Armor.unwrap_object relabeled with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "relabeled kind accepted");
+  let cross_params = Armor.wrap ~kind:"KEY UPDATE" ~params:"mid128" obj_payload in
+  (match Armor.unwrap_object cross_params with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cross-params armor accepted");
+  (* And wrap_object itself refuses to produce mislabeled armor. *)
+  (match Armor.wrap_object obj_prms ~kind:Codec.Epoch_key obj_payload with
+  | _ -> Alcotest.fail "wrap_object produced mislabeled armor"
+  | exception Invalid_argument _ -> ());
+  match Armor.wrap_object (Pairing.mid128 ()) ~kind:Codec.Key_update obj_payload with
+  | _ -> Alcotest.fail "wrap_object accepted cross-params payload"
+  | exception Invalid_argument _ -> ()
+
+let test_typed_armor_expect_mismatch () =
+  let armored = Armor.wrap_object obj_prms ~kind:Codec.Key_update obj_payload in
+  match Armor.unwrap_object ~expect:Codec.Ciphertext armored with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expect mismatch accepted"
+
 (* --- golden wire-format vectors ---
 
    These pin the binary serialization: if an innocent refactor changes the
    wire format, ciphertexts written by older builds would stop decrypting,
    and these tests catch it. Fixed DRBG seeds make everything bit-stable. *)
 
+(* Vectors for wire format v1 (the Codec envelope "TRE1" | version | kind
+   | params fingerprint, then the strict body). These deliberately changed
+   when the envelope was introduced — pre-envelope bytes do not decode. *)
 let test_golden_vectors () =
   let prms = Pairing.toy64 () in
   let rng = Hashing.Drbg.create ~seed:"golden-vector-seed" () in
@@ -94,16 +150,16 @@ let test_golden_vectors () =
   let upd = Tre.issue_update prms srv_sec "golden-time" in
   let ct = Tre.encrypt prms srv_pub usr_pub ~release_time:"golden-time" rng "golden" in
   Alcotest.(check string) "server public"
-    "03355221a628ccd8881e66c702505c697a99b6f528d6a745"
+    "545245310108ed86aed42acfd1be03355221a628ccd8881e66c702505c697a99b6f528d6a745"
     (Hashing.Hex.encode (Tre.server_public_to_bytes prms srv_pub));
   Alcotest.(check string) "user public"
-    "032255d4080b584fb58930370208b8a34f08c64506c2f027"
+    "545245310107ed86aed42acfd1be032255d4080b584fb58930370208b8a34f08c64506c2f027"
     (Hashing.Hex.encode (Tre.user_public_to_bytes prms usr_pub));
   Alcotest.(check string) "update"
-    "0000000b676f6c64656e2d74696d650362e5960b0d61cd7e8122c8"
+    "545245310106ed86aed42acfd1be0000000b676f6c64656e2d74696d650362e5960b0d61cd7e8122c8"
     (Hashing.Hex.encode (Tre.update_to_bytes prms upd));
   Alcotest.(check string) "ciphertext"
-    "0000000b676f6c64656e2d74696d650268104275bba910bd9dce8eb7ca83321578"
+    "545245310101ed86aed42acfd1be0000000b676f6c64656e2d74696d650268104275bba910bd9dce8e00000006b7ca83321578"
     (Hashing.Hex.encode (Tre.ciphertext_to_bytes prms ct))
 
 let () =
@@ -126,5 +182,12 @@ let () =
           Alcotest.test_case "expecting" `Quick test_armor_expecting;
         ]
         @ qc [ prop_armor_roundtrip ] );
+      ( "typed-armor",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_typed_armor_roundtrip;
+          Alcotest.test_case "CRLF input" `Quick test_typed_armor_crlf_input;
+          Alcotest.test_case "relabel rejected" `Quick test_typed_armor_relabel_rejected;
+          Alcotest.test_case "expect mismatch" `Quick test_typed_armor_expect_mismatch;
+        ] );
       ("golden", [ Alcotest.test_case "wire format pinned" `Quick test_golden_vectors ]);
     ]

@@ -106,19 +106,21 @@ let test_signature_codec () =
   Alcotest.(check int) "short signature width" (Bls.signature_bytes prms)
     (String.length bytes);
   (match Bls.signature_of_bytes prms bytes with
-  | Some s' -> Alcotest.(check bool) "roundtrip" true (Curve.equal s s')
-  | None -> Alcotest.fail "decode failed");
+  | Ok s' -> Alcotest.(check bool) "roundtrip" true (Curve.equal s s')
+  | Error e -> Alcotest.fail ("decode failed: " ^ e));
   Alcotest.(check bool) "garbage rejected" true
-    (Bls.signature_of_bytes prms (String.make (Bls.signature_bytes prms) '\xff') = None)
+    (Result.is_error
+       (Bls.signature_of_bytes prms (String.make (Bls.signature_bytes prms) '\xff')))
 
 let test_public_codec () =
   let bytes = Bls.public_to_bytes prms pk in
   (match Bls.public_of_bytes prms bytes with
-  | Some pk' ->
+  | Ok pk' ->
       Alcotest.(check bool) "roundtrip" true
         (Curve.equal pk.Bls.g pk'.Bls.g && Curve.equal pk.Bls.pk pk'.Bls.pk)
-  | None -> Alcotest.fail "decode failed");
-  Alcotest.(check bool) "truncated rejected" true (Bls.public_of_bytes prms "xx" = None)
+  | Error e -> Alcotest.fail ("decode failed: " ^ e));
+  Alcotest.(check bool) "truncated rejected" true
+    (Result.is_error (Bls.public_of_bytes prms "xx"))
 
 let prop_sign_verify =
   QCheck2.Test.make ~name:"sign/verify roundtrip" ~count:20

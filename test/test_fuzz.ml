@@ -23,8 +23,8 @@ let test_ciphertext_corruption () =
   for pos = 0 to String.length wire - 1 do
     let corrupted = flip_byte wire pos (pos mod 8) in
     match Tre.ciphertext_of_bytes prms corrupted with
-    | None -> () (* rejected: fine *)
-    | Some ct' -> (
+    | Error _ -> () (* rejected: fine *)
+    | Ok ct' -> (
         (* decodes: decryption must not produce the original message
            unless the flip only touched V in a position past... actually
            any accepted single-bit change must change the plaintext. *)
@@ -40,8 +40,8 @@ let test_fo_corruption_never_silently_wrong () =
   for pos = 0 to String.length wire - 1 do
     let corrupted = flip_byte wire pos (pos mod 8) in
     match Tre_fo.ciphertext_of_bytes prms corrupted with
-    | None -> ()
-    | Some ct' -> (
+    | Error _ -> ()
+    | Ok ct' -> (
         match Tre_fo.decrypt prms srv_pub alice_pub alice_sec upd ct' with
         | _ -> Alcotest.fail (Printf.sprintf "CCA accepted a flip at %d" pos)
         | exception (Tre_fo.Decryption_failed | Tre.Update_mismatch) -> ())
@@ -52,8 +52,8 @@ let test_update_corruption () =
   for pos = 0 to String.length wire - 1 do
     let corrupted = flip_byte wire pos (pos mod 8) in
     match Tre.update_of_bytes prms corrupted with
-    | None -> ()
-    | Some upd' ->
+    | Error _ -> ()
+    | Ok upd' ->
         if Tre.verify_update prms srv_pub upd' then
           Alcotest.fail (Printf.sprintf "corrupted update verified (flip at %d)" pos)
   done
@@ -85,11 +85,11 @@ let test_cross_parameter_rejection () =
       (Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng "cross")
   in
   Alcotest.(check bool) "toy64 ct under mid128" true
-    (Tre.ciphertext_of_bytes mid ct_wire = None);
+    (Result.is_error (Tre.ciphertext_of_bytes mid ct_wire));
   Alcotest.(check bool) "toy64 update under mid128" true
-    (Tre.update_of_bytes mid (Tre.update_to_bytes prms upd) = None);
+    (Result.is_error (Tre.update_of_bytes mid (Tre.update_to_bytes prms upd)));
   Alcotest.(check bool) "toy64 user key under mid128" true
-    (Tre.user_public_of_bytes mid (Tre.user_public_to_bytes prms alice_pub) = None)
+    (Result.is_error (Tre.user_public_of_bytes mid (Tre.user_public_to_bytes prms alice_pub)))
 
 let test_random_garbage_decoding () =
   let grng = Hashing.Drbg.create ~seed:"garbage" () in
@@ -122,14 +122,19 @@ let test_out_of_subgroup_points_rejected () =
     | _ -> find_outside (x + 1)
   in
   let outside = find_outside 2 in
-  let enc = Curve.to_bytes curve outside in
-  Alcotest.(check bool) "bls signature decoder" true (Bls.signature_of_bytes prms enc = None);
+  let sig_framed =
+    Codec.encode prms Codec.Bls_signature (fun buf -> Codec.add_point prms buf outside)
+  in
+  Alcotest.(check bool) "bls signature decoder" true
+    (Result.is_error (Bls.signature_of_bytes prms sig_framed));
   (* Update decoder: embed in the update framing. *)
   let framed =
-    let lbl = "x" in
-    String.init 4 (fun i -> if i = 3 then '\x01' else '\x00') ^ lbl ^ enc
+    Codec.encode prms Codec.Key_update (fun buf ->
+        Codec.add_label buf "x";
+        Codec.add_point prms buf outside)
   in
-  Alcotest.(check bool) "update decoder" true (Tre.update_of_bytes prms framed = None)
+  Alcotest.(check bool) "update decoder" true
+    (Result.is_error (Tre.update_of_bytes prms framed))
 
 let () =
   Alcotest.run "fuzz"

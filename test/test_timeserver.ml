@@ -42,6 +42,29 @@ let test_event_queue_interleaved () =
   Alcotest.(check int) "all delivered" 100 !count;
   Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
 
+(* Regression for a space leak: [pop] used to leave the vacated heap slot
+   pointing at the last entry, so a drained queue kept every delivered
+   payload reachable until the slot was overwritten. The fix blanks the
+   slot; a weak pointer observes that the payload really becomes
+   collectable. *)
+let test_event_queue_drops_payload_refs () =
+  let q = Event_queue.create () in
+  let w = Weak.create 1 in
+  (* Allocate the payload inside a function so no local keeps it alive. *)
+  let push_one () =
+    let payload = Bytes.make 64 'p' in
+    Weak.set w 0 (Some payload);
+    Event_queue.push q ~at:1.0 payload
+  in
+  push_one ();
+  (match Event_queue.pop q with
+  | Some (_, p) -> ignore (Sys.opaque_identity p)
+  | None -> Alcotest.fail "queue should pop");
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "payload collected after drain" false (Weak.check w 0)
+
 (* --- simnet --- *)
 
 let test_simnet_delivery_and_clock () =
@@ -275,6 +298,7 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_event_queue_ordering;
           Alcotest.test_case "interleaved" `Quick test_event_queue_interleaved;
+          Alcotest.test_case "no payload retention" `Quick test_event_queue_drops_payload_refs;
         ] );
       ( "simnet",
         [

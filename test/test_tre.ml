@@ -161,41 +161,82 @@ let test_ciphertext_codec () =
   let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
   let bytes = Tre.ciphertext_to_bytes prms ct in
   (match Tre.ciphertext_of_bytes prms bytes with
-  | None -> Alcotest.fail "decode failed"
-  | Some ct' ->
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok ct' ->
       Alcotest.(check bool) "roundtrip" true
         (Curve.equal ct.Tre.u ct'.Tre.u && ct.Tre.v = ct'.Tre.v
         && ct.Tre.release_time = ct'.Tre.release_time);
       let upd = Tre.issue_update prms srv_sec t_release in
       Alcotest.(check string) "decrypts after roundtrip" msg
         (Tre.decrypt prms alice_sec upd ct'));
-  Alcotest.(check bool) "truncated" true (Tre.ciphertext_of_bytes prms "ab" = None);
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Tre.ciphertext_of_bytes prms "ab"));
   Alcotest.(check int) "overhead accounting" (Tre.ciphertext_overhead prms)
     (String.length bytes - String.length msg - String.length t_release)
 
 let test_update_codec () =
   let upd = Tre.issue_update prms srv_sec t_release in
   (match Tre.update_of_bytes prms (Tre.update_to_bytes prms upd) with
-  | Some u ->
+  | Ok u ->
       Alcotest.(check bool) "roundtrip" true
         (u.Tre.update_time = upd.Tre.update_time
         && Curve.equal u.Tre.update_value upd.Tre.update_value)
-  | None -> Alcotest.fail "decode failed");
-  Alcotest.(check bool) "garbage" true (Tre.update_of_bytes prms "zz" = None)
+  | Error e -> Alcotest.fail ("decode failed: " ^ e));
+  Alcotest.(check bool) "garbage" true
+    (Result.is_error (Tre.update_of_bytes prms "zz"))
 
 let test_key_codecs () =
   (match Tre.user_public_of_bytes prms (Tre.user_public_to_bytes prms alice_pub) with
-  | Some pk ->
+  | Ok pk ->
       Alcotest.(check bool) "user roundtrip" true
         (Curve.equal pk.Tre.User.ag alice_pub.Tre.User.ag
         && Curve.equal pk.Tre.User.asg alice_pub.Tre.User.asg)
-  | None -> Alcotest.fail "user decode failed");
+  | Error e -> Alcotest.fail ("user decode failed: " ^ e));
   match Tre.server_public_of_bytes prms (Tre.server_public_to_bytes prms srv_pub) with
-  | Some pk ->
+  | Ok pk ->
       Alcotest.(check bool) "server roundtrip" true
         (Curve.equal pk.Tre.Server.g srv_pub.Tre.Server.g
         && Curve.equal pk.Tre.Server.sg srv_pub.Tre.Server.sg)
-  | None -> Alcotest.fail "server decode failed"
+  | Error e -> Alcotest.fail ("server decode failed: " ^ e)
+
+let test_serialization_edge_cases () =
+  (* Degenerate but legal values must round-trip, and absurd framing must
+     be rejected — on every parameter set (the envelope fingerprint and
+     point widths differ per set). *)
+  List.iter
+    (fun name ->
+      match Pairing.by_name name with
+      | None -> Alcotest.fail ("unknown parameter set " ^ name)
+      | Some p ->
+          let lrng = Hashing.Drbg.create ~seed:("edge|" ^ name) () in
+          let ssec, spub = Tre.Server.keygen p lrng in
+          let asec, apub = Tre.User.keygen p spub lrng in
+          (* Empty message AND empty time label. *)
+          let ct = Tre.encrypt p spub apub ~release_time:"" lrng "" in
+          let wire = Tre.ciphertext_to_bytes p ct in
+          (match Tre.ciphertext_of_bytes p wire with
+          | Error e -> Alcotest.fail (name ^ ": empty-value decode failed: " ^ e)
+          | Ok ct' ->
+              let upd = Tre.issue_update p ssec "" in
+              Alcotest.(check string) (name ^ " empty roundtrip") ""
+                (Tre.decrypt p asec upd ct'));
+          (* A label length far beyond the bound dies on the length field,
+             not by attempting a giant allocation. *)
+          let oversized =
+            Codec.encode p Codec.Ciphertext (fun buf ->
+                Codec.add_u32 buf 0x0FFF_FFFF;
+                Codec.add_fixed buf "nowhere near that long")
+          in
+          Alcotest.(check bool) (name ^ " oversized tlen") true
+            (Result.is_error (Tre.ciphertext_of_bytes p oversized));
+          (* A longer-than-bound label is refused at encode time too. *)
+          (match
+             Codec.encode p Codec.Ciphertext (fun buf ->
+                 Codec.add_label buf (String.make (Codec.max_label_bytes + 1) 't'))
+           with
+          | _ -> Alcotest.fail (name ^ ": oversized label encoded")
+          | exception Invalid_argument _ -> ()))
+    [ "toy64"; "toy64b"; "mid128"; "mid128b"; "std160" ]
 
 let test_missed_update_still_works () =
   (* §3/§6: updates are not consumed; a late receiver decrypts with the
@@ -270,6 +311,7 @@ let () =
           Alcotest.test_case "ciphertext" `Quick test_ciphertext_codec;
           Alcotest.test_case "update" `Quick test_update_codec;
           Alcotest.test_case "keys" `Quick test_key_codecs;
+          Alcotest.test_case "edge cases, all params" `Quick test_serialization_edge_cases;
         ] );
       ("properties", qc [ prop_roundtrip_random; prop_ciphertexts_randomized ]);
     ]

@@ -50,10 +50,26 @@ let test_fo_codec () =
   let msg = "fo serialization" in
   let ct = Tre_fo.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
   match Tre_fo.ciphertext_of_bytes prms (Tre_fo.ciphertext_to_bytes prms ct) with
-  | None -> Alcotest.fail "decode failed"
-  | Some ct' ->
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok ct' ->
       Alcotest.(check string) "decrypts" msg
         (Tre_fo.decrypt prms srv_pub alice_pub alice_sec upd ct')
+
+let test_fo_h3_domain_separation () =
+  (* Regression: H3 used to hash seed || T || M by bare concatenation, so
+     (T="A", m="Bx") and (T="AB", m="x") derived the same scalar (and
+     hence the same U) from the same seed. *)
+  let seed = String.make 32 's' in
+  let r1 = Tre_fo.h3 prms ~seed ~msg:"Bx" ~release_time:"A" in
+  let r2 = Tre_fo.h3 prms ~seed ~msg:"x" ~release_time:"AB" in
+  Alcotest.(check bool) "shifted boundary, distinct scalars" false (B.equal r1 r2);
+  (* And through the full scheme: identical DRBG streams, colliding
+     concatenations, distinct U points. *)
+  let rng1 = Hashing.Drbg.create ~seed:"fo-collide" () in
+  let rng2 = Hashing.Drbg.create ~seed:"fo-collide" () in
+  let ct1 = Tre_fo.encrypt prms srv_pub alice_pub ~release_time:"A" rng1 "Bx" in
+  let ct2 = Tre_fo.encrypt prms srv_pub alice_pub ~release_time:"AB" rng2 "x" in
+  Alcotest.(check bool) "distinct U" false (Curve.equal ct1.Tre_fo.u ct2.Tre_fo.u)
 
 (* --- REACT --- *)
 
@@ -80,9 +96,44 @@ let test_react_codec () =
   let msg = "react serialization" in
   let ct = Tre_react.encrypt prms srv_pub alice_pub ~release_time:t_release rng msg in
   match Tre_react.ciphertext_of_bytes prms (Tre_react.ciphertext_to_bytes prms ct) with
-  | None -> Alcotest.fail "decode failed"
-  | Some ct' ->
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok ct' ->
       Alcotest.(check string) "decrypts" msg (Tre_react.decrypt prms alice_sec upd ct')
+
+let test_react_tag_domain_separation () =
+  (* Regression: the tag used to hash r || msg || u_bytes || c1 || c2 by
+     bare concatenation, so shifting bytes between msg and u_bytes kept
+     the tag unchanged. *)
+  let r = String.make 32 'r' and c1 = String.make 32 '1' and c2 = "cc" in
+  let t1 = Tre_react.tag ~r ~msg:"AB" ~u_bytes:"cd" ~c1 ~c2 in
+  let t2 = Tre_react.tag ~r ~msg:"A" ~u_bytes:"Bcd" ~c1 ~c2 in
+  Alcotest.(check bool) "shifted boundary, distinct tags" false (t1 = t2)
+
+let test_short_fixed_fields_rejected () =
+  (* Fixed-width fields (FO's V, REACT's C1/tag) that are too short must be
+     refused at encode time, and crafted wires carrying them must fail to
+     decode rather than swallow neighbouring bytes. *)
+  let fo = Tre_fo.encrypt prms srv_pub alice_pub ~release_time:t_release rng "m" in
+  (match Tre_fo.ciphertext_to_bytes prms { fo with Tre_fo.v = "short" } with
+  | _ -> Alcotest.fail "FO short V encoded"
+  | exception Invalid_argument _ -> ());
+  let rc = Tre_react.encrypt prms srv_pub alice_pub ~release_time:t_release rng "m" in
+  (match Tre_react.ciphertext_to_bytes prms { rc with Tre_react.c1 = "short" } with
+  | _ -> Alcotest.fail "REACT short C1 encoded"
+  | exception Invalid_argument _ -> ());
+  (match Tre_react.ciphertext_to_bytes prms { rc with Tre_react.tag = "short" } with
+  | _ -> Alcotest.fail "REACT short tag encoded"
+  | exception Invalid_argument _ -> ());
+  (* Hand-built wire whose V field is 16 bytes instead of 32: the strict
+     reader runs out of input and reports an error. *)
+  let crafted =
+    Codec.encode prms Codec.Ciphertext_fo (fun buf ->
+        Codec.add_label buf t_release;
+        Codec.add_point prms buf fo.Tre_fo.u;
+        Codec.add_fixed buf (String.sub fo.Tre_fo.v 0 16))
+  in
+  Alcotest.(check bool) "crafted short V rejected" true
+    (Result.is_error (Tre_fo.ciphertext_of_bytes prms crafted))
 
 (* --- ID-TRE --- *)
 
@@ -171,6 +222,43 @@ let test_multi_server_validation () =
   Alcotest.check_raises "encrypt refuses" Multi_server.Invalid_receiver_key (fun () ->
       ignore (Multi_server.encrypt prms pubs bogus ~release_time:t_release rng "m"))
 
+let test_multi_server_codec () =
+  let servers = List.init 3 (fun _ -> Tre.Server.keygen prms rng) in
+  let secs = List.map fst servers and pubs = List.map snd servers in
+  let a, pk = Multi_server.receiver_keygen prms pubs rng in
+  let msg = "multi wire" in
+  let ct = Multi_server.encrypt prms pubs pk ~release_time:t_release rng msg in
+  (match
+     Multi_server.ciphertext_of_bytes prms (Multi_server.ciphertext_to_bytes prms ct)
+   with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok ct' ->
+      let updates = List.map (fun s -> Tre.issue_update prms s t_release) secs in
+      Alcotest.(check string) "decrypts" msg (Multi_server.decrypt prms a updates ct'));
+  match
+    Multi_server.receiver_public_of_bytes prms
+      (Multi_server.receiver_public_to_bytes prms pk)
+  with
+  | Error e -> Alcotest.fail ("receiver key decode failed: " ^ e)
+  | Ok pk' ->
+      Alcotest.(check bool) "receiver key roundtrip" true
+        (Curve.equal pk.Multi_server.ag pk'.Multi_server.ag
+        && Curve.equal pk.Multi_server.k_new pk'.Multi_server.k_new)
+
+let test_id_tre_codec () =
+  let msg = "id wire" in
+  let ct = Id_tre.encrypt prms id_pub bob_id ~release_time:t_release rng msg in
+  let wire = Id_tre.ciphertext_to_bytes prms ct in
+  (match Id_tre.ciphertext_of_bytes prms wire with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok ct' ->
+      let u = Id_tre.Server.issue_update prms id_sec t_release in
+      Alcotest.(check string) "decrypts" msg
+        (Id_tre.decrypt prms ~private_key:bob_key u ct'));
+  (* Cross-kind confusion dies on the envelope tag. *)
+  Alcotest.(check bool) "not a base ciphertext" true
+    (Result.is_error (Tre.ciphertext_of_bytes prms wire))
+
 (* --- Policy lock --- *)
 
 let test_policy_lock_single_condition () =
@@ -235,34 +323,36 @@ let test_key_insulation_exposure_contained () =
      the label forced. *)
   let ct_j = Tre.encrypt prms srv_pub alice_pub ~release_time:"epoch-j" rng "other epoch" in
   let ek_i = Key_insulation.derive prms alice_sec upd in
-  let forged =
-    match Key_insulation.of_bytes prms (Key_insulation.to_bytes prms ek_i) with
-    | Some k -> k
-    | None -> Alcotest.fail "codec failed"
-  in
-  (* Relabel K_i as epoch-j via serialization surgery. *)
-  let bytes = Key_insulation.to_bytes prms forged in
+  (* Relabel K_i as epoch-j via serialization surgery: keep the point,
+     rebuild the envelope with the other epoch label. *)
+  let bytes = Key_insulation.to_bytes prms ek_i in
+  let w = Pairing.point_bytes prms in
+  let point = String.sub bytes (String.length bytes - w) w in
   let relabeled =
-    (* time label length 20 is t_release's; rebuild with epoch-j label *)
-    let point = String.sub bytes (4 + String.length t_release)
-        (String.length bytes - 4 - String.length t_release) in
-    let lbl = "epoch-j" in
-    let len = String.length lbl in
-    String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xFF)) ^ lbl ^ point
+    Codec.encode prms Codec.Epoch_key (fun buf ->
+        Codec.add_label buf "epoch-j";
+        Codec.add_fixed buf point)
   in
   match Key_insulation.of_bytes prms relabeled with
-  | None -> Alcotest.fail "relabel decode failed"
-  | Some ek_forged ->
+  | Error e -> Alcotest.fail ("relabel decode failed: " ^ e)
+  | Ok ek_forged ->
       Alcotest.(check bool) "epoch-j not decryptable with K_i" false
         (Key_insulation.decrypt prms ek_forged ct_j = "other epoch")
 
 let test_key_insulation_codec () =
   let ek = Key_insulation.derive prms alice_sec upd in
-  match Key_insulation.of_bytes prms (Key_insulation.to_bytes prms ek) with
-  | Some ek' ->
+  (match Key_insulation.of_bytes prms (Key_insulation.to_bytes prms ek) with
+  | Ok ek' ->
       let ct = Tre.encrypt prms srv_pub alice_pub ~release_time:t_release rng "m" in
       Alcotest.(check string) "works after roundtrip" "m" (Key_insulation.decrypt prms ek' ct)
-  | None -> Alcotest.fail "decode failed"
+  | Error e -> Alcotest.fail ("decode failed: " ^ e));
+  (* An epoch key has its own wire kind: its bytes must NOT decode as a
+     key update (and vice versa), even though both are (label, point). *)
+  let ek_bytes = Key_insulation.to_bytes prms ek in
+  Alcotest.(check bool) "epoch key is not an update" true
+    (Result.is_error (Tre.update_of_bytes prms ek_bytes));
+  Alcotest.(check bool) "update is not an epoch key" true
+    (Result.is_error (Key_insulation.of_bytes prms (Tre.update_to_bytes prms upd)))
 
 (* --- Hybrid baseline --- *)
 
@@ -303,12 +393,15 @@ let () =
           Alcotest.test_case "tamper rejected" `Quick test_fo_tamper_rejected;
           Alcotest.test_case "wrong time" `Quick test_fo_wrong_time_raises;
           Alcotest.test_case "codec" `Quick test_fo_codec;
+          Alcotest.test_case "H3 domain separation" `Quick test_fo_h3_domain_separation;
         ] );
       ( "react",
         [
           Alcotest.test_case "roundtrip" `Quick test_react_roundtrip;
           Alcotest.test_case "tamper rejected" `Quick test_react_tamper_rejected;
           Alcotest.test_case "codec" `Quick test_react_codec;
+          Alcotest.test_case "tag domain separation" `Quick test_react_tag_domain_separation;
+          Alcotest.test_case "short fixed fields" `Quick test_short_fixed_fields_rejected;
         ] );
       ( "id-tre",
         [
@@ -317,12 +410,14 @@ let () =
           Alcotest.test_case "wrong identity" `Quick test_id_tre_wrong_identity_garbage;
           Alcotest.test_case "escrow is real" `Quick test_id_tre_escrow_is_real;
           Alcotest.test_case "update mismatch" `Quick test_id_tre_update_mismatch;
+          Alcotest.test_case "codec" `Quick test_id_tre_codec;
         ] );
       ( "multi-server",
         [
           Alcotest.test_case "roundtrip 1..5" `Quick test_multi_server_roundtrip;
           Alcotest.test_case "needs all updates" `Quick test_multi_server_needs_all_updates;
           Alcotest.test_case "key validation" `Quick test_multi_server_validation;
+          Alcotest.test_case "codec" `Quick test_multi_server_codec;
         ] );
       ( "policy-lock",
         [
