@@ -67,17 +67,38 @@ type elt = int array
 (* --- per-domain scratch ---
 
    One grow-only record per domain: the wide (2k+2 limb) accumulator
-   shared by [mul_into] and [sqr_into]. Neither kernel calls the other
-   and the Fp2 lazy pipeline brings its own wide buffers, so one slot
-   suffices. Loops are bounded by [ctx.k], never by the array length, so
+   shared by [mul_into] and [sqr_into], plus the four k-limb state
+   buffers of the binary-extgcd inversion ([inv_into]). [mul_into] never
+   calls [inv_into] or vice versa within one operation (the inversion's
+   final Montgomery multiply runs after the extgcd state is dead), and
+   the Fp2 lazy pipeline brings its own wide buffers, so the slots never
+   conflict. Loops are bounded by [ctx.k], never by the array length, so
    a scratch grown for a large context serves smaller ones unchanged. *)
-type scratch = { mutable ws : int array }
+type scratch = {
+  mutable ws : int array;
+  mutable gu : int array; (* extgcd: |value| operand *)
+  mutable gv : int array; (* extgcd: modulus operand *)
+  mutable gr : int array; (* extgcd: Bezout coefficient of gu *)
+  mutable gs : int array; (* extgcd: Bezout coefficient of gv *)
+}
 
-let scratch_key = Domain.DLS.new_key (fun () -> { ws = [||] })
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { ws = [||]; gu = [||]; gv = [||]; gr = [||]; gs = [||] })
 
 let scratch k =
   let s = Domain.DLS.get scratch_key in
   if Array.length s.ws < (2 * k) + 2 then s.ws <- Array.make ((2 * k) + 2) 0;
+  s
+
+let inv_scratch k =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.gu < k then begin
+    s.gu <- Array.make k 0;
+    s.gv <- Array.make k 0;
+    s.gr <- Array.make k 0;
+    s.gs <- Array.make k 0
+  end;
   s
 
 (* --- raw helpers over caller-sized buffers --- *)
@@ -538,16 +559,109 @@ let pow_into ctx dst base e =
     copy_into ctx dst acc
   end
 
-(* Single-conversion inversion: for a = x*R, [invmod] of the *plain* limb
-   value a gives (x*R)^{-1} = x^{-1} R^{-1} mod m; one Montgomery
-   multiplication by R^3 lands back on x^{-1} R with no round trip
-   through the Montgomery encode/decode pair. Raises [Division_by_zero]
-   (from [invmod]) when a is not invertible. *)
+(* --- inversion: limb-form binary extended GCD ---
+
+   Single-conversion and allocation-free. For a = x*R, inverting the
+   *plain* limb value a gives (x*R)^{-1} = x^{-1} R^{-1} mod m; one
+   Montgomery multiplication by R^3 lands back on x^{-1} R with no
+   encode/decode round trip and no excursion through {!Bigint}. The
+   extgcd state lives in four per-domain k-limb scratch buffers, so the
+   whole operation allocates nothing.
+
+   Invariants over plain (non-Montgomery) k-limb values, v = value(a):
+     gu, gv >= 0,  gr*v = gu (mod m),  gs*v = gv (mod m),
+     gr, gs in [0, m).
+   m is odd (context precondition), so halving an even gu/gv pairs with
+   a mod-m halving of its coefficient ((x + m)/2 when x is odd). The
+   loop strictly decreases gu + gv and ends with gu = 0,
+   gv = gcd(v, m); the value is invertible iff that gcd is 1, in which
+   case gs = v^{-1} mod m. *)
+
+(* x <- x / 2 over k plain limbs, top bit [hi] shifted in. *)
+let shr1_in k x hi =
+  for i = 0 to k - 2 do
+    x.!(i) <- (x.!(i) lsr 1) lor ((x.!(i + 1) land 1) lsl (kb - 1))
+  done;
+  x.!(k - 1) <- (x.!(k - 1) lsr 1) lor (hi lsl (kb - 1))
+
+(* x <- x / 2 mod m for x in [0, m): add m first iff x is odd (masked),
+   then shift right, folding the (single-bit) carry into the top. *)
+let half_mod_in ctx x =
+  let k = ctx.k and m = ctx.ml in
+  let mask = -(x.!(0) land 1) in
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let s = x.!(i) + (m.!(i) land mask) + !carry in
+    x.!(i) <- s land kmask;
+    carry := s lsr kb
+  done;
+  shr1_in k x !carry
+
+(* a >= b over k plain limbs? (Imperative, not a local closure: this sits
+   inside the extgcd loop and must not allocate.) *)
+let geq_limbs k a b =
+  let i = ref (k - 1) in
+  while !i > 0 && a.!(!i) = b.!(!i) do
+    decr i
+  done;
+  a.!(!i) >= b.!(!i)
+
+(* a <- a - b over k plain limbs; requires a >= b. *)
+let usub_in k a b =
+  let bor = ref 0 in
+  for i = 0 to k - 1 do
+    let d = a.!(i) - b.!(i) - !bor in
+    bor := (d lsr 62) land 1;
+    a.!(i) <- d land kmask
+  done
+
+let is_one_limbs k a =
+  let orv = ref 0 in
+  for i = 1 to k - 1 do
+    orv := !orv lor a.!(i)
+  done;
+  a.!(0) = 1 && !orv = 0
+
 let inv_into ctx dst a =
-  let raw = unpack_to_bigint a ctx.k in
-  let vinv = Modarith.invmod raw ctx.m in
-  import_into ctx dst (Bigint.magnitude vinv);
-  mul_into ctx dst dst ctx.r3
+  let k = ctx.k in
+  let s = inv_scratch k in
+  let gu = s.gu and gv = s.gv and gr = s.gr and gs = s.gs in
+  Array.blit a 0 gu 0 k;
+  Array.blit ctx.ml 0 gv 0 k;
+  Array.fill gr 0 k 0;
+  gr.(0) <- 1;
+  Array.fill gs 0 k 0;
+  if is_zero ctx gu then raise Division_by_zero;
+  (* Strip gu's trailing zeros (gu <> 0, so this terminates). *)
+  while gu.!(0) land 1 = 0 do
+    shr1_in k gu 0;
+    half_mod_in ctx gr
+  done;
+  (* gu and gv both odd at the top of every iteration. *)
+  let running = ref true in
+  while !running do
+    if geq_limbs k gu gv then begin
+      usub_in k gu gv;
+      sub_into ctx gr gr gs;
+      if is_zero ctx gu then running := false
+      else
+        while gu.!(0) land 1 = 0 do
+          shr1_in k gu 0;
+          half_mod_in ctx gr
+        done
+    end
+    else begin
+      usub_in k gv gu;
+      sub_into ctx gs gs gr;
+      (* gv > gu >= 1 before the subtraction, so gv stays nonzero. *)
+      while gv.!(0) land 1 = 0 do
+        shr1_in k gv 0;
+        half_mod_in ctx gs
+      done
+    end
+  done;
+  if not (is_one_limbs k gv) then raise Division_by_zero;
+  mul_into ctx dst gs ctx.r3
 
 (* --- context creation --- *)
 

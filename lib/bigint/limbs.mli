@@ -101,8 +101,9 @@ val pow_into : ctx -> elt -> elt -> Bigint.t -> unit
     >= 0); the odd-powers table is the only per-call allocation. *)
 
 val inv_into : ctx -> elt -> elt -> unit
-(** Single-conversion Montgomery inversion (one [invmod], one Montgomery
-    multiplication by R^3 — no encode/decode round trip). Raises
+(** Allocation-free Montgomery inversion: a limb-form binary extended
+    GCD over per-domain scratch (no [Bigint] round trip), then one
+    Montgomery multiplication by R^3 to land back on x^-1 * R. Raises
     [Division_by_zero] when the value is not invertible. *)
 
 (** {1 Conversions} *)

@@ -234,6 +234,53 @@ let jregs_alloc fp =
     tn = Fp.Mut.alloc fp;
   }
 
+(* Per-domain register-file cache. Allocating the ten-buffer file on
+   every scalar multiplication was the one remaining allocation in the
+   kernel loops — and the whole of the curve-steps regression at small
+   limb counts, where ten boxed arrays per call rival the arithmetic
+   itself. The cache keeps ONE file per domain, grow-only (every kernel
+   loop is bounded by its context's limb count, never by the buffer
+   length, so a file grown for a large field serves smaller ones), with
+   a busy flag so any reentrant user transparently falls back to a
+   fresh allocation. Every temporary in the schedules above is written
+   before it is read, so stale limbs from another context are
+   harmless. *)
+type jcache = { mutable jk : int; mutable jfile : jregs; mutable jbusy : bool }
+
+let jregs_raw k =
+  {
+    ax = Array.make k 0;
+    ay = Array.make k 0;
+    az = Array.make k 0;
+    t0 = Array.make k 0;
+    t1 = Array.make k 0;
+    t2 = Array.make k 0;
+    t3 = Array.make k 0;
+    t4 = Array.make k 0;
+    t5 = Array.make k 0;
+    tn = Array.make k 0;
+  }
+
+let jcache_key =
+  Domain.DLS.new_key (fun () -> { jk = 0; jfile = jregs_raw 0; jbusy = false })
+
+let jregs_acquire fp =
+  let c = Domain.DLS.get jcache_key in
+  if c.jbusy then jregs_alloc fp
+  else begin
+    let k = Limbs.limb_count (Fp.kernel fp) in
+    if c.jk < k then begin
+      c.jfile <- jregs_raw k;
+      c.jk <- k
+    end;
+    c.jbusy <- true;
+    c.jfile
+  end
+
+let jregs_release r =
+  let c = Domain.DLS.get jcache_key in
+  if r == c.jfile then c.jbusy <- false
+
 (* Accumulator <- infinity, in the same {1, 1, 0} encoding as
    [jac_infinity]. *)
 let jset_infinity fp r =
@@ -334,7 +381,7 @@ let jac_steps_kernel ctx point steps =
   | Infinity -> Infinity
   | Affine { x = x2; y = y2 } ->
       let fp = ctx.fp in
-      let r = jregs_alloc fp in
+      let r = jregs_acquire fp in
       Fp.Mut.set fp r.ax x2;
       Fp.Mut.set fp r.ay y2;
       Fp.Mut.set_one fp r.az;
@@ -342,7 +389,9 @@ let jac_steps_kernel ctx point steps =
         jdouble_in ctx r;
         jadd_affine_in ctx r ~x2 ~y2
       done;
-      jregs_to_affine ctx r
+      let p = jregs_to_affine ctx r in
+      jregs_release r;
+      p
 
 let mul_double_add ctx k point =
   let k, point =
@@ -437,7 +486,7 @@ let mul ctx k point =
           while !top > 0 && digits.(!top) = 0 do
             decr top
           done;
-          let r = jregs_alloc fp in
+          let r = jregs_acquire fp in
           jset_infinity fp r;
           for i = !top downto 0 do
             jdouble_in ctx r;
@@ -451,7 +500,9 @@ let mul ctx k point =
               else jadd_affine_in ctx r ~x2:tx ~y2:ty
             end
           done;
-          jregs_to_affine ctx r
+          let p = jregs_to_affine ctx r in
+          jregs_release r;
+          p
         end
       end
 
@@ -517,7 +568,7 @@ let msm ctx pairs =
             Stdlib.max hi !t)
           0 terms
       in
-      let r = jregs_alloc fp in
+      let r = jregs_acquire fp in
       jset_infinity fp r;
       for i = top downto 0 do
         jdouble_in ctx r;
@@ -536,7 +587,9 @@ let msm ctx pairs =
             end)
           terms
       done;
-      add ctx (jregs_to_affine ctx r) !plain
+      let acc = jregs_to_affine ctx r in
+      jregs_release r;
+      add ctx acc !plain
 
 (* Fixed-base precomputation (Yao/BGMW style): for a base P used with many
    scalars, store every multiple m * 2^(j*w) * P (1 <= m < 2^w) in affine
@@ -605,7 +658,7 @@ module Table = struct
     end
     else begin
       let fp = t.ctx.fp in
-      let r = jregs_alloc fp in
+      let r = jregs_acquire fp in
       jset_infinity fp r;
       for j = 0 to Array.length t.windows - 1 do
         (* Digit m = bits [j*w, (j+1)*w) of k. *)
@@ -619,6 +672,7 @@ module Table = struct
         end
       done;
       let p = jregs_to_affine t.ctx r in
+      jregs_release r;
       if negate then neg t.ctx p else p
     end
 end

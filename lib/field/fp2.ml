@@ -157,6 +157,39 @@ module Mut = struct
   let sqr_into ctx dst a =
     if Limbs.lazy_ok (Fp.kernel ctx) then sqr_lazy_into ctx dst.re dst.im a
     else set ctx dst (sqr_plain ctx a)
+
+  (* Squaring restricted to the norm-1 (cyclotomic) subgroup
+     {a + bi : a^2 + b^2 = 1} — where the final-exponentiation hard part
+     lives after the easy part maps everything to norm 1. There
+     a^2 - b^2 = 2a^2 - 1, so the real coefficient costs one base-field
+     SQUARING (plus a constant subtraction) instead of the general
+     formula's multiplication; the imaginary coefficient 2ab is shared.
+     Callers must guarantee the precondition — for other inputs the
+     result is simply wrong, which is why this lives on the [Mut] face
+     next to the other discipline-bearing kernels and not in the
+     functional API. [dst] may alias [a]: all reads of [a] happen before
+     either destination coefficient is written. *)
+  let cyclo_sqr_into ctx dst a =
+    let kern = Fp.kernel ctx in
+    let s = scratch kern in
+    if Limbs.lazy_ok kern then begin
+      Limbs.mul_wide_into kern s.w1 a.re a.im;
+      Limbs.sqr_wide_into kern s.w0 a.re;
+      Limbs.wide_double_into kern s.w0;
+      Limbs.redc_into kern dst.re s.w0; (* 2 re^2, canonical *)
+      Limbs.set_one kern s.s1;
+      Limbs.sub_into kern dst.re dst.re s.s1; (* re' = 2 re^2 - 1 *)
+      Limbs.wide_double_into kern s.w1;
+      Limbs.redc_into kern dst.im s.w1 (* im' = 2 re im *)
+    end
+    else begin
+      Limbs.mul_into kern s.s1 a.re a.im;
+      Limbs.sqr_into kern s.s2 a.re;
+      Limbs.add_into kern dst.re s.s2 s.s2;
+      Limbs.set_one kern s.s2;
+      Limbs.sub_into kern dst.re dst.re s.s2;
+      Limbs.add_into kern dst.im s.s1 s.s1
+    end
 end
 
 let pow_binary ctx base n =

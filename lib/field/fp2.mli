@@ -62,4 +62,12 @@ module Mut : sig
   val set_one : Fp.ctx -> t -> unit
   val mul_into : Fp.ctx -> t -> t -> t -> unit
   val sqr_into : Fp.ctx -> t -> t -> unit
+
+  val cyclo_sqr_into : Fp.ctx -> t -> t -> unit
+  (** Squaring in the norm-1 (cyclotomic) subgroup: for a + bi with
+      a^2 + b^2 = 1, (a + bi)^2 = (2a^2 - 1) + 2ab i — one base-field
+      squaring and one multiplication, against the general formula's two
+      multiplications. {b Precondition}: [norm ctx a = 1]; the caller
+      (the final-exponentiation hard part, where f^(p-1) guarantees it)
+      is responsible, the kernel does not check. *)
 end

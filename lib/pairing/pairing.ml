@@ -9,16 +9,6 @@ type family = Y2_x3_x | Y2_x3_1
    against a fixed P cost only the evaluations — no point arithmetic, and
    for the {!Y2_x3_1} family no per-step field inversions either. *)
 
-(* A scaled line for the x^3 + x family, evaluated at phi(Q) = (-xq, i yq)
-   as (l0 + lx*xq) + (ly*yq) i. *)
-type line_xx = { l0 : Fp.t; lx : Fp.t; ly : Fp.t }
-
-(* One iteration of the xx Miller loop: the (optional) doubling line and,
-   on set exponent bits, the (optional) addition line. [None] marks the
-   degenerate steps (running point at infinity / vertical line), which
-   contribute only GF(p) factors killed by the final exponentiation. *)
-type step_xx = { pdbl : line_xx option; padd : line_xx option }
-
 (* One accumulator operation of the x1 (Boneh-Franklin) Miller loop,
    evaluated at phi(Q) = (zeta xq, yq) with xq2 = zeta*xq in GF(p^2):
    - [Num_line]: chord/tangent through (x1, y1) with slope lambda, stored
@@ -31,9 +21,17 @@ type x1_op =
   | Num_vert of Fp.t
   | Den_vert of Fp.t
 
+(* A prepared xx-family pairing is the whole Miller schedule flattened
+   into two kernel-resident arrays: [ops] lists the accumulator
+   operations in order (0 = square f, 1 = multiply f by the next
+   recorded line), and [lines] holds the line coefficients as
+   consecutive (l0, lx, ly) triples of canonical residues — a scaled
+   line evaluated at phi(Q) = (-xq, i yq) as (l0 + lx*xq) + (ly*yq) i.
+   A flat spine with no options and no per-step records: evaluation is
+   one cache-friendly pass over two arrays. *)
 type prepared =
   | Prep_inf
-  | Prep_xx of step_xx array
+  | Prep_xx of { ops : int array; lines : Fp.t array }
   | Prep_x1 of x1_op list array
 
 type params = {
@@ -47,6 +45,8 @@ type params = {
   g : Curve.point;
   final_exp : Bigint.t;
   zeta : Fp2.t;
+  q_naf : int array;
+  cofactor_wnaf : int array;
   g_table : Curve.Table.t Lazy.t;
   g_prep : prepared Lazy.t;
 }
@@ -108,97 +108,176 @@ let cube_root_of_unity fp =
       then invalid_arg "Pairing.make: cube root of unity check failed";
       zeta
 
+(* --- signed-digit Miller schedules ---
+
+   The production Miller paths for the x^3 + x family walk a
+   left-to-right signed-digit (non-adjacent form) schedule: the NAF of q
+   has ~bits/3 nonzero digits against ~bits/2 set bits, and denominator
+   elimination makes a negative digit exactly as cheap as a positive one
+   — the chord through T and -P, with -P = (xp, -yp), is one more scaled
+   line whose vertical cofactor lies in GF(p). The reference loop
+   [miller_loop_xx_ref] stays on the plain binary schedule; the two
+   chains compute the same Miller function up to GF(p)* factors, so the
+   pairing values agree bit-for-bit after the final exponentiation —
+   which is what the differential tests and [bench --smoke] pin.
+
+   [wnaf_digits n w]: MSB-first width-w non-adjacent form of n > 0 —
+   odd digits in (-2^(w-1), 2^(w-1)), at most one nonzero in any w
+   consecutive positions, leading digit positive. w = 2 is the classic
+   NAF driving the Miller loops; w = 5 recodes the final-exponentiation
+   cofactor, whose negative digits cost nothing because inversion in the
+   norm-1 subgroup is conjugation. *)
+let wnaf_digits n w =
+  let two_w = Bigint.shift_left Bigint.one w in
+  let half = Bigint.shift_left Bigint.one (w - 1) in
+  let digits = ref [] and x = ref n in
+  while Bigint.sign !x > 0 do
+    if Bigint.is_odd !x then begin
+      let r = Bigint.erem !x two_w in
+      let d =
+        if Bigint.compare r half >= 0 then Bigint.to_int_exn (Bigint.sub r two_w)
+        else Bigint.to_int_exn r
+      in
+      digits := d :: !digits;
+      x := Bigint.sub !x (Bigint.of_int d)
+    end
+    else digits := 0 :: !digits;
+    x := Bigint.shift_right !x 1
+  done;
+  Array.of_list !digits
+
+(* The binary schedule in the same MSB-first digit form, for the
+   degenerate-input fallback (where the walk must mirror the reference
+   loop branch for branch). *)
+let binary_digits n =
+  let bits = Bigint.bit_length n in
+  Array.init bits (fun i -> if Bigint.test_bit n (bits - 1 - i) then 1 else 0)
+
+(* Raised by the signed-digit walkers on the one degenerate case they do
+   not model: an addition step whose operands coincide (T = dP with
+   chord slope 0/0 — a doubling in disguise, reachable only for inputs
+   of low order, never for order-q points). The caller falls back to the
+   binary schedule, which handles it exactly as the pinned reference
+   does. Every other degeneracy (2-torsion tangent, running point at
+   infinity, vertical chord) contributes only GF(p) factors and is
+   handled in-line on both schedules. *)
+exception Degenerate_chain
+
 (* --- building prepared pairings ---
 
-   These walk the exact same Miller-loop schedules as [miller_loop_xx] /
-   [miller_loop_x1] below, recording the line coefficients instead of
-   evaluating them. Field values are canonical (normalized Montgomery
-   residues), so evaluating a prepared pairing later is bit-identical to
-   running the plain pairing. *)
+   These walk the same schedules as [miller_loop_xx] / [miller_loop_x1]
+   below, recording the line coefficients instead of evaluating them.
+   Field values are canonical (normalized Montgomery residues), so
+   evaluating a prepared pairing later is bit-identical to running the
+   plain pairing. *)
 
 type miller_state = { mx : Fp.t; my : Fp.t; mz : Fp.t }
 
-let prepare_xx prms pt =
+(* Record the flat (ops, lines) schedule of the xx Miller loop over a
+   MSB-first signed digit array (leading digit 1). [legacy_keep] selects
+   the reference's keep-T behaviour on the coincident-addition case
+   (used with the binary digits, matching [miller_loop_xx_ref]); the NAF
+   walk raises [Degenerate_chain] instead. *)
+let record_xx prms pt digits ~legacy_keep =
   let fp = prms.fp in
   match pt with
   | Curve.Infinity -> Prep_inf
   | Curve.Affine p' ->
       let xp = p'.x and yp = p'.y in
+      let ypn = Fp.neg fp yp in
       let one = Fp.one fp in
-      let bits = Bigint.bit_length prms.q in
-      let steps = Array.make (Stdlib.max 0 (bits - 1)) { pdbl = None; padd = None } in
+      let ops = ref [] and nops = ref 0 in
+      let lines = ref [] and nlines = ref 0 in
+      let emit_sqr () = incr nops; ops := 0 :: !ops in
+      let emit_line l0 lx ly =
+        incr nops;
+        ops := 1 :: !ops;
+        nlines := !nlines + 3;
+        lines := ly :: lx :: l0 :: !lines
+      in
       let t = ref { mx = xp; my = yp; mz = one } in
-      for i = bits - 2 downto 0 do
-        let { mx = x; my = y; mz = z } = !t in
-        let pdbl =
-          if Fp.is_zero fp z then None
-          else if Fp.is_zero fp y then begin
-            t := { mx = one; my = one; mz = Fp.zero fp };
-            None
-          end
+      for i = 1 to Array.length digits - 1 do
+        emit_sqr ();
+        (let { mx = x; my = y; mz = z } = !t in
+         if Fp.is_zero fp z then ()
+         else if Fp.is_zero fp y then
+           t := { mx = one; my = one; mz = Fp.zero fp }
+         else begin
+           let y2 = Fp.sqr fp y in
+           let z2 = Fp.sqr fp z in
+           let x2 = Fp.sqr fp x in
+           let m = Fp.add fp (Fp.add fp (Fp.add fp x2 x2) x2) (Fp.sqr fp z2) in
+           let w = Fp.mul fp (Fp.add fp y y) z in
+           let l0 = Fp.sub fp (Fp.mul fp m x) (Fp.add fp y2 y2) in
+           let lx = Fp.mul fp m z2 in
+           let ly = Fp.mul fp w z2 in
+           let s =
+             let xy2 = Fp.mul fp x y2 in
+             let d = Fp.add fp xy2 xy2 in
+             Fp.add fp d d
+           in
+           let x' = Fp.sub fp (Fp.sqr fp m) (Fp.add fp s s) in
+           let y4_8 =
+             let y4 = Fp.sqr fp y2 in
+             let d = Fp.add fp y4 y4 in
+             let d = Fp.add fp d d in
+             Fp.add fp d d
+           in
+           let y' = Fp.sub fp (Fp.mul fp m (Fp.sub fp s x')) y4_8 in
+           t := { mx = x'; my = y'; mz = w };
+           emit_line l0 lx ly
+         end);
+        let d = digits.(i) in
+        if d <> 0 then begin
+          let yp' = if d > 0 then yp else ypn in
+          let { mx = x; my = y; mz = z } = !t in
+          if Fp.is_zero fp z then t := { mx = xp; my = yp'; mz = one }
           else begin
-            let y2 = Fp.sqr fp y in
             let z2 = Fp.sqr fp z in
-            let x2 = Fp.sqr fp x in
-            let m = Fp.add fp (Fp.add fp (Fp.add fp x2 x2) x2) (Fp.sqr fp z2) in
-            let w = Fp.mul fp (Fp.add fp y y) z in
-            let l0 = Fp.sub fp (Fp.mul fp m x) (Fp.add fp y2 y2) in
-            let lx = Fp.mul fp m z2 in
-            let ly = Fp.mul fp w z2 in
-            let s =
-              let xy2 = Fp.mul fp x y2 in
-              let d = Fp.add fp xy2 xy2 in
-              Fp.add fp d d
-            in
-            let x' = Fp.sub fp (Fp.sqr fp m) (Fp.add fp s s) in
-            let y4_8 =
-              let y4 = Fp.sqr fp y2 in
-              let d = Fp.add fp y4 y4 in
-              let d = Fp.add fp d d in
-              Fp.add fp d d
-            in
-            let y' = Fp.sub fp (Fp.mul fp m (Fp.sub fp s x')) y4_8 in
-            t := { mx = x'; my = y'; mz = w };
-            Some { l0; lx; ly }
-          end
-        in
-        let padd =
-          if not (Bigint.test_bit prms.q i) then None
-          else begin
-            let { mx = x; my = y; mz = z } = !t in
-            if Fp.is_zero fp z then begin
-              t := { mx = xp; my = yp; mz = one };
-              None
+            let u2 = Fp.mul fp xp z2 in
+            let s2 = Fp.mul fp yp' (Fp.mul fp z2 z) in
+            let h = Fp.sub fp u2 x in
+            let r = Fp.sub fp s2 y in
+            if Fp.is_zero fp h then begin
+              if Fp.is_zero fp r then begin
+                if not legacy_keep then raise Degenerate_chain
+                (* else keep T, mirroring the reference loop *)
+              end
+              else t := { mx = one; my = one; mz = Fp.zero fp }
             end
             else begin
-              let z2 = Fp.sqr fp z in
-              let u2 = Fp.mul fp xp z2 in
-              let s2 = Fp.mul fp yp (Fp.mul fp z2 z) in
-              let h = Fp.sub fp u2 x in
-              let r = Fp.sub fp s2 y in
-              if Fp.is_zero fp h then begin
-                t :=
-                  (if Fp.is_zero fp r then !t
-                   else { mx = one; my = one; mz = Fp.zero fp });
-                None
-              end
-              else begin
-                let z' = Fp.mul fp z h in
-                let l0 = Fp.sub fp (Fp.mul fp r xp) (Fp.mul fp z' yp) in
-                let h2 = Fp.sqr fp h in
-                let h3 = Fp.mul fp h2 h in
-                let xh2 = Fp.mul fp x h2 in
-                let x' = Fp.sub fp (Fp.sub fp (Fp.sqr fp r) h3) (Fp.add fp xh2 xh2) in
-                let y' = Fp.sub fp (Fp.mul fp r (Fp.sub fp xh2 x')) (Fp.mul fp y h3) in
-                t := { mx = x'; my = y'; mz = z' };
-                Some { l0; lx = r; ly = z' }
-              end
+              let z' = Fp.mul fp z h in
+              let l0 = Fp.sub fp (Fp.mul fp r xp) (Fp.mul fp z' yp') in
+              let h2 = Fp.sqr fp h in
+              let h3 = Fp.mul fp h2 h in
+              let xh2 = Fp.mul fp x h2 in
+              let x' = Fp.sub fp (Fp.sub fp (Fp.sqr fp r) h3) (Fp.add fp xh2 xh2) in
+              let y' = Fp.sub fp (Fp.mul fp r (Fp.sub fp xh2 x')) (Fp.mul fp y h3) in
+              t := { mx = x'; my = y'; mz = z' };
+              emit_line l0 r z'
             end
           end
-        in
-        steps.(bits - 2 - i) <- { pdbl; padd }
+        end
       done;
-      Prep_xx steps
+      let ops_arr = Array.make !nops 0 in
+      let rec fill_ops i = function
+        | [] -> ()
+        | o :: rest -> ops_arr.(i) <- o; fill_ops (i - 1) rest
+      in
+      fill_ops (!nops - 1) !ops;
+      let zero = Fp.zero fp in
+      let lines_arr = Array.make !nlines zero in
+      let rec fill_lines i = function
+        | [] -> ()
+        | l :: rest -> lines_arr.(i) <- l; fill_lines (i - 1) rest
+      in
+      fill_lines (!nlines - 1) !lines;
+      Prep_xx { ops = ops_arr; lines = lines_arr }
+
+let prepare_xx prms pt =
+  try record_xx prms pt prms.q_naf ~legacy_keep:false
+  with Degenerate_chain ->
+    record_xx prms pt (binary_digits prms.q) ~legacy_keep:true
 
 let prepare_x1 prms pt =
   let fp = prms.fp in
@@ -290,9 +369,15 @@ let make ?(family = Y2_x3_x) ~name ~p ~q () =
     invalid_arg "Pairing.make: generator does not have order q";
   let final_exp = Bigint.div (Bigint.pred (Bigint.mul p p)) q in
   let zeta = match family with Y2_x3_x -> Fp2.one fp | Y2_x3_1 -> cube_root_of_unity fp in
+  (* Signed-digit recodings fixed by the parameters: the NAF of q drives
+     both xx-family Miller walks, the width-5 wNAF of the cofactor
+     drives the cyclotomic final-exponentiation window. *)
+  let q_naf = wnaf_digits q 2 in
+  let cofactor_wnaf = wnaf_digits cofactor 5 in
   let rec prms =
     {
       name; family; p; q; cofactor; fp; curve; g; final_exp; zeta;
+      q_naf; cofactor_wnaf;
       g_table = lazy (Curve.Table.create curve ~bits:(Bigint.bit_length q) g);
       g_prep = lazy (prepare prms g);
     }
@@ -508,14 +593,18 @@ let miller_loop_xx_ref prms pt qt =
       done;
       !f
 
-(* In-place Miller loop for the x^3 + x family: one register file (the
-   Jacobian accumulator T, six temporaries, a reusable line value) plus
-   the GF(p^2) accumulator f, all allocated once per call and mutated by
-   the {!Fp.Mut} / {!Fp2.Mut} kernels — the ~bits iterations allocate
-   nothing. Same field expressions as [miller_loop_xx_ref] above. [f]'s
-   buffers are freshly allocated here, so returning it is safe; the
-   caller owns an ordinary immutable value. *)
-let miller_loop_xx prms pt qt =
+(* In-place BINARY Miller loop for the x^3 + x family: one register file
+   (the Jacobian accumulator T, six temporaries, a reusable line value)
+   plus the GF(p^2) accumulator f, all allocated once per call and
+   mutated by the {!Fp.Mut} / {!Fp2.Mut} kernels — the ~bits iterations
+   allocate nothing. Same field expressions AND the same schedule as
+   [miller_loop_xx_ref] above, branch for branch, so the two are
+   bit-identical even before the final exponentiation. Kept as the
+   fallback for degenerate (low-order) inputs on which the signed-digit
+   production loop below bails out. [f]'s buffers are freshly allocated
+   here, so returning it is safe; the caller owns an ordinary immutable
+   value. *)
+let miller_loop_xx_bin prms pt qt =
   let fp = prms.fp in
   match (pt, qt) with
   | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one fp
@@ -631,6 +720,141 @@ let miller_loop_xx prms pt qt =
       done;
       f
 
+(* Production Miller loop for the x^3 + x family: the same in-place
+   register discipline as [miller_loop_xx_bin], walking the signed-digit
+   NAF schedule of q instead of its bits — ~bits/3 addition steps
+   instead of ~bits/2, with a negative digit adding -P = (xp, -yp)
+   through the identical mixed-addition kernel. The Miller value differs
+   from the binary one only by GF(p)* factors, which the final
+   exponentiation annihilates; the differential tests pin the
+   post-exponentiation agreement. Raises [Degenerate_chain] on the one
+   unmodelled degeneracy (coincident addition operands, low-order inputs
+   only); the dispatching wrapper then falls back to the binary loop. *)
+let miller_loop_xx_naf prms pt qt =
+  let fp = prms.fp in
+  match (pt, qt) with
+  | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one fp
+  | Curve.Affine p', Curve.Affine q' ->
+      let xp = p'.x and yp = p'.y in
+      let xq = q'.x and yq = q'.y in
+      let f = Fp2.Mut.alloc fp in
+      Fp2.Mut.set_one fp f;
+      let mx = Fp.Mut.copy fp xp
+      and my = Fp.Mut.copy fp yp
+      and mz = Fp.Mut.alloc fp in
+      Fp.Mut.set_one fp mz;
+      let ypn = Fp.Mut.alloc fp in
+      Fp.Mut.neg_into fp ypn yp;
+      let u0 = Fp.Mut.alloc fp
+      and u1 = Fp.Mut.alloc fp
+      and u2 = Fp.Mut.alloc fp
+      and u3 = Fp.Mut.alloc fp
+      and u4 = Fp.Mut.alloc fp
+      and u5 = Fp.Mut.alloc fp in
+      let lre = Fp.Mut.alloc fp and lim = Fp.Mut.alloc fp in
+      let line = Fp2.make ~re:lre ~im:lim in
+      let set_torsion () =
+        Fp.Mut.set_one fp mx;
+        Fp.Mut.set_one fp my;
+        Fp.Mut.set_zero fp mz
+      in
+      let digits = prms.q_naf in
+      for i = 1 to Array.length digits - 1 do
+        Fp2.Mut.sqr_into fp f f;
+        if Fp.is_zero fp mz then ()
+        else if Fp.is_zero fp my then set_torsion ()
+        else begin
+          (* Doubling with scaled tangent line (see the binary loop):
+             M = 3X^2 + Z^4, W = 2YZ;
+             l = [M*(Z^2 xq + X) - 2Y^2] + (W Z^2 yq) i. *)
+          Fp.Mut.sqr_into fp u0 my; (* u0 = Y^2 *)
+          Fp.Mut.sqr_into fp u1 mz; (* u1 = Z^2 *)
+          Fp.Mut.sqr_into fp u2 mx; (* u2 = X^2 *)
+          Fp.Mut.add_into fp u3 u2 u2;
+          Fp.Mut.add_into fp u3 u3 u2; (* u3 = 3X^2 *)
+          Fp.Mut.sqr_into fp u4 u1;
+          Fp.Mut.add_into fp u3 u3 u4; (* u3 = M *)
+          Fp.Mut.add_into fp u4 my my;
+          Fp.Mut.mul_into fp mz u4 mz; (* Z' = W = 2YZ; old Z^2 lives in u1 *)
+          Fp.Mut.mul_into fp u4 u1 xq;
+          Fp.Mut.add_into fp u4 u4 mx;
+          Fp.Mut.mul_into fp u4 u3 u4;
+          Fp.Mut.add_into fp u5 u0 u0;
+          Fp.Mut.sub_into fp lre u4 u5; (* re = M(Z^2 xq + X) - 2Y^2 *)
+          Fp.Mut.mul_into fp u4 mz u1;
+          Fp.Mut.mul_into fp lim u4 yq; (* im = W Z^2 yq *)
+          Fp2.Mut.mul_into fp f f line;
+          (* Complete the doubling. *)
+          Fp.Mut.mul_into fp u4 mx u0;
+          Fp.Mut.add_into fp u4 u4 u4;
+          Fp.Mut.add_into fp u4 u4 u4; (* u4 = s = 4XY^2 *)
+          Fp.Mut.sqr_into fp u2 u3;
+          Fp.Mut.sub_into fp u2 u2 u4;
+          Fp.Mut.sub_into fp u2 u2 u4; (* u2 = X' = M^2 - 2s *)
+          Fp.Mut.sqr_into fp u0 u0;
+          Fp.Mut.add_into fp u0 u0 u0;
+          Fp.Mut.add_into fp u0 u0 u0;
+          Fp.Mut.add_into fp u0 u0 u0; (* u0 = 8Y^4 *)
+          Fp.Mut.sub_into fp u4 u4 u2;
+          Fp.Mut.mul_into fp u4 u3 u4;
+          Fp.Mut.sub_into fp u4 u4 u0; (* u4 = Y' = M(s - X') - 8Y^4 *)
+          Fp.Mut.set fp mx u2;
+          Fp.Mut.set fp my u4
+        end;
+        let d = digits.(i) in
+        if d <> 0 then begin
+          (* The digit's point is dP = (xp, +-yp). *)
+          let ypd = if d > 0 then yp else ypn in
+          if Fp.is_zero fp mz then begin
+            Fp.Mut.set fp mx xp;
+            Fp.Mut.set fp my ypd;
+            Fp.Mut.set_one fp mz
+          end
+          else begin
+            (* Mixed addition with scaled chord line:
+               H = xp Z^2 - X, R = yp' Z^3 - Y, Z' = Z H;
+               l = [R(xq + xp) - Z' yp'] + (Z' yq) i. *)
+            Fp.Mut.sqr_into fp u0 mz; (* u0 = Z^2 *)
+            Fp.Mut.mul_into fp u1 xp u0;
+            Fp.Mut.sub_into fp u1 u1 mx; (* u1 = H *)
+            Fp.Mut.mul_into fp u2 u0 mz;
+            Fp.Mut.mul_into fp u2 ypd u2;
+            Fp.Mut.sub_into fp u2 u2 my; (* u2 = R *)
+            if Fp.is_zero fp u1 then begin
+              if Fp.is_zero fp u2 then raise Degenerate_chain
+              else set_torsion () (* T = -dP: vertical chord, GF(p) factor *)
+            end
+            else begin
+              Fp.Mut.mul_into fp mz mz u1; (* Z' = Z H *)
+              Fp.Mut.add_into fp u3 xq xp;
+              Fp.Mut.mul_into fp u3 u2 u3;
+              Fp.Mut.mul_into fp u4 mz ypd;
+              Fp.Mut.sub_into fp lre u3 u4; (* re = R(xq + xp) - Z' yp' *)
+              Fp.Mut.mul_into fp lim mz yq; (* im = Z' yq *)
+              Fp2.Mut.mul_into fp f f line;
+              Fp.Mut.sqr_into fp u3 u1; (* u3 = H^2 *)
+              Fp.Mut.mul_into fp u4 u3 u1; (* u4 = H^3 *)
+              Fp.Mut.mul_into fp u3 mx u3; (* u3 = X H^2 *)
+              Fp.Mut.sqr_into fp u5 u2;
+              Fp.Mut.sub_into fp u5 u5 u4;
+              Fp.Mut.sub_into fp u5 u5 u3;
+              Fp.Mut.sub_into fp u5 u5 u3; (* u5 = X' = R^2 - H^3 - 2XH^2 *)
+              Fp.Mut.sub_into fp u3 u3 u5;
+              Fp.Mut.mul_into fp u3 u2 u3;
+              Fp.Mut.mul_into fp u4 my u4;
+              Fp.Mut.sub_into fp u3 u3 u4; (* u3 = Y' = R(XH^2 - X') - Y H^3 *)
+              Fp.Mut.set fp mx u5;
+              Fp.Mut.set fp my u3
+            end
+          end
+        end
+      done;
+      f
+
+let miller_loop_xx prms pt qt =
+  try miller_loop_xx_naf prms pt qt
+  with Degenerate_chain -> miller_loop_xx_bin prms pt qt
+
 (* The Miller function for the y^2 = x^3 + 1 family, evaluated at the
    distorted point phi(Q) = (zeta xq, yq) with zeta in GF(p^2). Because
    the distorted x-coordinate is a full GF(p^2) element, vertical lines do
@@ -708,77 +932,35 @@ let miller_loop_x1 prms pt qt =
       done;
       Fp2.mul fp !f_num (Fp2.inv fp !f_den)
 
-let miller_loop prms pt qt =
-  match prms.family with
-  | Y2_x3_x -> miller_loop_xx prms pt qt
-  | Y2_x3_1 -> miller_loop_x1 prms pt qt
-
-(* Functional-path dispatch, pinned as the reference the kernel path is
-   measured and tested against. (The x^3 + 1 family has a single,
-   functional implementation, shared by both dispatches.) *)
-let miller_loop_ref prms pt qt =
-  match prms.family with
-  | Y2_x3_x -> miller_loop_xx_ref prms pt qt
-  | Y2_x3_1 -> miller_loop_x1 prms pt qt
-
-(* f^((p^2-1)/q): f^(p-1) = conj(f)/f via Frobenius, then pow by the
-   cofactor h = (p+1)/q. *)
-let final_exponentiation prms f =
-  let fp = prms.fp in
-  let fp1 = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
-  Fp2.pow fp fp1 prms.cofactor
-
-let pairing prms pt qt = final_exponentiation prms (miller_loop prms pt qt)
-
-let pairing_ref prms pt qt =
-  final_exponentiation prms (miller_loop_ref prms pt qt)
-
-let pairing_product prms pairs =
-  let fp = prms.fp in
-  let product =
-    List.fold_left
-      (fun acc (pt, qt) -> Fp2.mul fp acc (miller_loop prms pt qt))
-      (Fp2.one fp) pairs
-  in
-  final_exponentiation prms product
-
-let pairing_check prms pairs = Fp2.is_one prms.fp (pairing_product prms pairs)
-
-let pairing_equal_check prms ~lhs:(a, b) ~rhs:(c, d) =
-  (* e(a,b) = e(c,d)  <=>  e(a,b) * e(-c,d) = 1 — one shared final
-     exponentiation instead of two full pairings. *)
-  pairing_check prms [ (a, b); (Curve.neg prms.curve c, d) ]
-
 (* --- evaluating prepared pairings --- *)
 
-let miller_prepared_xx prms steps qt =
+(* One pass over the flat schedule: per op either an in-place GF(p^2)
+   squaring of f, or a line evaluation — two base-field muls, one add —
+   folded into f through the lazy-reduction product. The only per-call
+   allocations are f itself (returned to the caller) and the reusable
+   line value; the recorded coefficients are read in storage order. *)
+let miller_prepared_xx prms ops lines qt =
   let fp = prms.fp in
   match qt with
   | Curve.Infinity -> Fp2.one fp
   | Curve.Affine q' ->
       let xq = q'.x and yq = q'.y in
-      (* Same in-place discipline as [miller_loop_xx]: the accumulator
-         and the line value are allocated once, and each recorded step
-         costs one squaring plus (per line) two muls, one add and one
-         GF(p^2) product — no allocation. *)
       let f = Fp2.Mut.alloc fp in
       Fp2.Mut.set_one fp f;
       let lre = Fp.Mut.alloc fp and lim = Fp.Mut.alloc fp in
       let line = Fp2.make ~re:lre ~im:lim in
-      Array.iter
-        (fun { pdbl; padd } ->
-          Fp2.Mut.sqr_into fp f f;
-          let apply = function
-            | None -> ()
-            | Some { l0; lx; ly } ->
-                Fp.Mut.mul_into fp lre lx xq;
-                Fp.Mut.add_into fp lre l0 lre;
-                Fp.Mut.mul_into fp lim ly yq;
-                Fp2.Mut.mul_into fp f f line
-          in
-          apply pdbl;
-          apply padd)
-        steps;
+      let li = ref 0 in
+      for oi = 0 to Array.length ops - 1 do
+        if ops.(oi) = 0 then Fp2.Mut.sqr_into fp f f
+        else begin
+          let l0 = lines.(!li) and lx = lines.(!li + 1) and ly = lines.(!li + 2) in
+          li := !li + 3;
+          Fp.Mut.mul_into fp lre lx xq;
+          Fp.Mut.add_into fp lre l0 lre;
+          Fp.Mut.mul_into fp lim ly yq;
+          Fp2.Mut.mul_into fp f f line
+        end
+      done;
       f
 
 let miller_prepared_x1 prms steps qt =
@@ -813,8 +995,100 @@ let miller_prepared_x1 prms steps qt =
 let miller_loop_prepared prms prep qt =
   match prep with
   | Prep_inf -> Fp2.one prms.fp
-  | Prep_xx steps -> miller_prepared_xx prms steps qt
+  | Prep_xx { ops; lines } -> miller_prepared_xx prms ops lines qt
   | Prep_x1 steps -> miller_prepared_x1 prms steps qt
+
+let miller_loop prms pt qt =
+  match prms.family with
+  | Y2_x3_x ->
+      (* Pairings against the system generator — every verification
+         equation and key-agreement has at least one — route through the
+         construction-time prepared schedule: the same canonical Miller
+         value (the recorded lines are the loop's own, canonical), with
+         all the point arithmetic already paid for. *)
+      if Curve.equal pt prms.g && Lazy.is_val prms.g_prep then
+        miller_loop_prepared prms (Lazy.force prms.g_prep) qt
+      else miller_loop_xx prms pt qt
+  | Y2_x3_1 -> miller_loop_x1 prms pt qt
+
+(* Functional-path dispatch, pinned as the reference the kernel path is
+   measured and tested against. (The x^3 + 1 family has a single,
+   functional implementation, shared by both dispatches.) *)
+let miller_loop_ref prms pt qt =
+  match prms.family with
+  | Y2_x3_x -> miller_loop_xx_ref prms pt qt
+  | Y2_x3_1 -> miller_loop_x1 prms pt qt
+
+(* f^((p^2-1)/q): f^(p-1) = conj(f)/f via Frobenius, then pow by the
+   cofactor h = (p+1)/q. Pinned reference: generic sliding-window GT
+   exponentiation for the hard part. *)
+let final_exponentiation_ref prms f =
+  let fp = prms.fp in
+  let fp1 = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
+  Fp2.pow fp fp1 prms.cofactor
+
+(* Kernel final exponentiation, same decomposition pushed further: after
+   the easy part, f1 = f^(p-1) satisfies f1^(p+1) = f^(p^2-1) = 1, i.e.
+   f1 has norm 1 — it lives in the cyclotomic subgroup. There
+   - squaring is {!Fp2.Mut.cyclo_sqr_into} (a base-field squaring and a
+     multiplication instead of two multiplications), and
+   - inversion is conjugation (free), so the cofactor's width-5 wNAF
+     costs ~bits/6 table multiplications with no extra table space for
+     the negative digits.
+   Same canonical result as [final_exponentiation_ref] for every f — the
+   differential tests pin the bit-identity. *)
+let final_exponentiation prms f =
+  let fp = prms.fp in
+  let f1 = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
+  let digits = prms.cofactor_wnaf in
+  let n = Array.length digits in
+  if n = 0 then Fp2.one fp
+  else begin
+    (* tbl.(j) = f1^(2j+1); everything in the table has norm 1, products
+       and cyclotomic squares of norm-1 elements stay norm-1. *)
+    let tbl = Array.init 8 (fun _ -> Fp2.Mut.alloc fp) in
+    Fp2.Mut.set fp tbl.(0) f1;
+    let f2 = Fp2.Mut.alloc fp in
+    Fp2.Mut.cyclo_sqr_into fp f2 f1;
+    for j = 1 to 7 do
+      Fp2.Mut.mul_into fp tbl.(j) tbl.(j - 1) f2
+    done;
+    (* Conjugates are the inverses; they share their re buffers with the
+       table, which is frozen from here on. *)
+    let tbln = Array.map (Fp2.conj fp) tbl in
+    let acc = f2 (* dead once the table is built *) in
+    Fp2.Mut.set fp acc tbl.((digits.(0) - 1) / 2);
+    for i = 1 to n - 1 do
+      Fp2.Mut.cyclo_sqr_into fp acc acc;
+      let d = digits.(i) in
+      if d > 0 then Fp2.Mut.mul_into fp acc acc tbl.((d - 1) / 2)
+      else if d < 0 then Fp2.Mut.mul_into fp acc acc tbln.((-d - 1) / 2)
+    done;
+    acc
+  end
+
+let pairing prms pt qt = final_exponentiation prms (miller_loop prms pt qt)
+
+let pairing_ref prms pt qt =
+  final_exponentiation_ref prms (miller_loop_ref prms pt qt)
+
+let pairing_product prms pairs =
+  let fp = prms.fp in
+  let product =
+    List.fold_left
+      (fun acc (pt, qt) -> Fp2.mul fp acc (miller_loop prms pt qt))
+      (Fp2.one fp) pairs
+  in
+  final_exponentiation prms product
+
+let pairing_check prms pairs = Fp2.is_one prms.fp (pairing_product prms pairs)
+
+let pairing_equal_check prms ~lhs:(a, b) ~rhs:(c, d) =
+  (* e(a,b) = e(c,d)  <=>  e(a,b) * e(-c,d) = 1 — one shared final
+     exponentiation instead of two full pairings. *)
+  pairing_check prms [ (a, b); (Curve.neg prms.curve c, d) ]
+
+(* --- prepared pairing entry points --- *)
 
 let pairing_prepared prms prep qt =
   final_exponentiation prms (miller_loop_prepared prms prep qt)

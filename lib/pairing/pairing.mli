@@ -34,6 +34,13 @@ type params = private {
   g : Curve.point;  (** the system generator G of G1 *)
   final_exp : Bigint.t;  (** (p^2 - 1) / q *)
   zeta : Fp2.t;  (** primitive cube root of unity; only used by {!Y2_x3_1} *)
+  q_naf : int array;
+      (** MSB-first non-adjacent form of q — the signed-digit schedule
+          of the production Miller loop (~bits/3 addition steps) *)
+  cofactor_wnaf : int array;
+      (** MSB-first width-5 wNAF of the cofactor, driving the
+          cyclotomic final-exponentiation window (negative digits are
+          free: inversion in the norm-1 subgroup is conjugation) *)
   g_table : Curve.Table.t Lazy.t;
       (** fixed-base precomputation for [g]; forced at construction, so a
           params value is safe to share across domains (a racing
@@ -93,10 +100,35 @@ val pairing : params -> Curve.point -> Curve.point -> Fp2.t
     subgroup of GF(p^2)*. [pairing p G G] is a generator of G2. *)
 
 val pairing_ref : params -> Curve.point -> Curve.point -> Fp2.t
-(** The same pairing through the functional (allocating) Miller loop,
-    pinned as the reference for the in-place kernel path. Bit-identical
-    to {!pairing} — the equivalence tests and [bench --smoke] assert
-    it. *)
+(** The same pairing through the functional (allocating) binary Miller
+    loop and the generic final exponentiation, pinned as the reference
+    for the kernel path. Bit-identical to {!pairing} — the equivalence
+    tests and [bench --smoke] assert it. *)
+
+(** {1 Pairing stages}
+
+    The two halves of the pairing, exposed for the stage-level
+    benchmarks and differential tests. Contracts: the two Miller loops
+    agree after (either) final exponentiation — their raw values differ
+    only by GF(p)* factors the exponentiation annihilates — and the two
+    final exponentiations are bit-identical on {e every} input. *)
+
+val miller_loop : params -> Curve.point -> Curve.point -> Fp2.t
+(** Production Miller loop: in-place kernels on the signed-digit (NAF)
+    schedule; pairings against the generator use the construction-time
+    prepared schedule. *)
+
+val miller_loop_ref : params -> Curve.point -> Curve.point -> Fp2.t
+(** Pinned functional binary-schedule Miller loop. *)
+
+val final_exponentiation : params -> Fp2.t -> Fp2.t
+(** Kernel path: easy part by conjugation and one inversion, hard part
+    by cyclotomic squarings under a signed window ({!params.cofactor_wnaf}).
+    Raises [Division_by_zero] on zero. *)
+
+val final_exponentiation_ref : params -> Fp2.t -> Fp2.t
+(** Pinned generic path: easy part, then sliding-window {!Fp2.pow} by
+    the cofactor. *)
 
 val pairing_product : params -> (Curve.point * Curve.point) list -> Fp2.t
 (** [prod_i e^(P_i, Q_i)] with a single shared final exponentiation —

@@ -22,7 +22,9 @@ so sed masks them; the OK lines and the final assertions are the test.
   all optimized paths agree with reference
   E1-kernel smoke: in-place kernels vs generic reference
   kernel-vs-ref toy64        OK
+  kernel-vs-ref toy64b       OK
   kernel-vs-ref mid128       OK
+  kernel-vs-ref mid128b      OK
   kernel-vs-ref std160       OK
   all kernel paths agree with the generic reference
   Batch/parallel smoke: 2-domain pool vs serial

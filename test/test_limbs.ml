@@ -204,6 +204,33 @@ let test_mont_inv_roundtrip_equiv () =
         (values m 8))
     moduli
 
+(* The hot kernels must stay allocation-free: their scratch is per-domain
+   and grow-only, so after a warm-up call the steady state allocates
+   nothing. Guards the binary-extgcd inversion (and the mul it ends on)
+   against silently regressing to an allocating path. *)
+let test_inv_allocation_free () =
+  List.iter
+    (fun n ->
+      match Pairing.by_name n with
+      | None -> ()
+      | Some prms ->
+          let m = prms.Pairing.p in
+          let kc = Limbs.create m in
+          let a = Limbs.of_bigint kc (B.erem (random_bigint 40) m) in
+          let d = Limbs.alloc kc in
+          (* Warm up the per-domain scratch so growth is behind us. *)
+          Limbs.inv_into kc d a;
+          let rounds = 50 in
+          let before = Gc.allocated_bytes () in
+          for _ = 1 to rounds do
+            Limbs.inv_into kc d a
+          done;
+          let words = (Gc.allocated_bytes () -. before) /. 8. in
+          let per_op = words /. float_of_int rounds in
+          if per_op > 1.0 then
+            Alcotest.failf "inv_into allocates %.1f words/op at %s" per_op n)
+    [ "toy64"; "std160" ]
+
 (* Concurrent kernel use from multiple domains must be race-free (each
    domain owns its DLS scratch) and bit-identical to the serial run. *)
 let test_pool_race_free () =
@@ -243,6 +270,8 @@ let () =
           Alcotest.test_case "differential all moduli" `Quick test_differential;
           Alcotest.test_case "mont inv single-conversion" `Quick
             test_mont_inv_roundtrip_equiv;
+          Alcotest.test_case "inv allocation-free" `Quick
+            test_inv_allocation_free;
         ] );
       ( "domains",
         [ Alcotest.test_case "pool race-free" `Quick test_pool_race_free ] );

@@ -342,6 +342,97 @@ let prop_prepared_random_points =
         (Pairing.pairing prms p q')
         (Pairing.pairing_prepared prms (Pairing.prepare prms p) q'))
 
+(* --- kernel vs pinned reference: the fast pairing stack (NAF Miller
+   loop, cyclotomic final exponentiation, generator fast-path) must stay
+   bit-identical to the functional reference route --- *)
+
+let check_kernel_vs_reference prms =
+  let name = prms.Pairing.name in
+  let fp = prms.Pairing.fp in
+  let curve = prms.Pairing.curve in
+  let g = prms.Pairing.g in
+  let q = prms.Pairing.q in
+  let rng = Hashing.Drbg.create ~seed:("kernel-diff-" ^ name) () in
+  let rand_pt () = Curve.mul curve (Pairing.random_scalar prms rng) g in
+  (* Full pairing: bit-identity on random subgroup points, on the
+     generator fast-path (first argument = G hits the prepared
+     schedule), and on infinity in either slot. *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (name ^ ": pairing = pairing_ref") true
+        (Fp2.equal (Pairing.pairing prms a b) (Pairing.pairing_ref prms a b)))
+    [ (g, g); (rand_pt (), rand_pt ()); (g, rand_pt ()); (rand_pt (), g);
+      (Curve.infinity, g); (g, Curve.infinity);
+      (Curve.infinity, Curve.infinity) ];
+  (* Miller loops: the raw NAF and binary accumulators differ by GF(p)*
+     factors, so their contract is agreement after (the pinned generic)
+     final exponentiation. *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (name ^ ": miller loops agree post-exp") true
+        (Fp2.equal
+           (Pairing.final_exponentiation_ref prms (Pairing.miller_loop prms a b))
+           (Pairing.final_exponentiation_ref prms
+              (Pairing.miller_loop_ref prms a b))))
+    [ (rand_pt (), rand_pt ()); (g, rand_pt ()); (rand_pt (), g) ];
+  (* Cyclotomic final exponentiation: bit-identical to the generic path
+     on EVERY nonzero input, not just Miller values — the easy part
+     f^(p-1) lands in the norm-1 subgroup from any starting point. *)
+  let rand_fp () =
+    Fp.of_bigint fp
+      (B.erem
+         (B.of_bytes_be (Hashing.Drbg.generate rng (Fp.byte_length fp + 3)))
+         prms.Pairing.p)
+  in
+  for _ = 1 to 8 do
+    let f = Fp2.make ~re:(rand_fp ()) ~im:(rand_fp ()) in
+    if not (Fp2.is_zero fp f) then
+      Alcotest.(check bool) (name ^ ": final exp bit-identical") true
+        (Fp2.equal
+           (Pairing.final_exponentiation prms f)
+           (Pairing.final_exponentiation_ref prms f))
+  done;
+  let mv = Pairing.miller_loop_ref prms (rand_pt ()) (rand_pt ()) in
+  Alcotest.(check bool) (name ^ ": final exp on a miller value") true
+    (Fp2.equal
+       (Pairing.final_exponentiation prms mv)
+       (Pairing.final_exponentiation_ref prms mv));
+  Alcotest.(check bool) (name ^ ": final exp of 1 is 1") true
+    (Fp2.equal
+       (Pairing.final_exponentiation prms (Fp2.one fp))
+       (Pairing.final_exponentiation_ref prms (Fp2.one fp)));
+  (* Low-order first arguments (order divides the even cofactor, so the
+     sample includes even-order points): the NAF schedule degenerates on
+     these — its chord steps can hit T = dP with coincident operands —
+     and must fall back to the binary loop, which mirrors the reference
+     branch for branch. Still bit-identical. *)
+  let qpt = rand_pt () in
+  List.iter
+    (fun i ->
+      let l =
+        Curve.mul curve q
+          (Pairing.hash_to_g1_unclamped prms (Printf.sprintf "low-%s-%d" name i))
+      in
+      Alcotest.(check bool) (name ^ ": low-order pairing = ref") true
+        (Fp2.equal (Pairing.pairing prms l qpt) (Pairing.pairing_ref prms l qpt)))
+    [ 1; 2; 3; 4 ]
+
+let test_kernel_vs_ref_toy () =
+  check_kernel_vs_reference (Pairing.toy64 ());
+  check_kernel_vs_reference (Pairing.toy64b ())
+
+let test_kernel_vs_ref_all_sets () =
+  List.iter
+    (fun name -> check_kernel_vs_reference (Option.get (Pairing.by_name name)))
+    Pairing.all_names
+
+let prop_kernel_pairing_matches_ref =
+  QCheck2.Test.make ~name:"pairing = pairing_ref (random scalars)" ~count:20
+    QCheck2.Gen.(pair gen_scalar gen_scalar)
+    (fun (a, b) ->
+      let p = Curve.mul curve a g and q' = Curve.mul curve b g in
+      Fp2.equal (Pairing.pairing prms p q') (Pairing.pairing_ref prms p q'))
+
 let test_param_search_small () =
   let rng = Hashing.Drbg.create ~seed:"param-search-test" () in
   let p, q = Param_search.generate ~rng ~qbits:32 ~pbits:48 () in
@@ -388,6 +479,11 @@ let () =
         Alcotest.test_case "toy sets equivalence" `Quick test_prepared_toy_sets
         :: Alcotest.test_case "all sets equivalence" `Slow test_prepared_all_sets
         :: qc [ prop_prepared_random_points ] );
+      ( "kernel-vs-ref",
+        Alcotest.test_case "toy sets differential" `Quick test_kernel_vs_ref_toy
+        :: Alcotest.test_case "all sets differential" `Slow
+             test_kernel_vs_ref_all_sets
+        :: qc [ prop_kernel_pairing_matches_ref ] );
       ( "family2",
         [
           Alcotest.test_case "bilinear+nondegenerate" `Quick test_family2_bilinear_nondegenerate;
