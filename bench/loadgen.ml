@@ -1,0 +1,547 @@
+(* loadgen: the E13 client-load harness for the socket daemon.
+
+     dune exec bench/loadgen.exe -- --clients 100000 --ticks 200
+
+   Drives 10^5..10^6 {e simulated} clients against {!Net_server} through a
+   bounded pool of real connections. The multiplexing is forced by the
+   platform, not chosen for convenience: [Unix.select] tops out at
+   FD_SETSIZE (1024) descriptors, so the harness opens [--conns] real
+   subscriber sockets and models [clients/conns] clients behind each —
+   honest for the {e server}, whose per-epoch work is one encode plus one
+   queued reference per connection either way (that is the encode-once
+   property under test), and reported explicitly in the JSON so nobody
+   mistakes a sample for a census.
+
+   Phases:
+   1. subscribe [--conns] readers (+ [--slow-readers] that never read);
+   2. broadcast [--ticks] epochs back-to-back, measuring sustained
+      updates/sec and client-observed tick->update latency;
+   3. burst extra epochs until back-pressure evicts every slow reader
+      (bounded-memory evidence);
+   4. archive phase: [--archive-conns] pull [--archive-lookups] past
+      epochs (plus one future + one foreign label, both refused);
+   5. client-side work, sampled: batch-verify the distinct updates
+      (Bellare-Garay-Rabin; what a real client would run per epoch) and
+      decrypt [--decrypt-sample] ciphertexts end-to-end;
+   6. query stats over the wire, assert encode-once, write BENCH_E13.json.
+
+   [--quiet] suppresses every nondeterministic line (timings, stamps) so
+   the cram smoke test can pin the output. *)
+
+let die fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("loadgen: " ^ s); exit 1) fmt
+
+(* ---------------------------------------------------------------- args *)
+
+let clients = ref 100_000
+let conns = ref 256
+let slow_readers = ref 16
+let archive_conns = ref 4
+let archive_lookups = ref 1_000
+let ticks = ref 50
+let params = ref "mid128"
+let seed = ref "loadgen-e13"
+let max_queue = ref 64
+let shards = ref 0
+let verify_sample = ref 16
+let decrypt_sample = ref 8
+let json_path = ref "BENCH_E13.json"
+let unix_path = ref ""
+let quiet = ref false
+
+let spec =
+  [
+    ("--clients", Arg.Set_int clients, "N simulated clients (default 100000)");
+    ("--conns", Arg.Set_int conns, "N real subscriber sockets (default 256)");
+    ("--slow-readers", Arg.Set_int slow_readers,
+     "N subscribers that never read (default 16)");
+    ("--archive-conns", Arg.Set_int archive_conns,
+     "N concurrent archive pullers (default 4)");
+    ("--archive-lookups", Arg.Set_int archive_lookups,
+     "N total archive lookups (default 1000)");
+    ("--ticks", Arg.Set_int ticks, "N epochs to broadcast (default 50)");
+    ("--params", Arg.Set_string params, "NAME parameter set (default mid128)");
+    ("--seed", Arg.Set_string seed, "STRING DRBG seed (default loadgen-e13)");
+    ("--max-queue", Arg.Set_int max_queue,
+     "N server per-connection queue bound, frames (default 64)");
+    ("--shards", Arg.Set_int shards, "N server shards (default: core count)");
+    ("--verify-sample", Arg.Set_int verify_sample,
+     "N single-update verifies to time (default 16)");
+    ("--decrypt-sample", Arg.Set_int decrypt_sample,
+     "N end-to-end encrypt/decrypt round trips (default 8)");
+    ("--json", Arg.Set_string json_path,
+     "PATH output table (default BENCH_E13.json; empty = none)");
+    ("--unix", Arg.Set_string unix_path,
+     "PATH socket path (default: private path under /tmp)");
+    ("--quiet", Arg.Set quiet, " deterministic output only (for cram)");
+  ]
+
+(* ------------------------------------------------------------- helpers *)
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let rss_peak_kb () =
+  (* VmHWM: the process's resident-set high-water mark. *)
+  try
+    let ic = open_in "/proc/self/status" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          let line = input_line ic in
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+          else scan ()
+        in
+        scan ())
+  with _ -> 0
+
+let say fmt = Printf.ksprintf (fun s -> if not !quiet then print_string s) fmt
+(* deterministic lines: printed in quiet mode too *)
+let pin fmt = Printf.ksprintf print_string fmt
+
+(* ------------------------------------------------------- connection state *)
+
+type role = Subscriber | Slow | Archive
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  role : role;
+  mutable hello : Netmsg.hello option;
+  mutable tick_stamp : int; (* sent_at_us of the last Net_tick preamble *)
+  mutable last_epoch : int;
+  mutable sent_at : int; (* archive: stamp of the in-flight query *)
+  mutable replies : int; (* archive: responses received *)
+  mutable misses : int;
+  mutable alive : bool;
+}
+
+let connect path role =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  {
+    fd;
+    dec = Frame.Decoder.create ();
+    role;
+    hello = None;
+    tick_stamp = 0;
+    last_epoch = 0;
+    sent_at = 0;
+    replies = 0;
+    misses = 0;
+    alive = true;
+  }
+
+let send_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  Arg.parse spec (fun a -> die "stray argument %S" a) "loadgen [options]";
+  if !conns < 1 || !conns > 900 then
+    die "--conns must be in [1, 900] (select/FD_SETSIZE bound)";
+  if !conns + !slow_readers + !archive_conns > 960 then
+    die "total sockets exceed the select/FD_SETSIZE bound";
+  let prms =
+    match Pairing.by_name !params with
+    | Some p -> p
+    | None -> die "unknown parameter set %S" !params
+  in
+  let timeline = Timeline.create ~origin:"utc" ~granularity:1.0 () in
+  let path =
+    if !unix_path <> "" then !unix_path
+    else Filename.temp_file "tre-loadgen" ".sock"
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let cfg =
+    {
+      (Net_server.default_config prms timeline) with
+      Net_server.unix_path = Some path;
+      shards = (if !shards > 0 then !shards else Pool.recommended ());
+      max_queue_frames = !max_queue;
+    }
+  in
+  let rng = Hashing.Drbg.create ~seed:!seed ~personalization:"loadgen" () in
+  let srv = Net_server.create cfg rng in
+  Net_server.start srv;
+  pin "loadgen: %d simulated clients over %d connections (+%d slow, %d archive)\n"
+    !clients !conns !slow_readers !archive_conns;
+
+  (* -------- phase 1: subscribe ------------------------------------- *)
+  let sub_frame = Frame.encode (Netmsg.subscribe_to_bytes prms) in
+  let subs = Array.init !conns (fun _ -> connect path Subscriber) in
+  let slows = Array.init !slow_readers (fun _ -> connect path Slow) in
+  Array.iter (fun c -> send_all c.fd sub_frame) subs;
+  Array.iter (fun c -> send_all c.fd sub_frame) slows;
+
+  (* Shared decode cache: every connection receives the identical frame
+     bytes (the encode-once property), so the harness decodes each epoch's
+     update exactly once however many connections deliver it. *)
+  let updates : (string, Tre.update) Hashtbl.t = Hashtbl.create 256 in
+  let lat_samples = ref [] in
+  let n_samples = ref 0 in
+  let frames_rcvd = ref 0 in
+  let server_pub = ref None in
+
+  let on_frame c payload =
+    incr frames_rcvd;
+    match Codec.peek_kind payload with
+    | Ok Codec.Net_hello -> (
+        match Netmsg.hello_of_bytes prms payload with
+        | Ok h ->
+            c.hello <- Some h;
+            if !server_pub = None then
+              server_pub :=
+                Some { Tre.Server.g = h.Netmsg.server_g; sg = h.Netmsg.server_sg }
+        | Error e -> die "bad hello: %s" e)
+    | Ok Codec.Net_tick -> (
+        match Netmsg.tick_of_bytes prms payload with
+        | Ok t -> c.tick_stamp <- t.Netmsg.sent_at_us
+        | Error e -> die "bad tick: %s" e)
+    | Ok Codec.Key_update ->
+        let upd =
+          match Hashtbl.find_opt updates payload with
+          | Some u -> u
+          | None -> (
+              match Tre.update_of_bytes prms payload with
+              | Ok u ->
+                  Hashtbl.replace updates payload u;
+                  u
+              | Error e -> die "bad update: %s" e)
+        in
+        (match Timeline.epoch_of_label timeline upd.Tre.update_time with
+        | Some e -> c.last_epoch <- max c.last_epoch e
+        | None -> ());
+        if c.role = Archive then begin
+          c.replies <- c.replies + 1;
+          if c.sent_at > 0 then begin
+            lat_samples := float_of_int (now_us () - c.sent_at) :: !lat_samples;
+            incr n_samples
+          end
+        end
+        else if c.tick_stamp > 0 then begin
+          lat_samples := float_of_int (now_us () - c.tick_stamp) :: !lat_samples;
+          incr n_samples
+        end
+    | Ok Codec.Net_archive_miss ->
+        c.replies <- c.replies + 1;
+        c.misses <- c.misses + 1
+    | Ok Codec.Net_stats -> () (* handled synchronously below *)
+    | Ok k -> die "unexpected frame kind %s" (Codec.kind_label k)
+    | Error e -> die "undecodable frame: %s" e
+  in
+
+  let rbuf = Bytes.create 65536 in
+  let pump_conn c =
+    if c.alive then begin
+      let n = try Unix.read c.fd rbuf 0 (Bytes.length rbuf) with _ -> 0 in
+      if n = 0 then c.alive <- false
+      else
+        match Frame.Decoder.feed c.dec rbuf 0 n with
+        | Error e -> die "framing: %s" e
+        | Ok () ->
+            let rec drain () =
+              match Frame.Decoder.pop c.dec with
+              | Some p ->
+                  on_frame c p;
+                  drain ()
+              | None -> ()
+            in
+            drain ()
+    end
+  in
+  let pump_ready cs timeout =
+    let fds =
+      Array.to_list cs
+      |> List.filter_map (fun c -> if c.alive then Some c.fd else None)
+    in
+    if fds = [] then false
+    else begin
+      let readable, _, _ = Unix.select fds [] [] timeout in
+      List.iter
+        (fun fd -> Array.iter (fun c -> if c.fd == fd then pump_conn c) cs)
+        readable;
+      readable <> []
+    end
+  in
+  (* wait for every hello *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    Array.exists (fun c -> c.hello = None) subs && Unix.gettimeofday () < deadline
+  do
+    ignore (pump_ready subs 0.1)
+  done;
+  Array.iter (fun c -> if c.hello = None then die "subscriber got no hello") subs;
+  pin "subscribed %d connections\n" !conns;
+
+  (* -------- phase 2: measured broadcast ----------------------------- *)
+  let epoch = ref 0 in
+  let all_caught_up e = Array.for_all (fun c -> c.last_epoch >= e) subs in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to !ticks do
+    incr epoch;
+    Net_server.tick srv !epoch;
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while (not (all_caught_up !epoch)) && Unix.gettimeofday () < deadline do
+      ignore (pump_ready subs 0.05)
+    done;
+    if not (all_caught_up !epoch) then die "epoch %d never reached all conns" !epoch
+  done;
+  let bcast_s = Unix.gettimeofday () -. t0 in
+  let main_epochs = !epoch in
+  pin "broadcast %d epochs to all connections\n" main_epochs;
+  say "  sustained: %.0f updates/s, %.0f real frames/s, %.3g client deliveries/s\n"
+    (float_of_int main_epochs /. bcast_s)
+    (float_of_int (main_epochs * !conns) /. bcast_s)
+    (float_of_int (main_epochs * !clients) /. bcast_s);
+
+  (* -------- phase 3: slow-reader burst ------------------------------ *)
+  let burst_epochs = ref 0 in
+  let burst_cap = 50_000 in
+  if !slow_readers > 0 then begin
+    let evicted () = (Net_server.stats srv).Netmsg.slow_disconnects in
+    while evicted () < !slow_readers && !burst_epochs < burst_cap do
+      incr epoch;
+      incr burst_epochs;
+      Net_server.tick srv !epoch;
+      (* keep honest readers drained so only the slow ones back up *)
+      if !burst_epochs mod 16 = 0 then
+        while pump_ready subs 0.0 do () done
+    done;
+    while pump_ready subs 0.0 do () done;
+    if evicted () < !slow_readers then
+      die "burst cap hit with %d/%d slow readers evicted" (evicted ())
+        !slow_readers;
+    pin "slow readers evicted %d/%d under bounded queues\n" (evicted ())
+      !slow_readers
+  end;
+
+  (* -------- phase 4: archive ---------------------------------------- *)
+  let arch_t0 = Unix.gettimeofday () in
+  let arch_rtts = ref [] in
+  let arch_done = ref 0 in
+  let archives = Array.init !archive_conns (fun _ -> connect path Archive) in
+  let next_query = ref 0 in
+  let send_query (c : conn) =
+    if !next_query < !archive_lookups then begin
+      incr next_query;
+      let e = 1 + (!next_query mod main_epochs) in
+      let q = Netmsg.archive_query_to_bytes prms (Timeline.label timeline e) in
+      c.sent_at <- now_us ();
+      send_all c.fd (Frame.encode q)
+    end
+  in
+  if !archive_conns > 0 && !archive_lookups > 0 then begin
+    let hits0 = (Net_server.stats srv).Netmsg.archive_hits in
+    Array.iter send_query archives;
+    let deadline = Unix.gettimeofday () +. 60.0 in
+    let served = Array.map (fun (c : conn) -> c.replies) archives in
+    while !arch_done < !archive_lookups && Unix.gettimeofday () < deadline do
+      ignore (pump_ready archives 0.05);
+      Array.iteri
+        (fun i c ->
+          while c.replies > served.(i) do
+            served.(i) <- served.(i) + 1;
+            incr arch_done;
+            arch_rtts := float_of_int (now_us () - c.sent_at) :: !arch_rtts;
+            send_query c
+          done)
+        archives
+    done;
+    if !arch_done < !archive_lookups then
+      die "archive phase timed out at %d/%d" !arch_done !archive_lookups;
+    (* negative lookups: a future epoch and a foreign label, both refused *)
+    let c = archives.(0) in
+    send_all c.fd
+      (Frame.encode
+         (Netmsg.archive_query_to_bytes prms (Timeline.label timeline (!epoch + 64))));
+    send_all c.fd
+      (Frame.encode (Netmsg.archive_query_to_bytes prms "mars#1"));
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while c.misses < 2 && Unix.gettimeofday () < deadline do
+      ignore (pump_ready archives 0.05)
+    done;
+    if c.misses <> 2 then die "archive refusals missing (%d/2)" c.misses;
+    let hits = (Net_server.stats srv).Netmsg.archive_hits - hits0 in
+    pin "archive served %d lookups (%d hits), refused future + foreign labels\n"
+      !arch_done hits
+  end;
+  let arch_s = Unix.gettimeofday () -. arch_t0 in
+
+  (* -------- phase 5: sampled client-side work ----------------------- *)
+  let pub = match !server_pub with Some p -> p | None -> die "no hello seen" in
+  let all_updates = Hashtbl.fold (fun _ u acc -> u :: acc) updates [] in
+  let verifier = Tre.Verifier.create prms pub in
+  let vb_t0 = Unix.gettimeofday () in
+  if not (Tre.Verifier.verify_updates prms verifier all_updates) then
+    die "batch verification failed";
+  let vb_s = Unix.gettimeofday () -. vb_t0 in
+  let single_n = min !verify_sample (List.length all_updates) in
+  let vs_t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i u ->
+      if i < single_n && not (Tre.verify_update_with prms verifier u) then
+        die "single verification failed")
+    all_updates;
+  let vs_s = Unix.gettimeofday () -. vs_t0 in
+  pin "verified every distinct update (one BGR batch + %d singles)\n" single_n;
+  say "  batch of %d updates in %.3f ms\n" (List.length all_updates)
+    (vb_s *. 1000.0);
+
+  let dec_n = min !decrypt_sample main_epochs in
+  let dec_s =
+    if dec_n = 0 then 0.0
+    else begin
+      let usec, upub = Tre.User.keygen prms pub rng in
+      let enc = Tre.Encryptor.create prms pub upub in
+      let by_label = Hashtbl.create 16 in
+      List.iter (fun u -> Hashtbl.replace by_label u.Tre.update_time u) all_updates;
+      let pairs =
+        List.init dec_n (fun i ->
+            let lbl = Timeline.label timeline (1 + (i mod main_epochs)) in
+            let msg = Printf.sprintf "E13 message %d" i in
+            (msg, Tre.Encryptor.encrypt enc ~release_time:lbl rng msg, lbl))
+      in
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun (msg, ct, lbl) ->
+          let u = Hashtbl.find by_label lbl in
+          if Tre.decrypt prms usec u ct <> msg then die "decrypt mismatch")
+        pairs;
+      let dt = Unix.gettimeofday () -. t0 in
+      pin "decrypted %d ciphertexts end-to-end\n" dec_n;
+      dt
+    end
+  in
+
+  (* -------- phase 6: stats over the wire, assertions, report --------- *)
+  let stat_conn = connect path Archive in
+  send_all stat_conn.fd (Frame.encode (Netmsg.stats_query_to_bytes prms));
+  let wire_stats = ref None in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while !wire_stats = None && Unix.gettimeofday () < deadline do
+    let readable, _, _ = Unix.select [ stat_conn.fd ] [] [] 0.1 in
+    if readable <> [] then begin
+      let n = Unix.read stat_conn.fd rbuf 0 (Bytes.length rbuf) in
+      if n = 0 then die "stats connection closed"
+      else
+        match Frame.Decoder.feed stat_conn.dec rbuf 0 n with
+        | Error e -> die "framing: %s" e
+        | Ok () -> (
+            match Frame.Decoder.pop stat_conn.dec with
+            | Some p -> (
+                match Netmsg.stats_of_bytes prms p with
+                | Ok s -> wire_stats := Some s
+                | Error e -> die "bad stats: %s" e)
+            | None -> ())
+    end
+  done;
+  let st =
+    match !wire_stats with Some s -> s | None -> die "no stats reply"
+  in
+  let epochs_total = !epoch in
+  if st.Netmsg.updates_encoded <> epochs_total then
+    die "encode-once violated: %d frames built for %d epochs"
+      st.Netmsg.updates_encoded epochs_total;
+  (* Client-side cross-check: every connection received byte-identical
+     frames, so the distinct-frame count equals the epochs observed (some
+     burst-phase frames may still be in flight at drain time). *)
+  let distinct = Hashtbl.length updates in
+  if distinct < main_epochs || distinct > epochs_total then
+    die "distinct update frames %d outside [%d, %d]" distinct main_epochs
+      epochs_total;
+  pin "encode-once: one frame per epoch, byte-identical across %d subscribers\n"
+    (!conns + !slow_readers);
+  say "  %d frames built for %d epochs; harness received %d update copies\n"
+    st.Netmsg.updates_encoded epochs_total !frames_rcvd;
+
+  let lat = Array.of_list !lat_samples in
+  Array.sort compare lat;
+  let ms v = v /. 1000.0 in
+  let p50 = ms (percentile lat 0.50)
+  and p99 = ms (percentile lat 0.99)
+  and p999 = ms (percentile lat 0.999) in
+  let rtts = Array.of_list !arch_rtts in
+  Array.sort compare rtts;
+  let qpeak = st.Netmsg.queue_bytes_peak in
+  let frame_ref = Hashtbl.fold (fun k _ m -> max m (String.length k + 4)) updates 0 in
+  let queue_bound = (!conns + !slow_readers) * !max_queue * (frame_ref + 64) in
+  say "  latency (tick->update, %d samples, each standing for ~%d clients): \
+       p50 %.3f ms, p99 %.3f ms, p99.9 %.3f ms\n"
+    (Array.length lat)
+    (max 1 (!clients / max 1 !conns))
+    p50 p99 p999;
+  say "  archive: %.0f lookups/s, rtt p50 %.3f ms\n"
+    (float_of_int !arch_done /. arch_s)
+    (ms (percentile rtts 0.50));
+  say "  back-pressure: queue peak %d B (analytic ceiling %d B), RSS peak %d kB\n"
+    qpeak queue_bound (rss_peak_kb ());
+
+  if !json_path <> "" then begin
+    let b = Buffer.create 2048 in
+    let field k fmt = Buffer.add_string b (Printf.sprintf "  %S: " k); Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_string b ",\n") fmt in
+    Buffer.add_string b "{\n";
+    field "experiment" "%S" "E13";
+    field "params" "%S" !params;
+    field "clients_simulated" "%d" !clients;
+    field "real_connections" "%d" !conns;
+    field "clients_per_connection" "%d" (!clients / max 1 !conns);
+    field "slow_readers" "%d" !slow_readers;
+    field "epochs_measured" "%d" main_epochs;
+    field "epochs_total" "%d" epochs_total;
+    field "updates_per_sec" "%.1f" (float_of_int main_epochs /. bcast_s);
+    field "real_frames_per_sec" "%.1f"
+      (float_of_int (main_epochs * !conns) /. bcast_s);
+    field "client_deliveries_per_sec" "%.1f"
+      (float_of_int (main_epochs * !clients) /. bcast_s);
+    field "latency_ms_p50" "%.3f" p50;
+    field "latency_ms_p99" "%.3f" p99;
+    field "latency_ms_p999" "%.3f" p999;
+    field "latency_samples" "%d" (Array.length lat);
+    field "latency_note" "%S"
+      "one sample per connection per epoch; each stands for clients_per_connection simulated clients sharing the socket";
+    field "archive_lookups" "%d" !arch_done;
+    field "archive_lookups_per_sec" "%.1f" (float_of_int !arch_done /. arch_s);
+    field "archive_rtt_ms_p50" "%.3f" (ms (percentile rtts 0.50));
+    field "archive_rtt_ms_p99" "%.3f" (ms (percentile rtts 0.99));
+    field "verify_batch_size" "%d" (List.length all_updates);
+    field "verify_batch_ms" "%.3f" (vb_s *. 1000.0);
+    field "verify_batch_us_per_update" "%.1f"
+      (vb_s *. 1e6 /. float_of_int (max 1 (List.length all_updates)));
+    field "verify_single_us" "%.1f" (vs_s *. 1e6 /. float_of_int (max 1 single_n));
+    field "decrypt_sample" "%d" dec_n;
+    field "decrypt_ms_each" "%.3f" (dec_s *. 1000.0 /. float_of_int (max 1 dec_n));
+    field "updates_encoded" "%d" st.Netmsg.updates_encoded;
+    field "encode_once" "%b" (st.Netmsg.updates_encoded = epochs_total);
+    field "slow_disconnects" "%d" st.Netmsg.slow_disconnects;
+    field "queue_bytes_peak" "%d" qpeak;
+    field "queue_bytes_ceiling" "%d" queue_bound;
+    field "protocol_errors" "%d" st.Netmsg.protocol_errors;
+    field "bytes_sent" "%d" st.Netmsg.bytes_sent;
+    field "rss_peak_kb" "%d" (rss_peak_kb ());
+    Buffer.add_string b (Printf.sprintf "  %S: %d\n}\n" "shards" cfg.Net_server.shards);
+    let oc = open_out !json_path in
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    say "  wrote %s\n" !json_path
+  end;
+
+  Array.iter (fun c -> try Unix.close c.fd with _ -> ()) subs;
+  Array.iter (fun c -> try Unix.close c.fd with _ -> ()) slows;
+  Array.iter (fun (c : conn) -> try Unix.close c.fd with _ -> ()) archives;
+  (try Unix.close stat_conn.fd with _ -> ());
+  Net_server.stop srv;
+  (try Sys.remove path with _ -> ());
+  pin "clean shutdown\n"

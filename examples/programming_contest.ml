@@ -26,7 +26,7 @@ let () =
           ~name:(Printf.sprintf "team-%02d" i))
   in
   Passive_server.start server ~net ~first_epoch:1 ~epochs:4
-    ~recipients:(List.map (fun t -> (Client.name t, Client.handler t)) teams);
+    ~recipients:(List.map (fun t -> (Client.name t, Client.on_wire t)) teams);
 
   (* Hours before the start, the organizer sends each team its (team-keyed)
      problem set. *)

@@ -23,7 +23,7 @@ let () =
     Client.create prms ~net ~server:(Passive_server.public server) ~name:"auctioneer"
   in
   Passive_server.start server ~net ~first_epoch:1 ~epochs:12
-    ~recipients:[ (Client.name auctioneer, Client.handler auctioneer) ];
+    ~recipients:[ (Client.name auctioneer, Client.on_wire auctioneer) ];
 
   (* Bidders seal bids at various times before closing. Note the bidders
      never contact the time server: it will never know this auction

@@ -40,12 +40,21 @@ type kind =
   | Epoch_key
   | Threshold_partial
   | Multi_receiver
+  | Net_hello
+  | Net_subscribe
+  | Net_archive_query
+  | Net_archive_miss
+  | Net_tick
+  | Net_stats_query
+  | Net_stats
 
 let all_kinds =
   [
     Ciphertext; Ciphertext_fo; Ciphertext_react; Ciphertext_id; Ciphertext_multi;
     Key_update; User_public; Server_public; User_secret; Server_secret;
     Bls_public; Bls_signature; Epoch_key; Threshold_partial; Multi_receiver;
+    Net_hello; Net_subscribe; Net_archive_query; Net_archive_miss; Net_tick;
+    Net_stats_query; Net_stats;
   ]
 
 let kind_tag = function
@@ -64,6 +73,13 @@ let kind_tag = function
   | Epoch_key -> 0x0D
   | Threshold_partial -> 0x0E
   | Multi_receiver -> 0x0F
+  | Net_hello -> 0x10
+  | Net_subscribe -> 0x11
+  | Net_archive_query -> 0x12
+  | Net_archive_miss -> 0x13
+  | Net_tick -> 0x14
+  | Net_stats_query -> 0x15
+  | Net_stats -> 0x16
 
 let kind_of_tag tag = List.find_opt (fun k -> kind_tag k = tag) all_kinds
 
@@ -83,6 +99,13 @@ let kind_label = function
   | Epoch_key -> "EPOCH KEY"
   | Threshold_partial -> "THRESHOLD PARTIAL"
   | Multi_receiver -> "MULTI RECEIVER KEY"
+  | Net_hello -> "NET HELLO"
+  | Net_subscribe -> "NET SUBSCRIBE"
+  | Net_archive_query -> "NET ARCHIVE QUERY"
+  | Net_archive_miss -> "NET ARCHIVE MISS"
+  | Net_tick -> "NET TICK"
+  | Net_stats_query -> "NET STATS QUERY"
+  | Net_stats -> "NET STATS"
 
 let kind_of_label label = List.find_opt (fun k -> kind_label k = label) all_kinds
 
@@ -114,6 +137,15 @@ let params_fingerprint prms =
 let add_u32 buf n =
   if n < 0 || n > 0xFFFFFFFF then invalid_arg "Codec.add_u32: out of range";
   Buffer.add_string buf (u32_be n)
+
+(* 8-byte big-endian non-negative integer. OCaml's [int] is 63-bit, so
+   the canonical range is [0, 2^62); the decoder rejects anything whose
+   top two bits are set, keeping encode/decode ranges equal. *)
+let add_u64 buf n =
+  if n < 0 then invalid_arg "Codec.add_u64: negative";
+  for i = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
 
 let add_fixed = Buffer.add_string
 
@@ -190,6 +222,17 @@ let read_u32 ?(what = "u32") ?(max = max_var_bytes) r =
   r.pos <- r.pos + 4;
   if n > max then fail "%s: %d exceeds the limit %d" what n max;
   n
+
+let read_u64 ?(what = "u64") r =
+  need r 8 what;
+  let b i = Char.code r.buf.[r.pos + i] in
+  if b 0 land 0xC0 <> 0 then fail "%s: value exceeds the 62-bit wire range" what;
+  let n = ref 0 in
+  for i = 0 to 7 do
+    n := (!n lsl 8) lor b i
+  done;
+  r.pos <- r.pos + 8;
+  !n
 
 let read_var ?(what = "string") ?max r =
   let n = read_u32 ~what:(what ^ " length") ?max r in

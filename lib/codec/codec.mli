@@ -58,6 +58,13 @@ type kind =
   | Epoch_key           (** [Key_insulation.epoch_key] *)
   | Threshold_partial   (** [Threshold_server.partial] *)
   | Multi_receiver      (** [Multi_server.receiver_public] *)
+  | Net_hello           (** daemon: server key + timeline + current epoch *)
+  | Net_subscribe       (** daemon: join the broadcast fan-out *)
+  | Net_archive_query   (** daemon: missed-update lookup by label (§6) *)
+  | Net_archive_miss    (** daemon: negative archive answer + reason *)
+  | Net_tick            (** daemon: broadcast preamble (label, send stamp) *)
+  | Net_stats_query     (** daemon: operational counters request *)
+  | Net_stats           (** daemon: operational counters *)
 
 val all_kinds : kind list
 val kind_tag : kind -> int
@@ -93,6 +100,11 @@ val encode : Pairing.params -> kind -> (Buffer.t -> unit) -> string
     buffer, and returns the bytes. *)
 
 val add_u32 : Buffer.t -> int -> unit
+
+val add_u64 : Buffer.t -> int -> unit
+(** 8-byte big-endian; canonical range [0, 2^62) (OCaml ints are 63-bit —
+    the decoder rejects the top two bits to keep ranges equal). *)
+
 val add_fixed : Buffer.t -> string -> unit
 val add_var : Buffer.t -> string -> unit
 (** 4-byte big-endian length prefix, then the bytes. *)
@@ -132,6 +144,7 @@ val fail : ('a, unit, string, 'b) format4 -> 'a
 val remaining : reader -> int
 val read_u8 : ?what:string -> reader -> int
 val read_u32 : ?what:string -> ?max:int -> reader -> int
+val read_u64 : ?what:string -> reader -> int
 val read_fixed : ?what:string -> reader -> int -> string
 val read_var : ?what:string -> ?max:int -> reader -> string
 val read_label : ?what:string -> reader -> string

@@ -1,0 +1,100 @@
+let default_max_payload = 1 lsl 20
+
+let encode payload =
+  let n = String.length payload in
+  if n > default_max_payload then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let add buf payload = Buffer.add_string buf (encode payload)
+
+module Decoder = struct
+  (* One flat accumulation buffer with a consume cursor; compacted when
+     the consumed prefix dominates, so steady-state memory is bounded by
+     one maximal frame plus one read chunk regardless of how long the
+     connection lives. *)
+  type t = {
+    mutable buf : Bytes.t;
+    mutable start : int; (* first unconsumed byte *)
+    mutable len : int; (* bytes buffered from [start] *)
+    max_payload : int;
+    mutable failed : string option;
+  }
+
+  let create ?(max_payload = default_max_payload) () =
+    { buf = Bytes.create 4096; start = 0; len = 0; max_payload; failed = None }
+
+  let compact t =
+    if t.start > 0 then begin
+      Bytes.blit t.buf t.start t.buf 0 t.len;
+      t.start <- 0
+    end
+
+  let ensure t extra =
+    compact t;
+    let need = t.len + extra in
+    if need > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit t.buf 0 nb 0 t.len;
+      t.buf <- nb
+    end
+
+  (* Declared length of the pending frame, if the 4-byte prefix is in. *)
+  let pending_length t =
+    if t.len < 4 then None
+    else begin
+      let b i = Char.code (Bytes.get t.buf (t.start + i)) in
+      Some ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
+    end
+
+  let oversize t n =
+    let msg =
+      Printf.sprintf "framing: declared frame length %d exceeds the %d limit" n
+        t.max_payload
+    in
+    t.failed <- Some msg;
+    msg
+
+  let feed t buf off len =
+    match t.failed with
+    | Some msg -> Error msg
+    | None ->
+        ensure t len;
+        Bytes.blit buf off t.buf t.len len;
+        t.len <- t.len + len;
+        (* Reject an oversized declaration as soon as the prefix is
+           visible — before buffering any of the claimed payload. *)
+        (match pending_length t with
+        | Some n when n > t.max_payload -> Error (oversize t n)
+        | _ -> Ok ())
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+  let pop t =
+    if t.failed <> None then None
+    else
+      match pending_length t with
+      | Some n when t.len >= 4 + n ->
+          let payload = Bytes.sub_string t.buf (t.start + 4) n in
+          t.start <- t.start + 4 + n;
+          t.len <- t.len - 4 - n;
+          if t.len = 0 then t.start <- 0;
+          (* A following oversized prefix becomes visible only now. *)
+          (match pending_length t with
+          | Some m when m > t.max_payload -> ignore (oversize t m)
+          | _ -> ());
+          Some payload
+      | _ -> None
+
+  let buffered t = t.len
+  let error t = t.failed
+end

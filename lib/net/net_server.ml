@@ -1,0 +1,545 @@
+(* The networked passive time server.
+
+   Architecture (DESIGN §2): one listener thread accepts on the Unix
+   and/or TCP listening sockets and deals connections round-robin to N
+   shard domains. Each shard owns its connections outright — reads,
+   frame decoding, request dispatch and writes for a connection all
+   happen on its shard, so there is no per-connection locking anywhere.
+   Cross-shard traffic is two Treiber stacks per shard (new connections,
+   broadcast frames), pushed with a CAS loop and drained with a single
+   [Atomic.exchange] — the broadcast fan-out path takes no lock — plus a
+   self-pipe byte to interrupt the shard's [select].
+
+   The hot loop is allocation-lean by construction: each update is
+   issued and encoded exactly once per epoch ([frame_for_epoch], a
+   mutex-guarded cache that every shard and the archive path share), and
+   the resulting framed byte string is enqueued by reference on every
+   subscriber — encode once, write N times. Per-connection read scratch
+   is a reused [Bytes] buffer.
+
+   Back-pressure: every connection has a bounded output queue (frame
+   references). A subscriber that stops reading while broadcasts keep
+   coming overflows its bound and is evicted — the server's memory
+   ceiling is [max_queue_frames] references per connection regardless of
+   how many slow readers attack it, and honest subscribers are never
+   throttled by a slow one. *)
+
+type config = {
+  prms : Pairing.params;
+  timeline : Timeline.t;
+  unix_path : string option;
+  tcp_port : int option;
+  tcp_addr : string;
+  udp_dest : (string * int) option;
+  shards : int;
+  max_queue_frames : int;
+  max_payload : int;
+  archive_cache_limit : int;
+}
+
+let default_config prms timeline =
+  {
+    prms;
+    timeline;
+    unix_path = None;
+    tcp_port = None;
+    tcp_addr = "127.0.0.1";
+    udp_dest = None;
+    shards = Pool.recommended ();
+    max_queue_frames = 64;
+    max_payload = Frame.default_max_payload;
+    archive_cache_limit = 4096;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  outq : string Queue.t;
+  mutable out_off : int; (* bytes of the head frame already written *)
+  mutable subscribed : bool;
+  mutable alive : bool;
+  rbuf : Bytes.t;
+}
+
+type shard = {
+  sid : int;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  inbox_conns : Unix.file_descr list Atomic.t;
+  inbox_bcast : string list Atomic.t; (* newest first; drain reverses *)
+}
+
+type t = {
+  cfg : config;
+  secret : Tre.Server.secret;
+  public : Tre.Server.public;
+  frames : (int, string) Hashtbl.t; (* epoch -> framed Key_update bytes *)
+  frames_lock : Mutex.t;
+  last_epoch : int Atomic.t;
+  shards : shard array;
+  mutable listeners : Unix.file_descr list;
+  mutable udp : (Unix.file_descr * Unix.sockaddr) option;
+  stopping : bool Atomic.t;
+  mutable shard_domains : unit Domain.t list;
+  mutable listener_thread : Thread.t option;
+  rr : int Atomic.t;
+  (* stats *)
+  st_accepted : int Atomic.t;
+  st_open : int Atomic.t;
+  st_subscribers : int Atomic.t;
+  st_encoded : int Atomic.t;
+  st_frames_sent : int Atomic.t;
+  st_bytes_sent : int Atomic.t;
+  st_archive_hits : int Atomic.t;
+  st_archive_misses : int Atomic.t;
+  st_proto_errors : int Atomic.t;
+  st_slow_disconnects : int Atomic.t;
+  st_queue_bytes : int Atomic.t;
+  st_queue_peak : int Atomic.t;
+}
+
+(* --- lock-free mailboxes --- *)
+
+let push_atomic cell v =
+  let rec go () =
+    let old = Atomic.get cell in
+    if not (Atomic.compare_and_set cell old (v :: old)) then go ()
+  in
+  go ()
+
+let drain_atomic cell = List.rev (Atomic.exchange cell [])
+
+let wake sh =
+  (* A full pipe already guarantees a pending wake-up. *)
+  try ignore (Unix.single_write_substring sh.wake_w "x" 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+  -> ()
+
+let bump_peak t =
+  let now = Atomic.get t.st_queue_bytes in
+  let rec go () =
+    let peak = Atomic.get t.st_queue_peak in
+    if now > peak && not (Atomic.compare_and_set t.st_queue_peak peak now) then go ()
+  in
+  go ()
+
+(* --- encode-once update frames --- *)
+
+(* The single place an update is issued and serialized. Broadcast and
+   archive lookups share the cache, so a tick followed by any number of
+   archive pulls of the same epoch still encodes once. The cache is
+   evicted wholesale past a bound — regeneration from [s] is cheap
+   (paper footnote 4) and deterministic, so eviction is invisible to
+   clients and the table cannot be ballooned by archive scans. *)
+let frame_for_epoch t epoch =
+  Mutex.protect t.frames_lock (fun () ->
+      match Hashtbl.find_opt t.frames epoch with
+      | Some f -> f
+      | None ->
+          let label = Timeline.label t.cfg.timeline epoch in
+          let upd = Tre.issue_update t.cfg.prms t.secret label in
+          let f = Frame.encode (Tre.update_to_bytes t.cfg.prms upd) in
+          if Hashtbl.length t.frames >= t.cfg.archive_cache_limit then
+            Hashtbl.reset t.frames;
+          Hashtbl.replace t.frames epoch f;
+          Atomic.incr t.st_encoded;
+          f)
+
+(* --- connection lifecycle (shard-local) --- *)
+
+let queued_bytes c =
+  Queue.fold (fun acc f -> acc + String.length f) (-c.out_off) c.outq
+
+let close_conn t sh c =
+  if c.alive then begin
+    c.alive <- false;
+    ignore (Atomic.fetch_and_add t.st_queue_bytes (-queued_bytes c));
+    if c.subscribed then Atomic.decr t.st_subscribers;
+    Atomic.decr t.st_open;
+    Hashtbl.remove sh.conns c.fd;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let enqueue t sh c frame =
+  if c.alive then begin
+    if Queue.length c.outq >= t.cfg.max_queue_frames then begin
+      (* Back-pressure bound hit: the reader is slower than the
+         broadcast rate. Evict — the frame references it holds are
+         shared, so the memory reclaimed is the queue itself. *)
+      Atomic.incr t.st_slow_disconnects;
+      close_conn t sh c
+    end
+    else begin
+      Queue.push frame c.outq;
+      Atomic.incr t.st_frames_sent;
+      ignore (Atomic.fetch_and_add t.st_queue_bytes (String.length frame));
+      bump_peak t
+    end
+  end
+
+let proto_error t sh c =
+  Atomic.incr t.st_proto_errors;
+  close_conn t sh c
+
+(* --- request dispatch --- *)
+
+let stats t =
+  {
+    Netmsg.conns_accepted = Atomic.get t.st_accepted;
+    conns_open = Atomic.get t.st_open;
+    subscribers = Atomic.get t.st_subscribers;
+    updates_encoded = Atomic.get t.st_encoded;
+    frames_sent = Atomic.get t.st_frames_sent;
+    bytes_sent = Atomic.get t.st_bytes_sent;
+    archive_hits = Atomic.get t.st_archive_hits;
+    archive_misses = Atomic.get t.st_archive_misses;
+    protocol_errors = Atomic.get t.st_proto_errors;
+    slow_disconnects = Atomic.get t.st_slow_disconnects;
+    queue_bytes = Stdlib.max 0 (Atomic.get t.st_queue_bytes);
+    queue_bytes_peak = Atomic.get t.st_queue_peak;
+  }
+
+let hello_frame t =
+  Frame.encode
+    (Netmsg.hello_to_bytes t.cfg.prms
+       {
+         Netmsg.origin = Timeline.origin t.cfg.timeline;
+         granularity_us =
+           int_of_float (Timeline.granularity t.cfg.timeline *. 1e6);
+         current_epoch = Stdlib.max 0 (Atomic.get t.last_epoch);
+         server_g = t.public.Tre.Server.g;
+         server_sg = t.public.Tre.Server.sg;
+       })
+
+let handle_archive t sh c label =
+  match Timeline.epoch_of_label t.cfg.timeline label with
+  | None ->
+      Atomic.incr t.st_archive_misses;
+      enqueue t sh c
+        (Frame.encode (Netmsg.archive_miss_to_bytes t.cfg.prms label Netmsg.Unknown_label))
+  | Some e ->
+      if e > Atomic.get t.last_epoch then begin
+        (* §3: a correct server never releases an update early. *)
+        Atomic.incr t.st_archive_misses;
+        enqueue t sh c
+          (Frame.encode
+             (Netmsg.archive_miss_to_bytes t.cfg.prms label Netmsg.Future_refused))
+      end
+      else begin
+        Atomic.incr t.st_archive_hits;
+        enqueue t sh c (frame_for_epoch t e)
+      end
+
+let dispatch t sh c payload =
+  match Codec.peek_kind payload with
+  | Error _ -> proto_error t sh c
+  | Ok Codec.Net_subscribe -> (
+      match Netmsg.subscribe_of_bytes t.cfg.prms payload with
+      | Ok () ->
+          if not c.subscribed then begin
+            c.subscribed <- true;
+            Atomic.incr t.st_subscribers
+          end;
+          enqueue t sh c (hello_frame t)
+      | Error _ -> proto_error t sh c)
+  | Ok Codec.Net_archive_query -> (
+      match Netmsg.archive_query_of_bytes t.cfg.prms payload with
+      | Ok label -> handle_archive t sh c label
+      | Error _ -> proto_error t sh c)
+  | Ok Codec.Net_stats_query -> (
+      match Netmsg.stats_query_of_bytes t.cfg.prms payload with
+      | Ok () -> enqueue t sh c (Frame.encode (Netmsg.stats_to_bytes t.cfg.prms (stats t)))
+      | Error _ -> proto_error t sh c)
+  | Ok _ ->
+      (* Kind confusion: clients have no business sending key updates,
+         ciphertexts or server responses at the daemon. *)
+      proto_error t sh c
+
+(* --- shard event loop --- *)
+
+let handle_read t sh c =
+  match Unix.read c.fd c.rbuf 0 (Bytes.length c.rbuf) with
+  | 0 ->
+      (* EOF mid-frame is a truncated transmission — count it like any
+         other framing violation; a clean EOF is just a hangup. *)
+      if Frame.Decoder.buffered c.dec > 0 then proto_error t sh c
+      else close_conn t sh c
+  | n -> (
+      match Frame.Decoder.feed c.dec c.rbuf 0 n with
+      | Error _ -> proto_error t sh c
+      | Ok () ->
+          let rec drain () =
+            if c.alive then
+              match Frame.Decoder.pop c.dec with
+              | Some payload ->
+                  dispatch t sh c payload;
+                  drain ()
+              | None -> if Frame.Decoder.error c.dec <> None then proto_error t sh c
+          in
+          drain ())
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t sh c
+
+let handle_write t sh c =
+  let progress = ref true in
+  while c.alive && !progress && not (Queue.is_empty c.outq) do
+    let head = Queue.peek c.outq in
+    let len = String.length head - c.out_off in
+    match Unix.single_write_substring c.fd head c.out_off len with
+    | written ->
+        ignore (Atomic.fetch_and_add t.st_bytes_sent written);
+        ignore (Atomic.fetch_and_add t.st_queue_bytes (-written));
+        if written = len then begin
+          ignore (Queue.pop c.outq);
+          c.out_off <- 0
+        end
+        else begin
+          c.out_off <- c.out_off + written;
+          progress := false
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> progress := false
+    | exception Unix.Unix_error (_, _, _) -> close_conn t sh c
+  done
+
+let adopt t sh fd =
+  let c =
+    {
+      fd;
+      dec = Frame.Decoder.create ~max_payload:t.cfg.max_payload ();
+      outq = Queue.create ();
+      out_off = 0;
+      subscribed = false;
+      alive = true;
+      rbuf = Bytes.create 4096;
+    }
+  in
+  Hashtbl.replace sh.conns fd c
+
+let shard_loop t sh =
+  let rec drain_wake () =
+    match Unix.read sh.wake_r (Bytes.create 64) 0 64 with
+    | 64 -> drain_wake ()
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  while not (Atomic.get t.stopping) do
+    List.iter (adopt t sh) (drain_atomic sh.inbox_conns);
+    (match drain_atomic sh.inbox_bcast with
+    | [] -> ()
+    | frames ->
+        (* Snapshot first: enqueue may evict (mutating the table). *)
+        let cs = Hashtbl.fold (fun _ c acc -> c :: acc) sh.conns [] in
+        List.iter
+          (fun c -> if c.subscribed then List.iter (enqueue t sh c) frames)
+          cs);
+    let rfds, wfds =
+      Hashtbl.fold
+        (fun fd c (r, w) ->
+          (fd :: r, if Queue.is_empty c.outq then w else fd :: w))
+        sh.conns
+        ([ sh.wake_r ], [])
+    in
+    match Unix.select rfds wfds [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* A raced close; the table is re-derived next iteration. *)
+        ()
+    | readable, writable, _ ->
+        if List.memq sh.wake_r readable then drain_wake ();
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt sh.conns fd with
+            | Some c when c.alive -> handle_read t sh c
+            | _ -> ())
+          readable;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt sh.conns fd with
+            | Some c when c.alive -> handle_write t sh c
+            | _ -> ())
+          writable
+  done;
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) sh.conns;
+  Hashtbl.reset sh.conns
+
+(* --- listener --- *)
+
+let assign t fd =
+  let i = Atomic.fetch_and_add t.rr 1 mod Array.length t.shards in
+  let sh = t.shards.(i) in
+  push_atomic sh.inbox_conns fd;
+  wake sh
+
+let listener_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select t.listeners [] [] 0.2 with
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun lfd ->
+            let continue = ref true in
+            while !continue do
+              match Unix.accept ~cloexec:true lfd with
+              | fd, _ ->
+                  Unix.set_nonblock fd;
+                  Atomic.incr t.st_accepted;
+                  Atomic.incr t.st_open;
+                  assign t fd
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                  continue := false
+              | exception Unix.Unix_error (_, _, _) -> continue := false
+            done)
+          ready
+  done
+
+(* --- construction / control --- *)
+
+let make_shard sid =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    sid;
+    conns = Hashtbl.create 64;
+    wake_r;
+    wake_w;
+    inbox_conns = Atomic.make [];
+    inbox_bcast = Atomic.make [];
+  }
+
+let create ?secret (cfg : config) rng =
+  if cfg.shards < 1 then invalid_arg "Net_server.create: shards must be >= 1";
+  let secret, public =
+    match secret with
+    | Some s -> (s, Tre.Server.public_of_secret cfg.prms s)
+    | None -> Tre.Server.keygen cfg.prms rng
+  in
+  {
+    cfg;
+    secret;
+    public;
+    frames = Hashtbl.create 64;
+    frames_lock = Mutex.create ();
+    last_epoch = Atomic.make 0;
+    shards = Array.init cfg.shards make_shard;
+    listeners = [];
+    udp = None;
+    stopping = Atomic.make false;
+    shard_domains = [];
+    listener_thread = None;
+    rr = Atomic.make 0;
+    st_accepted = Atomic.make 0;
+    st_open = Atomic.make 0;
+    st_subscribers = Atomic.make 0;
+    st_encoded = Atomic.make 0;
+    st_frames_sent = Atomic.make 0;
+    st_bytes_sent = Atomic.make 0;
+    st_archive_hits = Atomic.make 0;
+    st_archive_misses = Atomic.make 0;
+    st_proto_errors = Atomic.make 0;
+    st_slow_disconnects = Atomic.make 0;
+    st_queue_bytes = Atomic.make 0;
+    st_queue_peak = Atomic.make 0;
+  }
+
+let public t = t.public
+let current_epoch t = Atomic.get t.last_epoch
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 512;
+  Unix.set_nonblock fd;
+  fd
+
+let listen_tcp addr port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+  Unix.listen fd 512;
+  Unix.set_nonblock fd;
+  fd
+
+let start t =
+  let ls = ref [] in
+  (match t.cfg.unix_path with Some p -> ls := listen_unix p :: !ls | None -> ());
+  (match t.cfg.tcp_port with
+  | Some port -> ls := listen_tcp t.cfg.tcp_addr port :: !ls
+  | None -> ());
+  if !ls = [] then invalid_arg "Net_server.start: no transport configured";
+  t.listeners <- !ls;
+  (match t.cfg.udp_dest with
+  | Some (addr, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_DGRAM 0 in
+      Unix.setsockopt fd Unix.SO_BROADCAST true;
+      t.udp <- Some (fd, Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+  | None -> ());
+  t.shard_domains <-
+    Array.to_list
+      (Array.map (fun sh -> Domain.spawn (fun () -> shard_loop t sh)) t.shards);
+  t.listener_thread <- Some (Thread.create listener_loop t)
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+(* The per-epoch broadcast: encode once, fan the same frame out to every
+   shard (lock-free push + wake). The tick preamble carries the server's
+   send stamp so the load harness can measure client-observed latency
+   without trusting anything but the shared host clock. *)
+let tick t epoch =
+  let label = Timeline.label t.cfg.timeline epoch in
+  let upd_frame = frame_for_epoch t epoch in
+  let rec raise_epoch () =
+    let cur = Atomic.get t.last_epoch in
+    if epoch > cur && not (Atomic.compare_and_set t.last_epoch cur epoch) then
+      raise_epoch ()
+  in
+  raise_epoch ();
+  let tick_frame =
+    Frame.encode
+      (Netmsg.tick_to_bytes t.cfg.prms
+         { Netmsg.tick_label = label; sent_at_us = now_us () })
+  in
+  Array.iter
+    (fun sh ->
+      push_atomic sh.inbox_bcast tick_frame;
+      push_atomic sh.inbox_bcast upd_frame;
+      wake sh)
+    t.shards;
+  match t.udp with
+  | Some (fd, dest) ->
+      let datagram = tick_frame ^ upd_frame in
+      (try
+         ignore
+           (Unix.sendto_substring fd datagram 0 (String.length datagram) [] dest)
+       with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    Array.iter wake t.shards;
+    List.iter Domain.join t.shard_domains;
+    t.shard_domains <- [];
+    (match t.listener_thread with Some th -> Thread.join th | None -> ());
+    t.listener_thread <- None;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+    t.listeners <- [];
+    (match t.udp with
+    | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    t.udp <- None;
+    Array.iter
+      (fun sh ->
+        (try Unix.close sh.wake_r with Unix.Unix_error _ -> ());
+        try Unix.close sh.wake_w with Unix.Unix_error _ -> ())
+      t.shards;
+    match t.cfg.unix_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ()
+  end

@@ -6,8 +6,16 @@
    slice of the output array — so ordering is positional and the output of
    a pure function is bit-identical to [List.map], whatever the timing. *)
 
+type stats = {
+  batches : int;
+  parallel_batches : int;
+  chunks_by_lane : int array;
+  items_by_lane : int array;
+}
+
 type t = {
   size : int;
+  oversubscribed : bool; (* measurement mode: lanes beyond the core count *)
   lock : Mutex.t; (* guards job/generation/stopped/workers *)
   work : Condition.t;
   mutable job : (unit -> unit) option; (* the current batch's claim loop *)
@@ -15,10 +23,31 @@ type t = {
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
   submit : Mutex.t; (* serializes concurrent map calls on one pool *)
+  (* Scheduling observability: chunks/items retired per lane (lane 0 is
+     the calling domain). Atomics because stats may be read while a
+     batch is in flight; per-lane writes never contend. *)
+  st_batches : int Atomic.t;
+  st_parallel : int Atomic.t;
+  st_chunks : int Atomic.t array;
+  st_items : int Atomic.t array;
 }
 
 let size t = t.size
 let recommended () = Domain.recommended_domain_count ()
+
+let stats t =
+  {
+    batches = Atomic.get t.st_batches;
+    parallel_batches = Atomic.get t.st_parallel;
+    chunks_by_lane = Array.map Atomic.get t.st_chunks;
+    items_by_lane = Array.map Atomic.get t.st_items;
+  }
+
+let reset_stats t =
+  Atomic.set t.st_batches 0;
+  Atomic.set t.st_parallel 0;
+  Array.iter (fun a -> Atomic.set a 0) t.st_chunks;
+  Array.iter (fun a -> Atomic.set a 0) t.st_items
 
 (* A worker loops: wait for a generation bump, snapshot the job, run its
    claim loop to exhaustion, repeat. A stale wake-up is harmless — the
@@ -47,7 +76,7 @@ let shutdown pool =
   Mutex.unlock pool.lock;
   List.iter Domain.join workers
 
-let create ?domains () =
+let create ?domains ?(oversubscribe = false) () =
   let size =
     match domains with
     | Some n when n < 1 -> invalid_arg "Pool.create: domains must be >= 1"
@@ -57,6 +86,7 @@ let create ?domains () =
   let pool =
     {
       size;
+      oversubscribed = oversubscribe;
       lock = Mutex.create ();
       work = Condition.create ();
       job = None;
@@ -64,6 +94,10 @@ let create ?domains () =
       stopped = false;
       workers = [];
       submit = Mutex.create ();
+      st_batches = Atomic.make 0;
+      st_parallel = Atomic.make 0;
+      st_chunks = Array.init size (fun _ -> Atomic.make 0);
+      st_items = Array.init size (fun _ -> Atomic.make 0);
     }
   in
   (* Workers beyond the host's core count are never spawned, not merely
@@ -71,8 +105,11 @@ let create ?domains () =
      minor-GC handshake (via its backup thread), which measurably slows
      allocation-heavy pairing work on the domains that do run. An
      oversized pool therefore behaves exactly like one sized to the
-     host. *)
-  let spawned = Stdlib.max 0 (Stdlib.min size (recommended ()) - 1) in
+     host. [oversubscribe] lifts the cap for measurement only — it is
+     how the E10 bench bounds the cost of lanes beyond the core count
+     on hosts where they cannot help. *)
+  let cap = if oversubscribe then size else Stdlib.min size (recommended ()) in
+  let spawned = Stdlib.max 0 (cap - 1) in
   pool.workers <-
     List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
   (* A live domain parked on a condition variable would keep the process
@@ -85,12 +122,17 @@ let serial_map f xs = List.map f xs
 let map pool f xs =
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | _ when pool.size = 1 || pool.stopped -> serial_map f xs
+  | [ x ] ->
+      Atomic.incr pool.st_batches;
+      [ f x ]
+  | _ when pool.size = 1 || pool.stopped ->
+      Atomic.incr pool.st_batches;
+      serial_map f xs
   | _ ->
       Mutex.lock pool.submit;
       let finally () = Mutex.unlock pool.submit in
       Fun.protect ~finally (fun () ->
+          Atomic.incr pool.st_batches;
           let arr = Array.of_list xs in
           let n = Array.length arr in
           let results = Array.make n None in
@@ -98,11 +140,17 @@ let map pool f xs =
              RUNNING domain joins the stop-the-world minor-collection
              handshake, so lanes beyond the core count don't just fail to
              help — time-slicing delays every handshake and slows the whole
-             batch down. Extra workers simply stay parked. *)
-          let active = Stdlib.min pool.size (recommended ()) in
+             batch down. Extra workers simply stay parked (unless the pool
+             was built with [oversubscribe], which exists to measure
+             exactly that slowdown). *)
+          let active =
+            if pool.oversubscribed then pool.size
+            else Stdlib.min pool.size (recommended ())
+          in
           (* A few chunks per lane balances skew against claim traffic;
              per-item crypto work is heavy, so chunks can be small. *)
           let lanes = Stdlib.min active n in
+          if lanes > 1 then Atomic.incr pool.st_parallel;
           let chunk = Stdlib.max 1 (n / (4 * lanes)) in
           let nchunks = (n + chunk - 1) / chunk in
           let next = Atomic.make 0 in
@@ -110,7 +158,7 @@ let map pool f xs =
           let done_lock = Mutex.create () in
           let done_cond = Condition.create () in
           let completed = ref 0 in
-          let run () =
+          let run lane =
             let rec claim () =
               let c = Atomic.fetch_and_add next 1 in
               if c < nchunks then begin
@@ -122,7 +170,9 @@ let map pool f xs =
                      let hi = Stdlib.min n (lo + chunk) in
                      for i = lo to hi - 1 do
                        results.(i) <- Some (f arr.(i))
-                     done
+                     done;
+                     Atomic.incr pool.st_chunks.(lane);
+                     ignore (Atomic.fetch_and_add pool.st_items.(lane) (hi - lo))
                    with e ->
                      let bt = Printexc.get_raw_backtrace () in
                      ignore (Atomic.compare_and_set failed None (Some (e, bt))));
@@ -146,7 +196,8 @@ let map pool f xs =
              it runs the claim loop alone (same code path, no wake-ups). *)
           let admitted = Atomic.make 0 in
           let worker_run () =
-            if Atomic.fetch_and_add admitted 1 < lanes - 1 then run ()
+            let a = Atomic.fetch_and_add admitted 1 in
+            if a < lanes - 1 then run (a + 1)
           in
           if lanes > 1 then begin
             Mutex.lock pool.lock;
@@ -155,7 +206,7 @@ let map pool f xs =
             Condition.broadcast pool.work;
             Mutex.unlock pool.lock
           end;
-          run ();
+          run 0;
           Mutex.lock done_lock;
           while !completed < nchunks do
             Condition.wait done_cond done_lock

@@ -41,15 +41,39 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+type stats = {
+  batches : int;  (** [map]/[iter] calls, serial fallbacks included *)
+  parallel_batches : int;  (** batches that entered the multi-lane path *)
+  chunks_by_lane : int array;
+      (** chunks retired per lane; index 0 is the calling domain, index
+          [k > 0] the [k]-th admitted worker of each batch *)
+  items_by_lane : int array;  (** list elements processed per lane *)
+}
+(** Scheduling observability: who actually did the work. The per-lane sums
+    equal the totals handed to [map] (every element is processed exactly
+    once), so a healthy multi-core run shows items spread across lanes
+    while a 1-core host shows everything on lane 0 — the evidence the E10
+    bench records in place of assuming scaling. *)
+
+val create : ?domains:int -> ?oversubscribe:bool -> unit -> t
 (** Create a pool of [domains] total lanes (the caller plus up to
     [domains - 1] worker domains — capped so caller + workers never
     exceed [recommended ()], see the oversubscription guard above).
     Defaults to [Domain.recommended_domain_count ()]. The workers are
     parked on a condition variable between batches; the pool registers an
     [at_exit] shutdown so a forgotten pool cannot leave the process
-    hanging on live domains. Raises [Invalid_argument] if
-    [domains < 1]. *)
+    hanging on live domains. [oversubscribe] (default [false]) lifts the
+    core-count cap — spawning and admitting all [domains - 1] workers even
+    beyond [recommended ()] — for measurement only: it is how the E10
+    bench bounds the GC-handshake cost of extra lanes instead of asserting
+    it. Raises [Invalid_argument] if [domains < 1]. *)
+
+val stats : t -> stats
+(** Snapshot of the counters since creation (or the last {!reset_stats}).
+    Safe to call while a batch is in flight; the snapshot is then merely
+    slightly stale, never torn per-counter. *)
+
+val reset_stats : t -> unit
 
 val size : t -> int
 (** Total lanes, including the calling domain. *)

@@ -56,27 +56,39 @@ let drain_pending t =
   t.pending <- List.filter (fun ct -> not (try_decrypt t ct)) t.pending
 
 let handler t upd =
+  (* Duplicate deliveries are idempotent (re-verify, re-cache the same
+     value); out-of-order deliveries are absorbed by the cache — nothing
+     here depends on epochs arriving in sequence. *)
   if Tre.verify_update_with t.prms t.verifier upd then begin
     Hashtbl.replace t.updates upd.Tre.update_time upd;
     drain_pending t
   end
   else t.rejected <- t.rejected + 1
 
+(* The broadcast-channel entry point: what arrives is the server's shared
+   wire bytes (encoded once for all recipients); decoding — and rejecting
+   malformed bytes — is this client's own work. *)
+let on_wire t payload =
+  match Tre.update_of_bytes t.prms payload with
+  | Ok upd -> handler t upd
+  | Error _ -> t.rejected <- t.rejected + 1
+
 let enqueue_ciphertext t ct =
   if not (try_decrypt t ct) then t.pending <- ct :: t.pending
 
 let fetch_missing t net server lbl =
-  (* Anonymous pull of public data: request then response, both traced. *)
+  (* Anonymous pull of public data: request then response, both traced.
+     The response rides the same encode-once cache as the broadcast. *)
   Simnet.send net ~src:t.name ~dst:(Passive_server.name server)
     ~kind:"archive-request" ~bytes:(String.length lbl) (fun () ->
-      match Passive_server.archive_lookup server net lbl with
+      match Passive_server.archive_lookup_bytes server net lbl with
       | None -> ()
-      | Some upd ->
+      | Some payload ->
           Simnet.send net
             ~src:(Passive_server.name server)
             ~dst:t.name ~kind:"archive-response"
-            ~bytes:(Passive_server.update_size server)
-            (fun () -> handler t upd))
+            ~bytes:(String.length payload)
+            (fun () -> on_wire t payload))
 
 let deliveries t = List.rev t.delivered
 let pending_count t = List.length t.pending

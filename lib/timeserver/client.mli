@@ -23,7 +23,15 @@ val create :
 val name : t -> string
 val public_key : t -> Tre.User.public
 val handler : t -> Tre.update -> unit
-(** The broadcast-channel callback: verify, cache, drain pending. *)
+(** The decoded-update callback: verify, cache, drain pending.
+    Idempotent under duplicate delivery and insensitive to epoch
+    arrival order. *)
+
+val on_wire : t -> string -> unit
+(** The broadcast-channel callback: decode the shared wire bytes
+    ({!Tre.update_of_bytes}), then {!handler}. Malformed bytes count as
+    rejected updates. This is the handler to register with
+    {!Passive_server.start}. *)
 
 val enqueue_ciphertext : t -> Tre.ciphertext -> unit
 (** Decrypts immediately if the update is already cached, else waits. *)

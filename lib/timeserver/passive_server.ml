@@ -7,9 +7,11 @@ type t = {
   secret : Tre.Server.secret;
   public : Tre.Server.public;
   issued : (Tre.time, Tre.update) Hashtbl.t;
+  encoded : (Tre.time, string) Hashtbl.t; (* label -> wire bytes, built once *)
   max_skew : float;
   skew_rng : Hashing.Drbg.t;
   mutable updates_issued : int;
+  mutable updates_encoded : int;
   mutable bytes_broadcast : int;
 }
 
@@ -23,9 +25,11 @@ let create ?(max_skew = 0.0) prms ~net ~timeline ~name =
     secret;
     public;
     issued = Hashtbl.create 64;
+    encoded = Hashtbl.create 64;
     max_skew;
     skew_rng = Hashing.Drbg.create ~seed:(name ^ "-clock-skew") ();
     updates_issued = 0;
+    updates_encoded = 0;
     bytes_broadcast = 0;
   }
 
@@ -48,7 +52,6 @@ let max_skew t = t.max_skew
 let public t = t.public
 let timeline t = t.timeline
 let secret t = t.secret
-let update_size t = 4 + 16 + Pairing.point_bytes t.prms (* framing + label + point *)
 
 let issue t epoch =
   let label = Timeline.label t.timeline epoch in
@@ -62,20 +65,43 @@ let issue t epoch =
       Hashtbl.replace t.issued label upd;
       upd
 
+(* Encode-once: the wire bytes of an epoch's update are built exactly
+   once — the broadcast hands the {e same} string to every recipient
+   (via [Simnet.broadcast_bytes]) and the archive serves the same bytes
+   again — mirroring the socket daemon's shared-frame fan-out. *)
+let encoded_update t epoch =
+  let label = Timeline.label t.timeline epoch in
+  match Hashtbl.find_opt t.encoded label with
+  | Some bytes -> bytes
+  | None ->
+      let bytes = Tre.update_to_bytes t.prms (issue t epoch) in
+      Hashtbl.replace t.encoded label bytes;
+      t.updates_encoded <- t.updates_encoded + 1;
+      bytes
+
+let update_size t =
+  (* Real wire size of one update object: codec envelope, length-prefixed
+     label, fixed-width compressed point. The label length varies by a
+     byte or two with the epoch index; epoch 1 is the representative. *)
+  Codec.header_bytes
+  + 4
+  + String.length (Timeline.label t.timeline 1)
+  + Pairing.point_bytes t.prms
+
 (* One broadcast per epoch boundary; server-side cost is a single signing
-   plus a single channel write, independent of |recipients|. The optional
-   pool only parallelizes the RECIPIENTS' verification work at delivery —
-   the server side stays a single signing either way. *)
+   plus a single serialization plus a single channel write, independent
+   of |recipients|. The optional pool only parallelizes the RECIPIENTS'
+   decode+verify work at delivery — the server side stays one signing and
+   one encoding either way. *)
 let start ?pool t ~net ~first_epoch ~epochs ~recipients =
   for e = first_epoch to first_epoch + epochs - 1 do
     let at = Timeline.start_of t.timeline e +. skew t in
     Simnet.schedule net ~at (fun () ->
-        let upd = issue t e in
+        let payload = encoded_update t e in
         t.updates_issued <- t.updates_issued + 1;
-        t.bytes_broadcast <- t.bytes_broadcast + update_size t;
-        Simnet.broadcast ?pool net ~src:t.name ~kind:"key-update"
-          ~bytes:(update_size t)
-          (List.map (fun (nm, handler) -> (nm, fun () -> handler upd)) recipients))
+        t.bytes_broadcast <- t.bytes_broadcast + String.length payload;
+        Simnet.broadcast_bytes ?pool net ~src:t.name ~kind:"key-update" ~payload
+          recipients)
   done
 
 let archive_lookup t net lbl =
@@ -88,5 +114,14 @@ let archive_lookup t net lbl =
          previously broadcast copy because issuing is deterministic. *)
       Some (issue t epoch)
 
+let archive_lookup_bytes t net lbl =
+  match Timeline.epoch_of_label t.timeline lbl with
+  | None -> None
+  | Some epoch ->
+      if Timeline.start_of t.timeline epoch > Simnet.now net then
+        raise Future_update_refused;
+      Some (encoded_update t epoch)
+
 let updates_issued t = t.updates_issued
+let updates_encoded t = t.updates_encoded
 let bytes_broadcast t = t.bytes_broadcast

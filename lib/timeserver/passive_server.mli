@@ -42,14 +42,18 @@ val start :
   net:Simnet.t ->
   first_epoch:int ->
   epochs:int ->
-  recipients:(string * (Tre.update -> unit)) list ->
+  recipients:(string * (string -> unit)) list ->
   unit
-(** Schedule the per-epoch broadcasts. [recipients] is the physical reach
-    of the broadcast channel — the server neither reads nor stores it
-    beyond handing it to the network layer. [pool] is forwarded to
-    {!Simnet.broadcast}: each epoch's surviving deliveries run sharded
-    across the pool's domains (the recipients' verification cost, not the
-    server's — the server does one signing per epoch regardless). *)
+(** Schedule the per-epoch broadcasts. Each epoch's update is issued and
+    serialized {e exactly once} and every recipient handler receives the
+    same immutable wire bytes (decode with {!Tre.update_of_bytes} — see
+    {!Client.on_wire}) — the encode-once broadcast path shared with the
+    socket daemon. [recipients] is the physical reach of the broadcast
+    channel — the server neither reads nor stores it beyond handing it to
+    the network layer. [pool] is forwarded to {!Simnet.broadcast_bytes}:
+    each epoch's surviving deliveries run sharded across the pool's
+    domains (the recipients' decode+verify cost, not the server's — the
+    server does one signing and one encoding per epoch regardless). *)
 
 val archive_lookup : t -> Simnet.t -> Tre.time -> Tre.update option
 (** The public webpage of old updates. [None] for labels from a foreign
@@ -59,7 +63,18 @@ val archive_lookup : t -> Simnet.t -> Tre.time -> Tre.update option
     needs no storage beyond the secret — but we also keep the issued list
     so tests can audit that regeneration matches what was broadcast. *)
 
+val archive_lookup_bytes : t -> Simnet.t -> Tre.time -> string option
+(** {!archive_lookup}, serving the cached wire bytes (the exact string
+    that was — or would be — broadcast for that epoch). Same
+    future-refusal and foreign-label behaviour. *)
+
 val updates_issued : t -> int
+
+val updates_encoded : t -> int
+(** Distinct epochs whose update was serialized — stays equal to the
+    number of epochs touched {e however many recipients there are}; the
+    encode-once invariant asserted by tests. *)
+
 val bytes_broadcast : t -> int
 val update_size : t -> int
 (** Wire size of one update — the per-epoch broadcast cost. *)

@@ -89,6 +89,17 @@ let broadcast ?pool t ~src ~kind ~bytes recipients =
         schedule_in t ~delay:max_delay (fun () ->
             Pool.iter pool (fun handler -> handler ()) survivors)
 
+(* The daemon's encode-once discipline, mirrored in the simulator: the
+   caller serializes the payload exactly once and every recipient's
+   handler receives the {e same} immutable string — physically one
+   byte-string shared N ways, so the simulated broadcast cost model and
+   the socket daemon agree. Decoding (and rejecting) is each recipient's
+   own work, as on a real channel. *)
+let broadcast_bytes ?pool t ~src ~kind ~payload recipients =
+  broadcast ?pool t ~src ~kind
+    ~bytes:(String.length payload)
+    (List.map (fun (name, handler) -> (name, fun () -> handler payload)) recipients)
+
 let run t =
   let rec loop () =
     match Event_queue.pop t.queue with

@@ -62,6 +62,16 @@ val broadcast :
     per-recipient loss decisions are identical to the serial path; only
     the handlers' view of the clock collapses to the slowest delivery. *)
 
+val broadcast_bytes :
+  ?pool:Pool.t ->
+  t -> src:string -> kind:string -> payload:string ->
+  (string * (string -> unit)) list -> unit
+(** {!broadcast} for a serialized payload: the caller encodes {e once}
+    and every surviving recipient's handler receives the same immutable
+    string (shared, never copied) — the simulator-side mirror of the
+    daemon's encode-once broadcast path. Traced bytes are the payload's
+    real wire length. *)
+
 val run : t -> unit
 (** Drain the event queue. *)
 

@@ -5,6 +5,7 @@ let create ?(origin = "utc") ~granularity () =
   { origin; granularity }
 
 let granularity t = t.granularity
+let origin t = t.origin
 let epoch_at t instant = int_of_float (Float.floor (instant /. t.granularity))
 let label t epoch = Printf.sprintf "%s#%d" t.origin epoch
 

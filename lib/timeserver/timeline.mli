@@ -11,6 +11,9 @@ val create : ?origin:string -> granularity:float -> unit -> t
 (** [granularity] is seconds of simulated time per epoch, > 0. *)
 
 val granularity : t -> float
+val origin : t -> string
+(** The label prefix chosen at creation (default ["utc"]). *)
+
 val epoch_at : t -> float -> int
 (** Epoch index containing the given instant (floor). *)
 

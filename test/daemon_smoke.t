@@ -1,0 +1,24 @@
+The socket daemon end to end: tre_serverd broadcasts a bounded number of
+epochs over a Unix socket and exits cleanly, and the E13 load harness
+drives a 1000-client (8 real connections) run through subscribe ->
+broadcast -> slow-reader eviction -> archive recovery -> verify ->
+decrypt. Timing lines are suppressed with --quiet; every line below is
+deterministic, and "clean shutdown" is the assertion the CI smoke job
+greps for.
+
+  $ ../bin/tre_serverd.exe --unix ./serverd.sock --ticks 2 --period 0 \
+  >   --seed smoke --params toy64 --quiet
+  clean shutdown
+
+  $ ../bench/loadgen.exe --quiet --params toy64 --clients 1000 --conns 8 \
+  >   --slow-readers 2 --archive-conns 2 --archive-lookups 30 --ticks 5 \
+  >   --verify-sample 4 --decrypt-sample 3 --seed smoke --json ""
+  loadgen: 1000 simulated clients over 8 connections (+2 slow, 2 archive)
+  subscribed 8 connections
+  broadcast 5 epochs to all connections
+  slow readers evicted 2/2 under bounded queues
+  archive served 30 lookups (30 hits), refused future + foreign labels
+  verified every distinct update (one BGR batch + 4 singles)
+  decrypted 3 ciphertexts end-to-end
+  encode-once: one frame per epoch, byte-identical across 10 subscribers
+  clean shutdown

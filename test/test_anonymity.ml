@@ -15,7 +15,7 @@ let tre_trace ~n_clients ~n_messages =
         Client.create prms ~net ~server:(Passive_server.public server)
           ~name:(Printf.sprintf "client-%d" i))
   in
-  let recipients = List.map (fun c -> (Client.name c, Client.handler c)) clients in
+  let recipients = List.map (fun c -> (Client.name c, Client.on_wire c)) clients in
   Passive_server.start server ~net ~first_epoch:1 ~epochs:3 ~recipients;
   let rng = Hashing.Drbg.create ~seed:"senders" () in
   for i = 0 to n_messages - 1 do

@@ -1,0 +1,452 @@
+(* The socket daemon: framing, protocol, fan-out, back-pressure.
+
+   Everything here runs against a REAL Net_server over a Unix-domain
+   socket (or a raw socketpair for the framing-attack cases) — no
+   simulated network. The properties under test are the ones the load
+   harness relies on: length-prefixed framing is strict in both
+   directions, the broadcast path encodes each epoch exactly once and
+   delivers byte-identical frames to every subscriber, the archive
+   endpoint enforces §3's future-refusal, and a reader slower than the
+   broadcast rate is evicted instead of growing server memory. *)
+
+let prms =
+  match Pairing.by_name "toy64" with
+  | Some p -> p
+  | None -> failwith "toy64 params missing"
+
+(* ------------------------------------------------------------ framing *)
+
+let test_frame_roundtrip () =
+  let d = Frame.Decoder.create () in
+  let payloads = [ ""; "x"; String.make 300 'a'; "last" ] in
+  let wire = String.concat "" (List.map Frame.encode payloads) in
+  (match Frame.Decoder.feed_string d wire with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "feed: %s" e);
+  List.iter
+    (fun expect ->
+      match Frame.Decoder.pop d with
+      | Some got -> Alcotest.(check string) "frame payload" expect got
+      | None -> Alcotest.fail "missing frame")
+    payloads;
+  Alcotest.(check bool) "drained" true (Frame.Decoder.pop d = None);
+  Alcotest.(check int) "no residue" 0 (Frame.Decoder.buffered d)
+
+let test_frame_byte_by_byte () =
+  (* The decoder is incremental: one byte per feed must produce exactly
+     the same frames as one big feed. *)
+  let d = Frame.Decoder.create () in
+  let payloads = [ "alpha"; ""; "bravo-bravo" ] in
+  let wire = String.concat "" (List.map Frame.encode payloads) in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      (match Frame.Decoder.feed_string d (String.make 1 ch) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "feed: %s" e);
+      let rec drain () =
+        match Frame.Decoder.pop d with
+        | Some p ->
+            got := p :: !got;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    wire;
+  Alcotest.(check (list string)) "incremental = whole" payloads (List.rev !got)
+
+let test_frame_oversized_rejected () =
+  (* A declared length above max_payload is fatal the moment the prefix
+     is visible — before any payload is buffered. *)
+  let d = Frame.Decoder.create ~max_payload:64 () in
+  let b = Buffer.create 8 in
+  Buffer.add_string b "\x00\x00\x01\x00";
+  (* 256 > 64 *)
+  (match Frame.Decoder.feed_string d (Buffer.contents b) with
+  | Ok () -> Alcotest.fail "oversized prefix accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "error latched" true (Frame.Decoder.error d <> None);
+  Alcotest.(check bool) "no frames after error" true (Frame.Decoder.pop d = None)
+
+let test_frame_oversized_after_valid () =
+  (* The oversized prefix can hide behind a valid frame in the same
+     chunk; pop must surface the good frame, then latch the error. *)
+  let d = Frame.Decoder.create ~max_payload:64 () in
+  let wire = Frame.encode "ok" ^ "\xFF\xFF\xFF\xFF" in
+  (match Frame.Decoder.feed_string d wire with
+  | Ok () -> () (* error may surface now or at pop; either is fine *)
+  | Error _ -> ());
+  (match Frame.Decoder.pop d with
+  | Some p -> Alcotest.(check string) "good frame first" "ok" p
+  | None -> Alcotest.fail "good frame lost");
+  Alcotest.(check bool) "pop stops" true (Frame.Decoder.pop d = None);
+  Alcotest.(check bool) "error visible" true (Frame.Decoder.error d <> None)
+
+let test_frame_truncation_visible () =
+  let d = Frame.Decoder.create () in
+  (* 2 of 4 prefix bytes *)
+  (match Frame.Decoder.feed_string d "\x00\x00" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "feed: %s" e);
+  Alcotest.(check bool) "no frame yet" true (Frame.Decoder.pop d = None);
+  Alcotest.(check int) "truncated prefix buffered" 2 (Frame.Decoder.buffered d);
+  let d = Frame.Decoder.create () in
+  let full = Frame.encode "abcdef" in
+  (match
+     Frame.Decoder.feed_string d (String.sub full 0 (String.length full - 2))
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "feed: %s" e);
+  Alcotest.(check bool) "incomplete payload" true (Frame.Decoder.pop d = None);
+  Alcotest.(check bool) "truncation visible at EOF" true
+    (Frame.Decoder.buffered d > 0)
+
+(* ----------------------------------------------------- daemon harness *)
+
+let fresh_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%s/tre-test-%d-%d.sock" (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) !n
+
+let with_server ?(max_queue = 64) ?(ticks_origin = "utc") f =
+  let timeline = Timeline.create ~origin:ticks_origin ~granularity:1.0 () in
+  let path = fresh_path () in
+  let cfg =
+    {
+      (Net_server.default_config prms timeline) with
+      Net_server.unix_path = Some path;
+      shards = 1;
+      max_queue_frames = max_queue;
+    }
+  in
+  let rng = Hashing.Drbg.create ~seed:"test-net" ~personalization:"daemon" () in
+  let srv = Net_server.create cfg rng in
+  Net_server.start srv;
+  Fun.protect
+    ~finally:(fun () -> Net_server.stop srv)
+    (fun () -> f srv path timeline)
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+type peer = { fd : Unix.file_descr; dec : Frame.Decoder.t }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; dec = Frame.Decoder.create () }
+
+(* Read frames until [n] are available or ~2s pass; EOF is reported as
+   fewer frames than asked. *)
+let read_frames ?(timeout = 2.0) peer n =
+  let buf = Bytes.create 4096 in
+  let frames = ref [] in
+  let count = ref 0 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let eof = ref false in
+  while (not !eof) && !count < n && Unix.gettimeofday () < deadline do
+    let readable, _, _ = Unix.select [ peer.fd ] [] [] 0.1 in
+    if readable <> [] then begin
+      let r = Unix.read peer.fd buf 0 (Bytes.length buf) in
+      if r = 0 then eof := true
+      else
+        match Frame.Decoder.feed peer.dec buf 0 r with
+        | Error e -> Alcotest.failf "client framing: %s" e
+        | Ok () ->
+            let rec drain () =
+              match Frame.Decoder.pop peer.dec with
+              | Some p ->
+                  frames := p :: !frames;
+                  incr count;
+                  drain ()
+              | None -> ()
+            in
+            drain ()
+    end
+  done;
+  List.rev !frames
+
+let expect_eof ?(timeout = 2.0) peer =
+  let buf = Bytes.create 256 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let eof = ref false in
+  while (not !eof) && Unix.gettimeofday () < deadline do
+    let readable, _, _ = Unix.select [ peer.fd ] [] [] 0.1 in
+    if readable <> [] then
+      match Unix.read peer.fd buf 0 (Bytes.length buf) with
+      | 0 -> eof := true
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          eof := true
+  done;
+  Alcotest.(check bool) "server disconnected the peer" true !eof
+
+let subscribe peer =
+  send_all peer.fd (Frame.encode (Netmsg.subscribe_to_bytes prms));
+  match read_frames peer 1 with
+  | [ p ] -> (
+      match Netmsg.hello_of_bytes prms p with
+      | Ok h -> h
+      | Error e -> Alcotest.failf "bad hello: %s" e)
+  | fs -> Alcotest.failf "expected hello, got %d frames" (List.length fs)
+
+(* ------------------------------------------------------ daemon tests *)
+
+let test_subscribe_tick_verify () =
+  with_server (fun srv path timeline ->
+      let c = connect path in
+      let h = subscribe c in
+      Alcotest.(check string) "hello origin" "utc" h.Netmsg.origin;
+      Alcotest.(check int) "hello granularity" 1_000_000 h.Netmsg.granularity_us;
+      Alcotest.(check int) "no epochs yet" 0 h.Netmsg.current_epoch;
+      let pub = Net_server.public srv in
+      Alcotest.(check bool) "hello carries the server key" true
+        (Curve.equal h.Netmsg.server_g pub.Tre.Server.g
+        && Curve.equal h.Netmsg.server_sg pub.Tre.Server.sg);
+      Net_server.tick srv 1;
+      (match read_frames c 2 with
+      | [ t; u ] -> (
+          (match Netmsg.tick_of_bytes prms t with
+          | Ok tk ->
+              Alcotest.(check string) "tick label" (Timeline.label timeline 1)
+                tk.Netmsg.tick_label;
+              Alcotest.(check bool) "tick stamped" true (tk.Netmsg.sent_at_us > 0)
+          | Error e -> Alcotest.failf "bad tick: %s" e);
+          match Tre.update_of_bytes prms u with
+          | Ok upd ->
+              Alcotest.(check string) "update label" (Timeline.label timeline 1)
+                upd.Tre.update_time;
+              Alcotest.(check bool) "update verifies" true
+                (Tre.verify_update prms pub upd)
+          | Error e -> Alcotest.failf "bad update: %s" e)
+      | fs -> Alcotest.failf "expected tick+update, got %d" (List.length fs));
+      Alcotest.(check int) "watermark raised" 1 (Net_server.current_epoch srv);
+      Unix.close c.fd)
+
+let test_encode_once_fanout () =
+  with_server (fun srv path _ ->
+      let peers = List.init 8 (fun _ -> connect path) in
+      List.iter (fun c -> ignore (subscribe c)) peers;
+      Net_server.tick srv 1;
+      Net_server.tick srv 2;
+      let frames =
+        List.map
+          (fun c ->
+            match read_frames c 4 with
+            | [ _; u1; _; u2 ] -> (u1, u2)
+            | fs -> Alcotest.failf "expected 4 frames, got %d" (List.length fs))
+          peers
+      in
+      (* byte-identical across subscribers: the same string was fanned out *)
+      let u1, u2 = List.hd frames in
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check string) "epoch 1 identical" u1 a;
+          Alcotest.(check string) "epoch 2 identical" u2 b)
+        frames;
+      let st = Net_server.stats srv in
+      Alcotest.(check int) "encoded once per epoch, 8 subscribers" 2
+        st.Netmsg.updates_encoded;
+      Alcotest.(check int) "subscribers" 8 st.Netmsg.subscribers;
+      List.iter (fun c -> Unix.close c.fd) peers)
+
+let test_archive_endpoint () =
+  with_server (fun srv path timeline ->
+      let sub = connect path in
+      ignore (subscribe sub);
+      Net_server.tick srv 1;
+      Net_server.tick srv 2;
+      let broadcast2 =
+        match read_frames sub 4 with
+        | [ _; _; _; u2 ] -> u2
+        | fs -> Alcotest.failf "expected 4 frames, got %d" (List.length fs)
+      in
+      let c = connect path in
+      let query lbl =
+        send_all c.fd (Frame.encode (Netmsg.archive_query_to_bytes prms lbl));
+        match read_frames c 1 with
+        | [ p ] -> p
+        | fs -> Alcotest.failf "expected 1 reply, got %d" (List.length fs)
+      in
+      (* hit: byte-identical to the broadcast frame (the same cache) *)
+      let got = query (Timeline.label timeline 2) in
+      Alcotest.(check string) "archive = broadcast bytes" broadcast2 got;
+      (* future epoch: refused, never served (§3) *)
+      (match Netmsg.archive_miss_of_bytes prms (query (Timeline.label timeline 9)) with
+      | Ok (_, Netmsg.Future_refused) -> ()
+      | Ok (_, Netmsg.Unknown_label) -> Alcotest.fail "future mislabeled"
+      | Error e -> Alcotest.failf "expected miss, got: %s" e);
+      (* foreign label: unknown *)
+      (match Netmsg.archive_miss_of_bytes prms (query "mars#1") with
+      | Ok (_, Netmsg.Unknown_label) -> ()
+      | Ok (_, Netmsg.Future_refused) -> Alcotest.fail "foreign mislabeled"
+      | Error e -> Alcotest.failf "expected miss, got: %s" e);
+      let st = Net_server.stats srv in
+      Alcotest.(check int) "one hit" 1 st.Netmsg.archive_hits;
+      Alcotest.(check int) "two misses" 2 st.Netmsg.archive_misses;
+      Unix.close c.fd;
+      Unix.close sub.fd)
+
+let test_backpressure_evicts_slow_reader () =
+  (* A tiny queue bound plus a reader that never reads: the broadcast
+     loop must evict it (bounded memory) while a normal reader keeps
+     receiving every epoch. *)
+  with_server ~max_queue:4 (fun srv path _ ->
+      let slow = connect path in
+      send_all slow.fd (Frame.encode (Netmsg.subscribe_to_bytes prms));
+      let good = connect path in
+      ignore (subscribe good);
+      (* Fill the kernel socket buffer AND the 4-frame queue. *)
+      let evicted = ref false in
+      let epoch = ref 0 in
+      while (not !evicted) && !epoch < 50_000 do
+        incr epoch;
+        Net_server.tick srv !epoch;
+        ignore (read_frames ~timeout:0.01 good 2);
+        evicted := (Net_server.stats srv).Netmsg.slow_disconnects >= 1
+      done;
+      Alcotest.(check bool) "slow reader evicted" true !evicted;
+      (* the good reader is unaffected: it can still receive the next epoch *)
+      incr epoch;
+      Net_server.tick srv !epoch;
+      let saw_update = ref false in
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while (not !saw_update) && Unix.gettimeofday () < deadline do
+        List.iter
+          (fun p ->
+            match Codec.peek_kind p with
+            | Ok Codec.Key_update -> saw_update := true
+            | _ -> ())
+          (read_frames ~timeout:0.1 good 1)
+      done;
+      Alcotest.(check bool) "normal reader still served" true !saw_update;
+      expect_eof slow;
+      Unix.close slow.fd;
+      Unix.close good.fd)
+
+(* --------------------------------------------- adversarial framing *)
+
+let test_attack_truncated_prefix () =
+  with_server (fun srv path _ ->
+      let c = connect path in
+      send_all c.fd "\x00\x00";
+      (* half a length prefix, then hang up mid-frame *)
+      Unix.shutdown c.fd Unix.SHUTDOWN_SEND;
+      expect_eof c;
+      let st = Net_server.stats srv in
+      Alcotest.(check int) "counted as protocol error" 1
+        st.Netmsg.protocol_errors;
+      Unix.close c.fd)
+
+let test_attack_oversized_length () =
+  with_server (fun srv path _ ->
+      let c = connect path in
+      (* declared length 0xFFFFFFFF: fatal on sight, nothing buffered *)
+      send_all c.fd "\xFF\xFF\xFF\xFF";
+      expect_eof c;
+      let st = Net_server.stats srv in
+      Alcotest.(check int) "protocol error" 1 st.Netmsg.protocol_errors;
+      Alcotest.(check int) "no queue growth" 0 st.Netmsg.queue_bytes;
+      Unix.close c.fd)
+
+let test_attack_interleaved_partial_frames () =
+  (* Dribbling valid frames one byte at a time must WORK (the decoder is
+     incremental); the attack only wastes the attacker's time. *)
+  with_server (fun srv path _ ->
+      let c = connect path in
+      let wire = Frame.encode (Netmsg.subscribe_to_bytes prms) in
+      String.iter
+        (fun ch ->
+          send_all c.fd (String.make 1 ch);
+          ignore (Unix.select [] [] [] 0.001))
+        wire;
+      (match read_frames c 1 with
+      | [ p ] -> (
+          match Netmsg.hello_of_bytes prms p with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "bad hello: %s" e)
+      | fs -> Alcotest.failf "expected hello, got %d" (List.length fs));
+      let st = Net_server.stats srv in
+      Alcotest.(check int) "no protocol error" 0 st.Netmsg.protocol_errors;
+      Unix.close c.fd)
+
+let test_attack_kind_confusion () =
+  (* A well-formed codec object of the WRONG kind — a Key_update pushed
+     at the server, a client-bound Net_hello, a Net_stats reply — must
+     disconnect, not confuse the dispatcher. *)
+  with_server (fun srv path timeline ->
+      let pub = Net_server.public srv in
+      let attacks =
+        [
+          (* a valid Key_update (clients receive these, never send them) *)
+          (let rng = Hashing.Drbg.create ~seed:"attacker" () in
+           let sec, _ = Tre.Server.keygen prms rng in
+           Tre.update_to_bytes prms
+             (Tre.issue_update prms sec (Timeline.label timeline 1)));
+          (* a server-to-client hello *)
+          Netmsg.hello_to_bytes prms
+            {
+              Netmsg.origin = "utc";
+              granularity_us = 1_000_000;
+              current_epoch = 0;
+              server_g = pub.Tre.Server.g;
+              server_sg = pub.Tre.Server.sg;
+            };
+          (* raw garbage that is not even an envelope *)
+          "not a codec object";
+        ]
+      in
+      List.iteri
+        (fun i payload ->
+          let c = connect path in
+          send_all c.fd (Frame.encode payload);
+          expect_eof c;
+          Unix.close c.fd;
+          let st = Net_server.stats srv in
+          Alcotest.(check int)
+            (Printf.sprintf "attack %d counted" i)
+            (i + 1) st.Netmsg.protocol_errors)
+        attacks)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "byte-by-byte" `Quick test_frame_byte_by_byte;
+          Alcotest.test_case "oversized rejected" `Quick
+            test_frame_oversized_rejected;
+          Alcotest.test_case "oversized after valid" `Quick
+            test_frame_oversized_after_valid;
+          Alcotest.test_case "truncation visible" `Quick
+            test_frame_truncation_visible;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "subscribe/tick/verify" `Quick
+            test_subscribe_tick_verify;
+          Alcotest.test_case "encode-once fan-out" `Quick
+            test_encode_once_fanout;
+          Alcotest.test_case "archive endpoint" `Quick test_archive_endpoint;
+          Alcotest.test_case "back-pressure eviction" `Quick
+            test_backpressure_evicts_slow_reader;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "truncated prefix" `Quick
+            test_attack_truncated_prefix;
+          Alcotest.test_case "oversized length" `Quick
+            test_attack_oversized_length;
+          Alcotest.test_case "interleaved partials" `Quick
+            test_attack_interleaved_partial_frames;
+          Alcotest.test_case "kind confusion" `Quick test_attack_kind_confusion;
+        ] );
+    ]

@@ -92,6 +92,45 @@ let test_shutdown_degrades_gracefully () =
   Alcotest.(check (list int)) "map after shutdown" (List.map succ xs)
     (Pool.map pool succ xs)
 
+let test_stats_accounting () =
+  (* Every element is processed exactly once, so the per-lane item counts
+     must sum to the sizes handed in — whatever the host's core count
+     decides about how many lanes actually run. *)
+  let pool = Pool.create ~domains:2 () in
+  Pool.reset_stats pool;
+  ignore (Pool.map pool succ (List.init 100 Fun.id));
+  ignore (Pool.map pool succ [ 3 ]);
+  ignore (Pool.map pool succ []);
+  let st = Pool.stats pool in
+  Alcotest.(check int) "batches (empty list uncounted)" 2 st.Pool.batches;
+  let sum = Array.fold_left ( + ) 0 st.Pool.items_by_lane in
+  Alcotest.(check int) "items sum to multi-lane total" 100 sum;
+  Alcotest.(check bool) "at least one chunk retired" true
+    (Array.fold_left ( + ) 0 st.Pool.chunks_by_lane >= 1);
+  Alcotest.(check bool) "parallel <= batches" true
+    (st.Pool.parallel_batches <= st.Pool.batches);
+  Pool.reset_stats pool;
+  let st = Pool.stats pool in
+  Alcotest.(check int) "reset batches" 0 st.Pool.batches;
+  Alcotest.(check int) "reset items" 0
+    (Array.fold_left ( + ) 0 st.Pool.items_by_lane);
+  Pool.shutdown pool
+
+let test_stats_oversubscribed () =
+  (* Lifting the core-count cap must not change results — only which
+     lanes the accounting attributes the work to. *)
+  let pool = Pool.create ~domains:3 ~oversubscribe:true () in
+  let xs = List.init 500 Fun.id in
+  Alcotest.(check (list int)) "oversubscribed map matches" (List.map succ xs)
+    (Pool.map pool succ xs);
+  let st = Pool.stats pool in
+  Alcotest.(check int) "lane arrays sized to the pool" 3
+    (Array.length st.Pool.items_by_lane);
+  Alcotest.(check int) "items conserved" 500
+    (Array.fold_left ( + ) 0 st.Pool.items_by_lane);
+  Alcotest.(check int) "multi-lane batch counted" 1 st.Pool.parallel_batches;
+  Pool.shutdown pool
+
 let () =
   Alcotest.run "runtime"
     [
@@ -112,5 +151,10 @@ let () =
           Alcotest.test_case "size-1 serial" `Quick test_size_one_is_serial;
           Alcotest.test_case "default shared" `Quick test_default_pool_shared;
           Alcotest.test_case "shutdown" `Quick test_shutdown_degrades_gracefully;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "accounting" `Quick test_stats_accounting;
+          Alcotest.test_case "oversubscribed" `Quick test_stats_oversubscribed;
         ] );
     ]

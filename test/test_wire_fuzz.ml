@@ -127,6 +127,75 @@ let targets prms =
       decode_reencode =
         re Multi_server.receiver_public_of_bytes Multi_server.receiver_public_to_bytes;
     };
+    (* Daemon protocol messages: adversary-facing by definition (they
+       arrive over a listening socket), so they get the same treatment
+       as the cryptographic objects. *)
+    {
+      kind = Codec.Net_hello;
+      sample =
+        Netmsg.hello_to_bytes prms
+          {
+            Netmsg.origin = "utc";
+            granularity_us = 1_000_000;
+            current_epoch = 42;
+            server_g = srv_pub.Tre.Server.g;
+            server_sg = srv_pub.Tre.Server.sg;
+          };
+      decode_reencode = re Netmsg.hello_of_bytes Netmsg.hello_to_bytes;
+    };
+    {
+      kind = Codec.Net_subscribe;
+      sample = Netmsg.subscribe_to_bytes prms;
+      decode_reencode =
+        re Netmsg.subscribe_of_bytes (fun p () -> Netmsg.subscribe_to_bytes p);
+    };
+    {
+      kind = Codec.Net_archive_query;
+      sample = Netmsg.archive_query_to_bytes prms "utc#17";
+      decode_reencode =
+        re Netmsg.archive_query_of_bytes (fun p lbl ->
+            Netmsg.archive_query_to_bytes p lbl);
+    };
+    {
+      kind = Codec.Net_archive_miss;
+      sample = Netmsg.archive_miss_to_bytes prms "utc#99" Netmsg.Future_refused;
+      decode_reencode =
+        re Netmsg.archive_miss_of_bytes (fun p (lbl, r) ->
+            Netmsg.archive_miss_to_bytes p lbl r);
+    };
+    {
+      kind = Codec.Net_tick;
+      sample =
+        Netmsg.tick_to_bytes prms
+          { Netmsg.tick_label = "utc#17"; sent_at_us = 1_700_000_000_000_000 };
+      decode_reencode = re Netmsg.tick_of_bytes Netmsg.tick_to_bytes;
+    };
+    {
+      kind = Codec.Net_stats_query;
+      sample = Netmsg.stats_query_to_bytes prms;
+      decode_reencode =
+        re Netmsg.stats_query_of_bytes (fun p () -> Netmsg.stats_query_to_bytes p);
+    };
+    {
+      kind = Codec.Net_stats;
+      sample =
+        Netmsg.stats_to_bytes prms
+          {
+            Netmsg.conns_accepted = 9;
+            conns_open = 5;
+            subscribers = 4;
+            updates_encoded = 17;
+            frames_sent = 170;
+            bytes_sent = 12_345;
+            archive_hits = 3;
+            archive_misses = 1;
+            protocol_errors = 2;
+            slow_disconnects = 1;
+            queue_bytes = 0;
+            queue_bytes_peak = 4_096;
+          };
+      decode_reencode = re Netmsg.stats_of_bytes Netmsg.stats_to_bytes;
+    };
   ]
 
 let kind_name k = Codec.kind_label k
