@@ -1,16 +1,20 @@
 (* loadgen: the E13 client-load harness for the socket daemon.
 
      dune exec bench/loadgen.exe -- --clients 100000 --ticks 200
+     dune exec bench/loadgen.exe -- --backend epoll --conns 9000 --ticks 30
 
    Drives 10^5..10^6 {e simulated} clients against {!Net_server} through a
-   bounded pool of real connections. The multiplexing is forced by the
-   platform, not chosen for convenience: [Unix.select] tops out at
-   FD_SETSIZE (1024) descriptors, so the harness opens [--conns] real
-   subscriber sockets and models [clients/conns] clients behind each —
-   honest for the {e server}, whose per-epoch work is one encode plus one
-   queued reference per connection either way (that is the encode-once
-   property under test), and reported explicitly in the JSON so nobody
-   mistakes a sample for a census.
+   pool of real connections. On the select backend real descriptors are
+   capped by FD_SETSIZE (the harness enforces its historical 900-conn
+   bound); on the epoll backend both the server shards and the harness's
+   own pump run on {!Poller}, so real connections scale to the process fd
+   limit (the harness raises RLIMIT_NOFILE itself — both socket ends
+   live in this one process, so N conns cost ~2N descriptors). Whatever
+   the bound, [--clients] models [clients/conns] simulated clients per
+   socket — honest for the {e server}, whose per-epoch work is one encode
+   plus one queued reference per connection either way (that is the
+   encode-once property under test), and reported explicitly in the JSON
+   so nobody mistakes a sample for a census.
 
    Phases:
    1. subscribe [--conns] readers (+ [--slow-readers] that never read);
@@ -46,7 +50,10 @@ let shards = ref 0
 let verify_sample = ref 16
 let decrypt_sample = ref 8
 let json_path = ref "BENCH_E13.json"
+let json_append = ref false
 let unix_path = ref ""
+let backend_str = ref "auto"
+let no_writev = ref false
 let quiet = ref false
 
 let spec =
@@ -71,8 +78,14 @@ let spec =
      "N end-to-end encrypt/decrypt round trips (default 8)");
     ("--json", Arg.Set_string json_path,
      "PATH output table (default BENCH_E13.json; empty = none)");
+    ("--append", Arg.Set json_append,
+     " append this run as a row of a JSON array at --json PATH");
     ("--unix", Arg.Set_string unix_path,
      "PATH socket path (default: private path under /tmp)");
+    ("--backend", Arg.Set_string backend_str,
+     "NAME server event backend: auto|select|epoll (default auto)");
+    ("--no-writev", Arg.Set no_writev,
+     " server sends one write per frame (the PR 6 baseline)");
     ("--quiet", Arg.Set quiet, " deterministic output only (for cram)");
   ]
 
@@ -150,10 +163,35 @@ let send_all fd s =
 
 let () =
   Arg.parse spec (fun a -> die "stray argument %S" a) "loadgen [options]";
-  if !conns < 1 || !conns > 900 then
-    die "--conns must be in [1, 900] (select/FD_SETSIZE bound)";
-  if !conns + !slow_readers + !archive_conns > 960 then
-    die "total sockets exceed the select/FD_SETSIZE bound";
+  let backend =
+    match Poller.backend_of_string !backend_str with
+    | Ok b -> b
+    | Error e -> die "--backend: %s" e
+  in
+  let effective_backend =
+    match backend with
+    | Some b -> b
+    | None -> if Poller.epoll_available () then Poller.Epoll else Poller.Select
+  in
+  if effective_backend = Poller.Epoll && not (Poller.epoll_available ()) then
+    die "--backend epoll: unavailable on this platform";
+  if !conns < 1 then die "--conns must be >= 1";
+  (match effective_backend with
+  | Poller.Select ->
+      (* The shard select loops cap real descriptors at FD_SETSIZE. *)
+      if !conns > 900 then
+        die "--conns must be <= 900 on the select backend (FD_SETSIZE)";
+      if !conns + !slow_readers + !archive_conns > 960 then
+        die "total sockets exceed the select/FD_SETSIZE bound"
+  | Poller.Epoll ->
+      if !conns > 16_000 then die "--conns must be <= 16000";
+      (* Both socket ends live in this process: ~2 fds per connection
+         plus listeners, pipes, epoll fds and stdio. *)
+      let need = (2 * (!conns + !slow_readers + !archive_conns)) + 128 in
+      let got = Poller.raise_fd_limit need in
+      if got < need then
+        die "fd limit %d < %d needed for %d connections (raise ulimit -n)"
+          got need !conns);
   let prms =
     match Pairing.by_name !params with
     | Some p -> p
@@ -171,6 +209,8 @@ let () =
       Net_server.unix_path = Some path;
       shards = (if !shards > 0 then !shards else Pool.recommended ());
       max_queue_frames = !max_queue;
+      backend;
+      vectored = not !no_writev;
     }
   in
   let rng = Hashing.Drbg.create ~seed:!seed ~personalization:"loadgen" () in
@@ -190,7 +230,14 @@ let () =
      bytes (the encode-once property), so the harness decodes each epoch's
      update exactly once however many connections deliver it. *)
   let updates : (string, Tre.update) Hashtbl.t = Hashtbl.create 256 in
+  (* tick->update latency histogram. Scoped to the PACED broadcast phase
+     only: the slow-reader burst (phase 3) ticks in a tight loop to force
+     eviction, and sampling it would pollute the tail with flood epochs —
+     how many burst epochs eviction takes depends on the send path (one
+     skb per frame fills the peer's kernel buffer far sooner than
+     coalesced writev sends), so the pollution would differ by backend. *)
   let lat_samples = ref [] in
+  let measuring = ref true in
   let n_samples = ref 0 in
   let frames_rcvd = ref 0 in
   let server_pub = ref None in
@@ -224,14 +271,11 @@ let () =
         (match Timeline.epoch_of_label timeline upd.Tre.update_time with
         | Some e -> c.last_epoch <- max c.last_epoch e
         | None -> ());
-        if c.role = Archive then begin
-          c.replies <- c.replies + 1;
-          if c.sent_at > 0 then begin
-            lat_samples := float_of_int (now_us () - c.sent_at) :: !lat_samples;
-            incr n_samples
-          end
-        end
-        else if c.tick_stamp > 0 then begin
+        if c.role = Archive then
+          (* RTT goes to [arch_rtts], reported separately — archive pulls
+             are a different measurement than broadcast delivery *)
+          c.replies <- c.replies + 1
+        else if !measuring && c.tick_stamp > 0 then begin
           lat_samples := float_of_int (now_us () - c.tick_stamp) :: !lat_samples;
           incr n_samples
         end
@@ -262,26 +306,40 @@ let () =
             drain ()
     end
   in
-  let pump_ready cs timeout =
-    let fds =
-      Array.to_list cs
-      |> List.filter_map (fun c -> if c.alive then Some c.fd else None)
-    in
-    if fds = [] then false
-    else begin
-      let readable, _, _ = Unix.select fds [] [] timeout in
-      List.iter
-        (fun fd -> Array.iter (fun c -> if c.fd == fd then pump_conn c) cs)
-        readable;
-      readable <> []
-    end
+  (* The harness's own event loop rides the same Poller abstraction as
+     the server, so the client side scales past FD_SETSIZE too: one
+     poller per connection group, read interest registered once at
+     group creation, dead sockets deregistered as they are found. *)
+  let make_pump cs =
+    let p = Poller.create () in
+    let tbl = Hashtbl.create (2 * Array.length cs) in
+    Array.iter
+      (fun (c : conn) ->
+        Poller.add p c.fd ~read:true ~write:false;
+        Hashtbl.replace tbl c.fd c)
+      cs;
+    (p, tbl)
   in
+  let pump_ready (p, tbl) timeout_ms =
+    Poller.wait p ~timeout_ms (fun fd ~readable ~writable:_ ->
+        if readable then
+          match Hashtbl.find_opt tbl fd with
+          | Some c ->
+              if c.alive then pump_conn c;
+              if not c.alive then begin
+                Poller.del p fd;
+                Hashtbl.remove tbl fd
+              end
+          | None -> ())
+    > 0
+  in
+  let sub_pump = make_pump subs in
   (* wait for every hello *)
-  let deadline = Unix.gettimeofday () +. 10.0 in
+  let deadline = Unix.gettimeofday () +. 60.0 in
   while
     Array.exists (fun c -> c.hello = None) subs && Unix.gettimeofday () < deadline
   do
-    ignore (pump_ready subs 0.1)
+    ignore (pump_ready sub_pump 100)
   done;
   Array.iter (fun c -> if c.hello = None then die "subscriber got no hello") subs;
   pin "subscribed %d connections\n" !conns;
@@ -293,13 +351,17 @@ let () =
   for _ = 1 to !ticks do
     incr epoch;
     Net_server.tick srv !epoch;
-    let deadline = Unix.gettimeofday () +. 5.0 in
+    let deadline = Unix.gettimeofday () +. 60.0 in
     while (not (all_caught_up !epoch)) && Unix.gettimeofday () < deadline do
-      ignore (pump_ready subs 0.05)
+      ignore (pump_ready sub_pump 50)
     done;
     if not (all_caught_up !epoch) then die "epoch %d never reached all conns" !epoch
   done;
   let bcast_s = Unix.gettimeofday () -. t0 in
+  (* give in-flight final-epoch updates a moment to land in the histogram,
+     then stop sampling before the burst phase *)
+  while pump_ready sub_pump 0 do () done;
+  measuring := false;
   let main_epochs = !epoch in
   pin "broadcast %d epochs to all connections\n" main_epochs;
   say "  sustained: %.0f updates/s, %.0f real frames/s, %.3g client deliveries/s\n"
@@ -318,9 +380,9 @@ let () =
       Net_server.tick srv !epoch;
       (* keep honest readers drained so only the slow ones back up *)
       if !burst_epochs mod 16 = 0 then
-        while pump_ready subs 0.0 do () done
+        while pump_ready sub_pump 0 do () done
     done;
-    while pump_ready subs 0.0 do () done;
+    while pump_ready sub_pump 0 do () done;
     if evicted () < !slow_readers then
       die "burst cap hit with %d/%d slow readers evicted" (evicted ())
         !slow_readers;
@@ -333,6 +395,7 @@ let () =
   let arch_rtts = ref [] in
   let arch_done = ref 0 in
   let archives = Array.init !archive_conns (fun _ -> connect path Archive) in
+  let arch_pump = make_pump archives in
   let next_query = ref 0 in
   let send_query (c : conn) =
     if !next_query < !archive_lookups then begin
@@ -349,7 +412,7 @@ let () =
     let deadline = Unix.gettimeofday () +. 60.0 in
     let served = Array.map (fun (c : conn) -> c.replies) archives in
     while !arch_done < !archive_lookups && Unix.gettimeofday () < deadline do
-      ignore (pump_ready archives 0.05);
+      ignore (pump_ready arch_pump 50);
       Array.iteri
         (fun i c ->
           while c.replies > served.(i) do
@@ -371,7 +434,7 @@ let () =
       (Frame.encode (Netmsg.archive_query_to_bytes prms "mars#1"));
     let deadline = Unix.gettimeofday () +. 10.0 in
     while c.misses < 2 && Unix.gettimeofday () < deadline do
-      ignore (pump_ready archives 0.05)
+      ignore (pump_ready arch_pump 50)
     done;
     if c.misses <> 2 then die "archive refusals missing (%d/2)" c.misses;
     let hits = (Net_server.stats srv).Netmsg.archive_hits - hits0 in
@@ -430,10 +493,20 @@ let () =
   let stat_conn = connect path Archive in
   send_all stat_conn.fd (Frame.encode (Netmsg.stats_query_to_bytes prms));
   let wire_stats = ref None in
+  (* after thousands of subscriber sockets this fd is far above
+     FD_SETSIZE, so even a one-fd wait must go through the poller *)
+  let stat_poll = Poller.create () in
+  Poller.add stat_poll stat_conn.fd ~read:true ~write:false;
   let deadline = Unix.gettimeofday () +. 10.0 in
   while !wire_stats = None && Unix.gettimeofday () < deadline do
-    let readable, _, _ = Unix.select [ stat_conn.fd ] [] [] 0.1 in
-    if readable <> [] then begin
+    let readable =
+      let r = ref false in
+      ignore
+        (Poller.wait stat_poll ~timeout_ms:100 (fun _ ~readable ~writable:_ ->
+             if readable then r := true));
+      !r
+    in
+    if readable then begin
       let n = Unix.read stat_conn.fd rbuf 0 (Bytes.length rbuf) in
       if n = 0 then die "stats connection closed"
       else
@@ -448,6 +521,7 @@ let () =
             | None -> ())
     end
   done;
+  Poller.close stat_poll;
   let st =
     match !wire_stats with Some s -> s | None -> die "no stats reply"
   in
@@ -455,6 +529,13 @@ let () =
   if st.Netmsg.updates_encoded <> epochs_total then
     die "encode-once violated: %d frames built for %d epochs"
       st.Netmsg.updates_encoded epochs_total;
+  (* A load run sends only well-formed traffic: any protocol error is a
+     server or harness bug, not noise. CI greps the JSON for this too. *)
+  if st.Netmsg.protocol_errors > 0 then
+    die "server counted %d protocol errors on clean traffic"
+      st.Netmsg.protocol_errors;
+  if List.fold_left ( + ) 0 st.Netmsg.shard_conns < 0 then
+    die "negative shard connection count";
   (* Client-side cross-check: every connection received byte-identical
      frames, so the distinct-frame count equals the epochs observed (some
      burst-phase frames may still be in flight at drain time). *)
@@ -488,6 +569,12 @@ let () =
     (ms (percentile rtts 0.50));
   say "  back-pressure: queue peak %d B (analytic ceiling %d B), RSS peak %d kB\n"
     qpeak queue_bound (rss_peak_kb ());
+  say "  syscalls: %d sends (%.2f frames/send, %.1f sends/epoch), %d poll wakeups\n"
+    st.Netmsg.send_syscalls
+    (float_of_int st.Netmsg.frames_sent
+    /. float_of_int (max 1 st.Netmsg.send_syscalls))
+    (float_of_int st.Netmsg.send_syscalls /. float_of_int epochs_total)
+    st.Netmsg.poll_wakeups;
 
   if !json_path <> "" then begin
     let b = Buffer.create 2048 in
@@ -495,6 +582,8 @@ let () =
     Buffer.add_string b "{\n";
     field "experiment" "%S" "E13";
     field "params" "%S" !params;
+    field "backend" "%S" (Poller.backend_name effective_backend);
+    field "vectored_writes" "%b" (not !no_writev && Poller.writev_available);
     field "clients_simulated" "%d" !clients;
     field "real_connections" "%d" !conns;
     field "clients_per_connection" "%d" (!clients / max 1 !conns);
@@ -530,10 +619,39 @@ let () =
     field "queue_bytes_ceiling" "%d" queue_bound;
     field "protocol_errors" "%d" st.Netmsg.protocol_errors;
     field "bytes_sent" "%d" st.Netmsg.bytes_sent;
+    field "send_syscalls" "%d" st.Netmsg.send_syscalls;
+    field "send_syscalls_per_epoch" "%.1f"
+      (float_of_int st.Netmsg.send_syscalls /. float_of_int epochs_total);
+    field "frames_per_send_syscall" "%.2f"
+      (float_of_int st.Netmsg.frames_sent
+      /. float_of_int (max 1 st.Netmsg.send_syscalls));
+    field "poll_wakeups" "%d" st.Netmsg.poll_wakeups;
     field "rss_peak_kb" "%d" (rss_peak_kb ());
     Buffer.add_string b (Printf.sprintf "  %S: %d\n}\n" "shards" cfg.Net_server.shards);
+    let obj = Buffer.contents b in
+    let out =
+      if not !json_append then obj
+      else begin
+        (* Accumulate runs as a JSON array so one file can hold the
+           select baseline next to the epoll scaling rows. *)
+        let existing =
+          if Sys.file_exists !json_path then begin
+            let ic = open_in_bin !json_path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          end
+          else ""
+        in
+        let trimmed = String.trim existing in
+        if trimmed = "" then "[\n" ^ obj ^ "]\n"
+        else if trimmed.[String.length trimmed - 1] = ']' then
+          String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ obj ^ "]\n"
+        else die "--append: %s is not a JSON array" !json_path
+      end
+    in
     let oc = open_out !json_path in
-    output_string oc (Buffer.contents b);
+    output_string oc out;
     close_out oc;
     say "  wrote %s\n" !json_path
   end;

@@ -21,6 +21,8 @@ let granularity = ref 1.0
 let period = ref 1.0
 let shards = ref 0
 let max_queue = ref 64
+let backend_str = ref "auto"
+let no_writev = ref false
 let seed = ref ""
 let ticks = ref 0
 let first_epoch = ref 1
@@ -43,6 +45,10 @@ let spec =
      "N accept/decode/respond domains (default: host core count)");
     ("--max-queue", Arg.Set_int max_queue,
      "N per-connection back-pressure bound, in frames (default 64)");
+    ("--backend", Arg.Set_string backend_str,
+     "NAME event backend: auto|select|epoll (default auto)");
+    ("--no-writev", Arg.Set no_writev,
+     " one write syscall per frame instead of vectored sends");
     ("--seed", Arg.Set_string seed,
      "STRING deterministic key material (default: system entropy)");
     ("--ticks", Arg.Set_int ticks,
@@ -68,11 +74,14 @@ let print_stats (st : Netmsg.stats) =
     "conns accepted %d, open %d; subscribers %d\n\
      updates encoded %d; frames sent %d (%d bytes)\n\
      archive hits %d, misses %d; protocol errors %d; slow disconnects %d\n\
-     queue bytes now %d, peak %d\n%!"
+     queue bytes now %d, peak %d\n\
+     send syscalls %d; poll wakeups %d; conns per shard [%s]\n%!"
     st.Netmsg.conns_accepted st.Netmsg.conns_open st.Netmsg.subscribers
     st.Netmsg.updates_encoded st.Netmsg.frames_sent st.Netmsg.bytes_sent
     st.Netmsg.archive_hits st.Netmsg.archive_misses st.Netmsg.protocol_errors
     st.Netmsg.slow_disconnects st.Netmsg.queue_bytes st.Netmsg.queue_bytes_peak
+    st.Netmsg.send_syscalls st.Netmsg.poll_wakeups
+    (String.concat "; " (List.map string_of_int st.Netmsg.shard_conns))
 
 let () =
   Arg.parse spec (fun a -> die "stray argument %S" a) usage;
@@ -84,6 +93,13 @@ let () =
           (String.concat ", " Pairing.all_names)
   in
   let timeline = Timeline.create ~origin:!origin ~granularity:!granularity () in
+  let backend =
+    match Poller.backend_of_string !backend_str with
+    | Ok b -> b
+    | Error e -> die "--backend: %s" e
+  in
+  if backend = Some Poller.Epoll && not (Poller.epoll_available ()) then
+    die "--backend epoll: unavailable on this platform";
   let cfg =
     {
       (Net_server.default_config prms timeline) with
@@ -93,6 +109,8 @@ let () =
       udp_dest = (if !udp_dest = "" then None else Some (parse_udp !udp_dest));
       shards = (if !shards > 0 then !shards else Pool.recommended ());
       max_queue_frames = !max_queue;
+      backend;
+      vectored = not !no_writev;
     }
   in
   if cfg.Net_server.unix_path = None && cfg.Net_server.tcp_port = None then
@@ -109,9 +127,12 @@ let () =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   Net_server.start srv;
   if not !quiet then begin
-    Printf.printf "tre-serverd: %s, origin %s, granularity %gs, %d shard%s\n"
+    Printf.printf
+      "tre-serverd: %s, origin %s, granularity %gs, %d shard%s, %s backend%s\n"
       !params !origin !granularity cfg.Net_server.shards
-      (if cfg.Net_server.shards = 1 then "" else "s");
+      (if cfg.Net_server.shards = 1 then "" else "s")
+      (Net_server.backend_name srv)
+      (if Net_server.vectored srv then " (writev)" else "");
     Option.iter (Printf.printf "  unix %s\n") cfg.Net_server.unix_path;
     Option.iter
       (Printf.printf "  tcp %s:%d\n" cfg.Net_server.tcp_addr)

@@ -1,21 +1,33 @@
 (* The networked passive time server.
 
    Architecture (DESIGN §2): one listener thread accepts on the Unix
-   and/or TCP listening sockets and deals connections round-robin to N
-   shard domains. Each shard owns its connections outright — reads,
-   frame decoding, request dispatch and writes for a connection all
-   happen on its shard, so there is no per-connection locking anywhere.
-   Cross-shard traffic is two Treiber stacks per shard (new connections,
-   broadcast frames), pushed with a CAS loop and drained with a single
-   [Atomic.exchange] — the broadcast fan-out path takes no lock — plus a
-   self-pipe byte to interrupt the shard's [select].
+   and/or TCP listening sockets and deals connections to the shard with
+   the fewest open connections. Each shard owns its connections outright
+   — reads, frame decoding, request dispatch and writes for a connection
+   all happen on its shard, so there is no per-connection locking
+   anywhere. Cross-shard traffic is two Treiber stacks per shard (new
+   connections, broadcast frames), pushed with a CAS loop and drained
+   with a single [Atomic.exchange] — the broadcast fan-out path takes no
+   lock — plus a self-pipe byte to interrupt the shard's poller.
+
+   Event backend ({!Poller}): each shard and the listener run on a
+   pluggable poller — Linux epoll when available, portable select
+   otherwise, overridable in the config. Readiness interest is
+   registered once per descriptor and modified only on transitions
+   (output queue empty <-> non-empty), never rebuilt per iteration, so a
+   shard's steady-state cost is O(ready descriptors) per wake-up on
+   epoll instead of select's O(all connections) scan and FD_SETSIZE
+   ceiling.
 
    The hot loop is allocation-lean by construction: each update is
    issued and encoded exactly once per epoch ([frame_for_epoch], a
    mutex-guarded cache that every shard and the archive path share), and
    the resulting framed byte string is enqueued by reference on every
-   subscriber — encode once, write N times. Per-connection read scratch
-   is a reused [Bytes] buffer.
+   subscriber — encode once, write N times. Read scratch and the
+   self-pipe drain buffer are one reusable [Bytes] per shard (not per
+   connection, not per call), and the send path snapshots a connection's
+   bounded queue into a reusable per-shard iovec and drains it with one
+   [writev] instead of one write per frame.
 
    Back-pressure: every connection has a bounded output queue (frame
    references). A subscriber that stops reading while broadcasts keep
@@ -35,6 +47,8 @@ type config = {
   max_queue_frames : int;
   max_payload : int;
   archive_cache_limit : int;
+  backend : Poller.backend option;
+  vectored : bool;
 }
 
 let default_config prms timeline =
@@ -49,6 +63,8 @@ let default_config prms timeline =
     max_queue_frames = 64;
     max_payload = Frame.default_max_payload;
     archive_cache_limit = 4096;
+    backend = None;
+    vectored = true;
   }
 
 type conn = {
@@ -58,16 +74,21 @@ type conn = {
   mutable out_off : int; (* bytes of the head frame already written *)
   mutable subscribed : bool;
   mutable alive : bool;
-  rbuf : Bytes.t;
+  mutable wreg : bool; (* write interest currently registered *)
 }
 
 type shard = {
   sid : int;
   conns : (Unix.file_descr, conn) Hashtbl.t;
+  poller : Poller.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   inbox_conns : Unix.file_descr list Atomic.t;
   inbox_bcast : string list Atomic.t; (* newest first; drain reverses *)
+  nconns : int Atomic.t; (* owned + assigned-not-yet-adopted *)
+  rbuf : Bytes.t; (* shared read scratch: one per shard, not per conn *)
+  wakebuf : Bytes.t; (* self-pipe drain scratch *)
+  iov : string array; (* writev snapshot of one bounded queue *)
 }
 
 type t = {
@@ -83,7 +104,7 @@ type t = {
   stopping : bool Atomic.t;
   mutable shard_domains : unit Domain.t list;
   mutable listener_thread : Thread.t option;
-  rr : int Atomic.t;
+  vectored : bool;
   (* stats *)
   st_accepted : int Atomic.t;
   st_open : int Atomic.t;
@@ -97,6 +118,8 @@ type t = {
   st_slow_disconnects : int Atomic.t;
   st_queue_bytes : int Atomic.t;
   st_queue_peak : int Atomic.t;
+  st_send_syscalls : int Atomic.t;
+  st_poll_wakeups : int Atomic.t;
 }
 
 (* --- lock-free mailboxes --- *)
@@ -157,8 +180,24 @@ let close_conn t sh c =
     ignore (Atomic.fetch_and_add t.st_queue_bytes (-queued_bytes c));
     if c.subscribed then Atomic.decr t.st_subscribers;
     Atomic.decr t.st_open;
+    Atomic.decr sh.nconns;
     Hashtbl.remove sh.conns c.fd;
+    Poller.del sh.poller c.fd;
     try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Write interest tracks the queue's empty <-> non-empty transitions:
+   one [Poller.modify] per transition, zero per steady-state iteration.
+   In the common case the opportunistic write after enqueue drains the
+   queue entirely and no interest change ever reaches the kernel. *)
+let sync_interest sh c =
+  if c.alive then begin
+    let want = not (Queue.is_empty c.outq) in
+    if want <> c.wreg then begin
+      c.wreg <- want;
+      try Poller.modify sh.poller c.fd ~read:true ~write:want
+      with Unix.Unix_error _ -> ()
+    end
   end
 
 let enqueue t sh c frame =
@@ -198,6 +237,10 @@ let stats t =
     slow_disconnects = Atomic.get t.st_slow_disconnects;
     queue_bytes = Stdlib.max 0 (Atomic.get t.st_queue_bytes);
     queue_bytes_peak = Atomic.get t.st_queue_peak;
+    send_syscalls = Atomic.get t.st_send_syscalls;
+    poll_wakeups = Atomic.get t.st_poll_wakeups;
+    shard_conns =
+      Array.to_list (Array.map (fun sh -> Atomic.get sh.nconns) t.shards);
   }
 
 let hello_frame t =
@@ -211,6 +254,95 @@ let hello_frame t =
          server_g = t.public.Tre.Server.g;
          server_sg = t.public.Tre.Server.sg;
        })
+
+(* --- output path --- *)
+
+(* Drain as much of [c]'s queue as the socket accepts. The vectored path
+   snapshots up to |iov| frames into the shard's reusable array and
+   submits them in one [writev] — a broadcast epoch (tick preamble +
+   update) or a backlog of archive replies costs one syscall, not one
+   per frame. The fallback is the portable one-write-per-frame loop.
+   Both count [send_syscalls]. *)
+let handle_write t sh c =
+  if t.vectored then begin
+    let progress = ref true in
+    while c.alive && !progress && not (Queue.is_empty c.outq) do
+      let cap = Array.length sh.iov in
+      let n = ref 0 in
+      let total = ref (-c.out_off) in
+      (try
+         Queue.iter
+           (fun f ->
+             if !n >= cap then raise Exit;
+             sh.iov.(!n) <- f;
+             incr n;
+             total := !total + String.length f)
+           c.outq
+       with Exit -> ());
+      match Poller.writev c.fd sh.iov ~first_off:c.out_off ~count:!n with
+      | written ->
+          Atomic.incr t.st_send_syscalls;
+          ignore (Atomic.fetch_and_add t.st_bytes_sent written);
+          ignore (Atomic.fetch_and_add t.st_queue_bytes (-written));
+          let rem = ref written in
+          while !rem > 0 do
+            let head = Queue.peek c.outq in
+            let left = String.length head - c.out_off in
+            if !rem >= left then begin
+              ignore (Queue.pop c.outq);
+              c.out_off <- 0;
+              rem := !rem - left
+            end
+            else begin
+              c.out_off <- c.out_off + !rem;
+              rem := 0
+            end
+          done;
+          if written < !total then progress := false
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          Atomic.incr t.st_send_syscalls;
+          progress := false
+      | exception Unix.Unix_error (_, _, _) -> close_conn t sh c
+    done;
+    (* Drop the snapshot's frame references so the shared strings don't
+       outlive their queues through the scratch array. *)
+    Array.fill sh.iov 0 (Array.length sh.iov) ""
+  end
+  else begin
+    let progress = ref true in
+    while c.alive && !progress && not (Queue.is_empty c.outq) do
+      let head = Queue.peek c.outq in
+      let len = String.length head - c.out_off in
+      match Unix.single_write_substring c.fd head c.out_off len with
+      | written ->
+          Atomic.incr t.st_send_syscalls;
+          ignore (Atomic.fetch_and_add t.st_bytes_sent written);
+          ignore (Atomic.fetch_and_add t.st_queue_bytes (-written));
+          if written = len then begin
+            ignore (Queue.pop c.outq);
+            c.out_off <- 0
+          end
+          else begin
+            c.out_off <- c.out_off + written;
+            progress := false
+          end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          Atomic.incr t.st_send_syscalls;
+          progress := false
+      | exception Unix.Unix_error (_, _, _) -> close_conn t sh c
+    done
+  end
+
+(* Enqueue-and-flush: try the socket immediately instead of waiting a
+   poller round trip. On an undersaturated socket this writes the reply
+   in the dispatching iteration and write interest never changes. *)
+let flush t sh c =
+  if c.alive then begin
+    handle_write t sh c;
+    sync_interest sh c
+  end
 
 let handle_archive t sh c label =
   match Timeline.epoch_of_label t.cfg.timeline label with
@@ -259,14 +391,14 @@ let dispatch t sh c payload =
 (* --- shard event loop --- *)
 
 let handle_read t sh c =
-  match Unix.read c.fd c.rbuf 0 (Bytes.length c.rbuf) with
+  match Unix.read c.fd sh.rbuf 0 (Bytes.length sh.rbuf) with
   | 0 ->
       (* EOF mid-frame is a truncated transmission — count it like any
          other framing violation; a clean EOF is just a hangup. *)
       if Frame.Decoder.buffered c.dec > 0 then proto_error t sh c
       else close_conn t sh c
   | n -> (
-      match Frame.Decoder.feed c.dec c.rbuf 0 n with
+      match Frame.Decoder.feed c.dec sh.rbuf 0 n with
       | Error _ -> proto_error t sh c
       | Ok () ->
           let rec drain () =
@@ -277,32 +409,11 @@ let handle_read t sh c =
                   drain ()
               | None -> if Frame.Decoder.error c.dec <> None then proto_error t sh c
           in
-          drain ())
+          drain ();
+          flush t sh c)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
       ()
   | exception Unix.Unix_error (_, _, _) -> close_conn t sh c
-
-let handle_write t sh c =
-  let progress = ref true in
-  while c.alive && !progress && not (Queue.is_empty c.outq) do
-    let head = Queue.peek c.outq in
-    let len = String.length head - c.out_off in
-    match Unix.single_write_substring c.fd head c.out_off len with
-    | written ->
-        ignore (Atomic.fetch_and_add t.st_bytes_sent written);
-        ignore (Atomic.fetch_and_add t.st_queue_bytes (-written));
-        if written = len then begin
-          ignore (Queue.pop c.outq);
-          c.out_off <- 0
-        end
-        else begin
-          c.out_off <- c.out_off + written;
-          progress := false
-        end
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      -> progress := false
-    | exception Unix.Unix_error (_, _, _) -> close_conn t sh c
-  done
 
 let adopt t sh fd =
   let c =
@@ -313,17 +424,41 @@ let adopt t sh fd =
       out_off = 0;
       subscribed = false;
       alive = true;
-      rbuf = Bytes.create 4096;
+      wreg = false;
     }
   in
-  Hashtbl.replace sh.conns fd c
+  match Poller.add sh.poller fd ~read:true ~write:false with
+  | () -> Hashtbl.replace sh.conns fd c
+  | exception Unix.Unix_error (_, _, _) ->
+      (* Registration failed (fd limit, raced close): drop the socket. *)
+      Atomic.decr t.st_open;
+      Atomic.decr sh.nconns;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
 
-let shard_loop t sh =
-  let rec drain_wake () =
-    match Unix.read sh.wake_r (Bytes.create 64) 0 64 with
-    | 64 -> drain_wake ()
+let drain_wake sh =
+  let rec go () =
+    match Unix.read sh.wake_r sh.wakebuf 0 (Bytes.length sh.wakebuf) with
+    | 64 -> go ()
     | _ -> ()
     | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let shard_loop t sh =
+  let on_event fd ~readable ~writable =
+    if fd = sh.wake_r then begin
+      if readable then drain_wake sh
+    end
+    else begin
+      (match Hashtbl.find_opt sh.conns fd with
+      | Some c when c.alive && readable -> handle_read t sh c
+      | _ -> ());
+      match Hashtbl.find_opt sh.conns fd with
+      | Some c when c.alive && writable ->
+          handle_write t sh c;
+          sync_interest sh c
+      | _ -> ()
+    end
   in
   while not (Atomic.get t.stopping) do
     List.iter (adopt t sh) (drain_atomic sh.inbox_conns);
@@ -333,83 +468,92 @@ let shard_loop t sh =
         (* Snapshot first: enqueue may evict (mutating the table). *)
         let cs = Hashtbl.fold (fun _ c acc -> c :: acc) sh.conns [] in
         List.iter
-          (fun c -> if c.subscribed then List.iter (enqueue t sh c) frames)
+          (fun c ->
+            if c.subscribed then begin
+              List.iter (enqueue t sh c) frames;
+              (* One flush for the whole epoch: tick preamble + update
+                 leave in a single writev. *)
+              flush t sh c
+            end)
           cs);
-    let rfds, wfds =
-      Hashtbl.fold
-        (fun fd c (r, w) ->
-          (fd :: r, if Queue.is_empty c.outq then w else fd :: w))
-        sh.conns
-        ([ sh.wake_r ], [])
-    in
-    match Unix.select rfds wfds [] 0.2 with
+    match Poller.wait sh.poller ~timeout_ms:200 on_event with
+    | 0 -> ()
+    | _ -> Atomic.incr t.st_poll_wakeups
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
-        (* A raced close; the table is re-derived next iteration. *)
-        ()
-    | readable, writable, _ ->
-        if List.memq sh.wake_r readable then drain_wake ();
-        List.iter
-          (fun fd ->
-            match Hashtbl.find_opt sh.conns fd with
-            | Some c when c.alive -> handle_read t sh c
-            | _ -> ())
-          readable;
-        List.iter
-          (fun fd ->
-            match Hashtbl.find_opt sh.conns fd with
-            | Some c when c.alive -> handle_write t sh c
-            | _ -> ())
-          writable
   done;
   Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) sh.conns;
-  Hashtbl.reset sh.conns
+  Hashtbl.reset sh.conns;
+  Poller.close sh.poller
 
 (* --- listener --- *)
 
+(* Least-open-connections shard pick. [nconns] is bumped here, at
+   assignment — not at adoption — so a connection burst spreads by the
+   counts it is itself creating, and decremented when the shard closes
+   the connection. Ties break toward the lowest shard id. *)
 let assign t fd =
-  let i = Atomic.fetch_and_add t.rr 1 mod Array.length t.shards in
-  let sh = t.shards.(i) in
+  let best = ref t.shards.(0) in
+  let bestn = ref (Atomic.get t.shards.(0).nconns) in
+  Array.iter
+    (fun sh ->
+      let n = Atomic.get sh.nconns in
+      if n < !bestn then begin
+        best := sh;
+        bestn := n
+      end)
+    t.shards;
+  let sh = !best in
+  Atomic.incr sh.nconns;
   push_atomic sh.inbox_conns fd;
   wake sh
 
-let listener_loop t =
+let listener_loop t poller =
+  List.iter (fun fd -> Poller.add poller fd ~read:true ~write:false) t.listeners;
+  let on_event lfd ~readable ~writable:_ =
+    if readable then begin
+      let continue = ref true in
+      while !continue do
+        match Unix.accept ~cloexec:true lfd with
+        | fd, _ ->
+            Unix.set_nonblock fd;
+            Atomic.incr t.st_accepted;
+            Atomic.incr t.st_open;
+            assign t fd
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            continue := false
+        | exception Unix.Unix_error (_, _, _) -> continue := false
+      done
+    end
+  in
   while not (Atomic.get t.stopping) do
-    match Unix.select t.listeners [] [] 0.2 with
+    match Poller.wait poller ~timeout_ms:200 on_event with
+    | _ -> ()
     | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
-    | ready, _, _ ->
-        List.iter
-          (fun lfd ->
-            let continue = ref true in
-            while !continue do
-              match Unix.accept ~cloexec:true lfd with
-              | fd, _ ->
-                  Unix.set_nonblock fd;
-                  Atomic.incr t.st_accepted;
-                  Atomic.incr t.st_open;
-                  assign t fd
-              | exception
-                  Unix.Unix_error
-                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-                  continue := false
-              | exception Unix.Unix_error (_, _, _) -> continue := false
-            done)
-          ready
-  done
+  done;
+  Poller.close poller
 
 (* --- construction / control --- *)
 
-let make_shard sid =
+let make_shard cfg sid =
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  let poller = Poller.create ?backend:cfg.backend () in
+  Poller.add poller wake_r ~read:true ~write:false;
   {
     sid;
     conns = Hashtbl.create 64;
+    poller;
     wake_r;
     wake_w;
     inbox_conns = Atomic.make [];
     inbox_bcast = Atomic.make [];
+    nconns = Atomic.make 0;
+    rbuf = Bytes.create 65536;
+    wakebuf = Bytes.create 64;
+    iov = Array.make (Stdlib.max 1 (Stdlib.min cfg.max_queue_frames 64)) "";
   }
 
 let create ?secret (cfg : config) rng =
@@ -426,13 +570,13 @@ let create ?secret (cfg : config) rng =
     frames = Hashtbl.create 64;
     frames_lock = Mutex.create ();
     last_epoch = Atomic.make 0;
-    shards = Array.init cfg.shards make_shard;
+    shards = Array.init cfg.shards (make_shard cfg);
     listeners = [];
     udp = None;
     stopping = Atomic.make false;
     shard_domains = [];
     listener_thread = None;
-    rr = Atomic.make 0;
+    vectored = cfg.vectored && Poller.writev_available;
     st_accepted = Atomic.make 0;
     st_open = Atomic.make 0;
     st_subscribers = Atomic.make 0;
@@ -445,10 +589,15 @@ let create ?secret (cfg : config) rng =
     st_slow_disconnects = Atomic.make 0;
     st_queue_bytes = Atomic.make 0;
     st_queue_peak = Atomic.make 0;
+    st_send_syscalls = Atomic.make 0;
+    st_poll_wakeups = Atomic.make 0;
   }
 
 let public t = t.public
 let current_epoch t = Atomic.get t.last_epoch
+let backend t = Poller.backend t.shards.(0).poller
+let backend_name t = Poller.backend_name (backend t)
+let vectored t = t.vectored
 
 let listen_unix path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -483,7 +632,8 @@ let start t =
   t.shard_domains <-
     Array.to_list
       (Array.map (fun sh -> Domain.spawn (fun () -> shard_loop t sh)) t.shards);
-  t.listener_thread <- Some (Thread.create listener_loop t)
+  let lp = Poller.create ?backend:t.cfg.backend () in
+  t.listener_thread <- Some (Thread.create (listener_loop t) lp)
 
 let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
 

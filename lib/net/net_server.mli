@@ -9,6 +9,14 @@
     by reference on every subscriber and served for every archive pull
     of that epoch.
 
+    Every shard (and the listener) runs on a pluggable {!Poller} —
+    Linux epoll when available, portable select otherwise. Readiness
+    interest is registered once per connection and modified only when
+    its output queue transitions between empty and non-empty, and the
+    send path drains a queue with one vectored [writev] instead of one
+    write per frame; [send_syscalls] and [poll_wakeups] in the stats
+    make the per-epoch syscall budget observable.
+
     Protocol (all messages {!Netmsg}; updates are plain
     {!Codec.Key_update} objects):
     - [Net_subscribe] → [Net_hello], then every subsequent broadcast
@@ -42,6 +50,13 @@ type config = {
   archive_cache_limit : int;
       (** encoded-frame cache bound; eviction is invisible (footnote 4:
           any past update regenerates deterministically from [s]) *)
+  backend : Poller.backend option;
+      (** event backend for every shard and the listener; [None] (the
+          default) picks epoll when available, select otherwise *)
+  vectored : bool;
+      (** drain output queues with [writev] (default [true]); [false]
+          falls back to one write per frame — the PR 6 baseline, kept
+          so the syscall win stays measurable *)
 }
 
 val default_config : Pairing.params -> Timeline.t -> config
@@ -68,6 +83,14 @@ val tick : t -> int -> unit
 val current_epoch : t -> int
 val public : t -> Tre.Server.public
 val stats : t -> Netmsg.stats
+
+val backend : t -> Poller.backend
+(** The event backend the shards actually run on (after auto-detect). *)
+
+val backend_name : t -> string
+
+val vectored : t -> bool
+(** Whether the send path uses [writev] (config flag ∧ platform). *)
 
 val stop : t -> unit
 (** Stop accepting, close every connection, join the shard domains and

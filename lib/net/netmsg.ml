@@ -29,7 +29,12 @@ type stats = {
   slow_disconnects : int;
   queue_bytes : int;
   queue_bytes_peak : int;
+  send_syscalls : int;
+  poll_wakeups : int;
+  shard_conns : int list;
 }
+
+let max_shards_on_wire = 4096
 
 (* --- hello --- *)
 
@@ -106,7 +111,10 @@ let stats_to_bytes prms (s : stats) =
           s.conns_accepted; s.conns_open; s.subscribers; s.updates_encoded;
           s.frames_sent; s.bytes_sent; s.archive_hits; s.archive_misses;
           s.protocol_errors; s.slow_disconnects; s.queue_bytes; s.queue_bytes_peak;
-        ])
+          s.send_syscalls; s.poll_wakeups;
+        ];
+      Codec.add_u32 buf (List.length s.shard_conns);
+      List.iter (Codec.add_u64 buf) s.shard_conns)
 
 let stats_of_bytes prms s =
   Codec.decode prms Codec.Net_stats s (fun r ->
@@ -123,8 +131,13 @@ let stats_of_bytes prms s =
       let slow_disconnects = f "slow disconnects" in
       let queue_bytes = f "queue bytes" in
       let queue_bytes_peak = f "queue bytes peak" in
+      let send_syscalls = f "send syscalls" in
+      let poll_wakeups = f "poll wakeups" in
+      let n_shards = Codec.read_u32 ~what:"shard count" ~max:max_shards_on_wire r in
+      let shard_conns = List.init n_shards (fun _ -> f "shard conns") in
       {
         conns_accepted; conns_open; subscribers; updates_encoded; frames_sent;
         bytes_sent; archive_hits; archive_misses; protocol_errors;
-        slow_disconnects; queue_bytes; queue_bytes_peak;
+        slow_disconnects; queue_bytes; queue_bytes_peak; send_syscalls;
+        poll_wakeups; shard_conns;
       })

@@ -42,6 +42,11 @@ type stats = {
   slow_disconnects : int;  (** back-pressure evictions *)
   queue_bytes : int;  (** current sum of pending write bytes *)
   queue_bytes_peak : int;  (** high-water mark of [queue_bytes] *)
+  send_syscalls : int;
+      (** write/writev syscalls on the send path — with vectored writes
+          a broadcast epoch costs ~1 per subscriber, not 1 per frame *)
+  poll_wakeups : int;  (** poller waits that returned ≥ 1 ready event *)
+  shard_conns : int list;  (** open connections per shard, in shard order *)
 }
 
 val hello_to_bytes : Pairing.params -> hello -> string

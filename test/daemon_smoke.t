@@ -1,13 +1,23 @@
 The socket daemon end to end: tre_serverd broadcasts a bounded number of
-epochs over a Unix socket and exits cleanly, and the E13 load harness
-drives a 1000-client (8 real connections) run through subscribe ->
-broadcast -> slow-reader eviction -> archive recovery -> verify ->
-decrypt. Timing lines are suppressed with --quiet; every line below is
-deterministic, and "clean shutdown" is the assertion the CI smoke job
-greps for.
+epochs over a Unix socket and exits cleanly — under both poller
+backends — and the E13 load harness drives a 1000-client (8 real
+connections) run through subscribe -> broadcast -> slow-reader
+eviction -> archive recovery -> verify -> decrypt. Timing lines are
+suppressed with --quiet; every line below is deterministic, and "clean
+shutdown" is the assertion the CI smoke job greps for.
 
   $ ../bin/tre_serverd.exe --unix ./serverd.sock --ticks 2 --period 0 \
-  >   --seed smoke --params toy64 --quiet
+  >   --seed smoke --params toy64 --quiet --backend select
+  clean shutdown
+
+epoll is Linux-only; elsewhere fall back to the same select run so the
+output stays identical.
+
+  $ if ../bin/tre_serverd.exe --backend epoll --unix ./x.sock --ticks 1 \
+  >      --period 0 --quiet 2>&1 | grep -q unavailable; then \
+  >   backend=select; else backend=epoll; fi
+  $ ../bin/tre_serverd.exe --unix ./serverd.sock --ticks 2 --period 0 \
+  >   --seed smoke --params toy64 --quiet --backend $backend
   clean shutdown
 
   $ ../bench/loadgen.exe --quiet --params toy64 --clients 1000 --conns 8 \
@@ -21,4 +31,22 @@ greps for.
   verified every distinct update (one BGR batch + 4 singles)
   decrypted 3 ciphertexts end-to-end
   encode-once: one frame per epoch, byte-identical across 10 subscribers
+  clean shutdown
+
+The harness itself under an explicit backend and the one-write-per-frame
+fallback path (the deterministic lines are unchanged; only the measured
+syscall counts differ, and those are timing lines):
+
+  $ ../bench/loadgen.exe --quiet --params toy64 --clients 100 --conns 4 \
+  >   --slow-readers 1 --archive-conns 1 --archive-lookups 5 --ticks 3 \
+  >   --verify-sample 2 --decrypt-sample 1 --seed smoke --json "" \
+  >   --backend $backend --no-writev
+  loadgen: 100 simulated clients over 4 connections (+1 slow, 1 archive)
+  subscribed 4 connections
+  broadcast 3 epochs to all connections
+  slow readers evicted 1/1 under bounded queues
+  archive served 5 lookups (5 hits), refused future + foreign labels
+  verified every distinct update (one BGR batch + 2 singles)
+  decrypted 1 ciphertexts end-to-end
+  encode-once: one frame per epoch, byte-identical across 5 subscribers
   clean shutdown

@@ -7,7 +7,13 @@
    directions, the broadcast path encodes each epoch exactly once and
    delivers byte-identical frames to every subscriber, the archive
    endpoint enforces §3's future-refusal, and a reader slower than the
-   broadcast rate is evicted instead of growing server memory. *)
+   broadcast rate is evicted instead of growing server memory.
+
+   Every daemon-facing test is parameterized by the {!Poller} backend
+   and run against both select and epoll (the latter skipped as a no-op
+   where the platform lacks it), so the two event loops stay
+   behaviourally interchangeable — including the adversarial framing
+   suite and slow-reader eviction. *)
 
 let prms =
   match Pairing.by_name "toy64" with
@@ -110,7 +116,7 @@ let fresh_path =
     Printf.sprintf "%s/tre-test-%d-%d.sock" (Filename.get_temp_dir_name ())
       (Unix.getpid ()) !n
 
-let with_server ?(max_queue = 64) ?(ticks_origin = "utc") f =
+let with_server ?(max_queue = 64) ?(ticks_origin = "utc") ?backend f =
   let timeline = Timeline.create ~origin:ticks_origin ~granularity:1.0 () in
   let path = fresh_path () in
   let cfg =
@@ -119,6 +125,7 @@ let with_server ?(max_queue = 64) ?(ticks_origin = "utc") f =
       Net_server.unix_path = Some path;
       shards = 1;
       max_queue_frames = max_queue;
+      backend;
     }
   in
   let rng = Hashing.Drbg.create ~seed:"test-net" ~personalization:"daemon" () in
@@ -199,8 +206,8 @@ let subscribe peer =
 
 (* ------------------------------------------------------ daemon tests *)
 
-let test_subscribe_tick_verify () =
-  with_server (fun srv path timeline ->
+let test_subscribe_tick_verify backend () =
+  with_server ~backend (fun srv path timeline ->
       let c = connect path in
       let h = subscribe c in
       Alcotest.(check string) "hello origin" "utc" h.Netmsg.origin;
@@ -230,8 +237,8 @@ let test_subscribe_tick_verify () =
       Alcotest.(check int) "watermark raised" 1 (Net_server.current_epoch srv);
       Unix.close c.fd)
 
-let test_encode_once_fanout () =
-  with_server (fun srv path _ ->
+let test_encode_once_fanout backend () =
+  with_server ~backend (fun srv path _ ->
       let peers = List.init 8 (fun _ -> connect path) in
       List.iter (fun c -> ignore (subscribe c)) peers;
       Net_server.tick srv 1;
@@ -257,8 +264,8 @@ let test_encode_once_fanout () =
       Alcotest.(check int) "subscribers" 8 st.Netmsg.subscribers;
       List.iter (fun c -> Unix.close c.fd) peers)
 
-let test_archive_endpoint () =
-  with_server (fun srv path timeline ->
+let test_archive_endpoint backend () =
+  with_server ~backend (fun srv path timeline ->
       let sub = connect path in
       ignore (subscribe sub);
       Net_server.tick srv 1;
@@ -294,11 +301,11 @@ let test_archive_endpoint () =
       Unix.close c.fd;
       Unix.close sub.fd)
 
-let test_backpressure_evicts_slow_reader () =
+let test_backpressure_evicts_slow_reader backend () =
   (* A tiny queue bound plus a reader that never reads: the broadcast
      loop must evict it (bounded memory) while a normal reader keeps
      receiving every epoch. *)
-  with_server ~max_queue:4 (fun srv path _ ->
+  with_server ~max_queue:4 ~backend (fun srv path _ ->
       let slow = connect path in
       send_all slow.fd (Frame.encode (Netmsg.subscribe_to_bytes prms));
       let good = connect path in
@@ -333,8 +340,8 @@ let test_backpressure_evicts_slow_reader () =
 
 (* --------------------------------------------- adversarial framing *)
 
-let test_attack_truncated_prefix () =
-  with_server (fun srv path _ ->
+let test_attack_truncated_prefix backend () =
+  with_server ~backend (fun srv path _ ->
       let c = connect path in
       send_all c.fd "\x00\x00";
       (* half a length prefix, then hang up mid-frame *)
@@ -345,8 +352,8 @@ let test_attack_truncated_prefix () =
         st.Netmsg.protocol_errors;
       Unix.close c.fd)
 
-let test_attack_oversized_length () =
-  with_server (fun srv path _ ->
+let test_attack_oversized_length backend () =
+  with_server ~backend (fun srv path _ ->
       let c = connect path in
       (* declared length 0xFFFFFFFF: fatal on sight, nothing buffered *)
       send_all c.fd "\xFF\xFF\xFF\xFF";
@@ -356,10 +363,10 @@ let test_attack_oversized_length () =
       Alcotest.(check int) "no queue growth" 0 st.Netmsg.queue_bytes;
       Unix.close c.fd)
 
-let test_attack_interleaved_partial_frames () =
+let test_attack_interleaved_partial_frames backend () =
   (* Dribbling valid frames one byte at a time must WORK (the decoder is
      incremental); the attack only wastes the attacker's time. *)
-  with_server (fun srv path _ ->
+  with_server ~backend (fun srv path _ ->
       let c = connect path in
       let wire = Frame.encode (Netmsg.subscribe_to_bytes prms) in
       String.iter
@@ -377,11 +384,11 @@ let test_attack_interleaved_partial_frames () =
       Alcotest.(check int) "no protocol error" 0 st.Netmsg.protocol_errors;
       Unix.close c.fd)
 
-let test_attack_kind_confusion () =
+let test_attack_kind_confusion backend () =
   (* A well-formed codec object of the WRONG kind — a Key_update pushed
      at the server, a client-bound Net_hello, a Net_stats reply — must
      disconnect, not confuse the dispatcher. *)
-  with_server (fun srv path timeline ->
+  with_server ~backend (fun srv path timeline ->
       let pub = Net_server.public srv in
       let attacks =
         [
@@ -415,38 +422,163 @@ let test_attack_kind_confusion () =
             (i + 1) st.Netmsg.protocol_errors)
         attacks)
 
+(* --------------------------------------------------- poller backend *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () -> f a b)
+
+let test_poller_readiness backend () =
+  let p = Poller.create ~backend () in
+  Fun.protect
+    ~finally:(fun () -> Poller.close p)
+    (fun () ->
+      Alcotest.(check string) "backend honoured"
+        (Poller.backend_name backend)
+        (Poller.backend_name (Poller.backend p));
+      with_socketpair (fun a b ->
+          Poller.add p a ~read:true ~write:false;
+          Alcotest.(check int) "registered" 1 (Poller.fd_count p);
+          let n = Poller.wait p ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ()) in
+          Alcotest.(check int) "idle socket: no events" 0 n;
+          ignore (Unix.write b (Bytes.of_string "x") 0 1);
+          let saw = ref false in
+          let n =
+            Poller.wait p ~timeout_ms:2000 (fun fd ~readable ~writable:_ ->
+                if fd = a && readable then saw := true)
+          in
+          Alcotest.(check bool) "ready event reported" true (n >= 1);
+          Alcotest.(check bool) "readable" true !saw;
+          (* level-triggered: unread bytes keep reporting *)
+          saw := false;
+          ignore
+            (Poller.wait p ~timeout_ms:2000 (fun fd ~readable ~writable:_ ->
+                 if fd = a && readable then saw := true));
+          Alcotest.(check bool) "level-triggered until drained" true !saw;
+          ignore (Unix.read a (Bytes.create 8) 0 8);
+          let n = Poller.wait p ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ()) in
+          Alcotest.(check int) "drained: quiet again" 0 n;
+          Poller.del p a;
+          Alcotest.(check int) "deregistered" 0 (Poller.fd_count p)))
+
+let test_poller_interest_transitions backend () =
+  (* The server only flips write interest on queue empty<->non-empty
+     transitions; modify and del must therefore take effect exactly. *)
+  let p = Poller.create ~backend () in
+  Fun.protect
+    ~finally:(fun () -> Poller.close p)
+    (fun () ->
+      with_socketpair (fun a _b ->
+          Poller.add p a ~read:true ~write:true;
+          let w = ref false in
+          ignore
+            (Poller.wait p ~timeout_ms:2000 (fun fd ~readable:_ ~writable ->
+                 if fd = a && writable then w := true));
+          Alcotest.(check bool) "empty send buffer is writable" true !w;
+          (* queue drained: drop write interest — idle socket goes quiet *)
+          Poller.modify p a ~read:true ~write:false;
+          let n = Poller.wait p ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ()) in
+          Alcotest.(check int) "write interest dropped" 0 n;
+          (* queue refilled: write interest back on *)
+          Poller.modify p a ~read:true ~write:true;
+          w := false;
+          ignore
+            (Poller.wait p ~timeout_ms:2000 (fun fd ~readable:_ ~writable ->
+                 if fd = a && writable then w := true));
+          Alcotest.(check bool) "write interest restored" true !w;
+          Poller.del p a;
+          let n = Poller.wait p ~timeout_ms:0 (fun _ ~readable:_ ~writable:_ -> ()) in
+          Alcotest.(check int) "no events after del" 0 n;
+          (* del of an unknown fd is a no-op, not an error *)
+          Poller.del p a))
+
+let test_poller_writev () =
+  if not Poller.writev_available then ()
+  else
+    with_socketpair (fun a b ->
+        let parts = [| "hello"; " "; "vectored"; " world" |] in
+        (* first_off models a partially-written head frame *)
+        let wrote = Poller.writev a parts ~first_off:2 ~count:4 in
+        let expect = "llo vectored world" in
+        Alcotest.(check int) "all bytes in one call" (String.length expect) wrote;
+        let buf = Bytes.create 64 in
+        let r = Unix.read b buf 0 64 in
+        Alcotest.(check string) "gather order preserved" expect
+          (Bytes.sub_string buf 0 r);
+        (* count bounds the submission: trailing elements are ignored *)
+        let wrote = Poller.writev a parts ~first_off:0 ~count:1 in
+        Alcotest.(check int) "count respected" 5 wrote;
+        let r = Unix.read b buf 0 64 in
+        Alcotest.(check string) "only the first element" "hello"
+          (Bytes.sub_string buf 0 r))
+
+(* Each daemon-facing group runs once per available backend; on
+   platforms without epoll the epoll variant collapses to a visible
+   skip case instead of silently vanishing from the run. *)
+
+let backends =
+  Poller.Select :: (if Poller.epoll_available () then [ Poller.Epoll ] else [])
+
+let per_backend group cases =
+  let real =
+    List.map
+      (fun b ->
+        ( Printf.sprintf "%s (%s)" group (Poller.backend_name b),
+          List.map
+            (fun (name, fn) -> Alcotest.test_case name `Quick (fn b))
+            cases ))
+      backends
+  in
+  if Poller.epoll_available () then real
+  else
+    real
+    @ [
+        ( Printf.sprintf "%s (epoll)" group,
+          [
+            Alcotest.test_case "skipped: epoll unavailable" `Quick (fun () ->
+                ());
+          ] );
+      ]
+
 let () =
   Alcotest.run "net"
-    [
-      ( "framing",
+    ([
+       ( "framing",
+         [
+           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+           Alcotest.test_case "byte-by-byte" `Quick test_frame_byte_by_byte;
+           Alcotest.test_case "oversized rejected" `Quick
+             test_frame_oversized_rejected;
+           Alcotest.test_case "oversized after valid" `Quick
+             test_frame_oversized_after_valid;
+           Alcotest.test_case "truncation visible" `Quick
+             test_frame_truncation_visible;
+         ] );
+     ]
+    @ per_backend "poller"
         [
-          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
-          Alcotest.test_case "byte-by-byte" `Quick test_frame_byte_by_byte;
-          Alcotest.test_case "oversized rejected" `Quick
-            test_frame_oversized_rejected;
-          Alcotest.test_case "oversized after valid" `Quick
-            test_frame_oversized_after_valid;
-          Alcotest.test_case "truncation visible" `Quick
-            test_frame_truncation_visible;
-        ] );
-      ( "daemon",
+          ("readiness + level-trigger", test_poller_readiness);
+          ("interest transitions", test_poller_interest_transitions);
+        ]
+    @ [
+        ( "poller (writev)",
+          [ Alcotest.test_case "gathered send" `Quick test_poller_writev ] );
+      ]
+    @ per_backend "daemon"
         [
-          Alcotest.test_case "subscribe/tick/verify" `Quick
-            test_subscribe_tick_verify;
-          Alcotest.test_case "encode-once fan-out" `Quick
-            test_encode_once_fanout;
-          Alcotest.test_case "archive endpoint" `Quick test_archive_endpoint;
-          Alcotest.test_case "back-pressure eviction" `Quick
-            test_backpressure_evicts_slow_reader;
-        ] );
-      ( "attacks",
+          ("subscribe/tick/verify", test_subscribe_tick_verify);
+          ("encode-once fan-out", test_encode_once_fanout);
+          ("archive endpoint", test_archive_endpoint);
+          ("back-pressure eviction", test_backpressure_evicts_slow_reader);
+        ]
+    @ per_backend "attacks"
         [
-          Alcotest.test_case "truncated prefix" `Quick
-            test_attack_truncated_prefix;
-          Alcotest.test_case "oversized length" `Quick
-            test_attack_oversized_length;
-          Alcotest.test_case "interleaved partials" `Quick
-            test_attack_interleaved_partial_frames;
-          Alcotest.test_case "kind confusion" `Quick test_attack_kind_confusion;
-        ] );
-    ]
+          ("truncated prefix", test_attack_truncated_prefix);
+          ("oversized length", test_attack_oversized_length);
+          ("interleaved partials", test_attack_interleaved_partial_frames);
+          ("kind confusion", test_attack_kind_confusion);
+        ])

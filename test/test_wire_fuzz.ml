@@ -193,6 +193,9 @@ let targets prms =
             slow_disconnects = 1;
             queue_bytes = 0;
             queue_bytes_peak = 4_096;
+            send_syscalls = 321;
+            poll_wakeups = 55;
+            shard_conns = [ 3; 2; 0 ];
           };
       decode_reencode = re Netmsg.stats_of_bytes Netmsg.stats_to_bytes;
     };
