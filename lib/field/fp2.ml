@@ -158,6 +158,23 @@ module Mut = struct
     if Limbs.lazy_ok (Fp.kernel ctx) then sqr_lazy_into ctx dst.re dst.im a
     else set ctx dst (sqr_plain ctx a)
 
+  (* Allocation-free inversion through the limb-form extended-GCD
+     kernel: n = re^2 + im^2 in scratch, one [Limbs.inv_into], two
+     products. [dst] may alias [a]: [a.re] is consumed by the write to
+     [dst.re], and [a.im] is read into scratch before [dst.im] is
+     written. Raises [Division_by_zero] on zero, like {!inv}. *)
+  let inv_into ctx dst a =
+    let kern = Fp.kernel ctx in
+    let s = scratch kern in
+    Limbs.sqr_into kern s.s1 a.re;
+    Limbs.sqr_into kern s.s2 a.im;
+    Limbs.add_into kern s.s1 s.s1 s.s2;
+    if Limbs.is_zero kern s.s1 then raise Division_by_zero;
+    Limbs.inv_into kern s.s1 s.s1;
+    Limbs.mul_into kern s.s2 a.im s.s1;
+    Limbs.mul_into kern dst.re a.re s.s1;
+    Limbs.neg_into kern dst.im s.s2
+
   (* Squaring restricted to the norm-1 (cyclotomic) subgroup
      {a + bi : a^2 + b^2 = 1} — where the final-exponentiation hard part
      lives after the easy part maps everything to norm 1. There

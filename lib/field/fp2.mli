@@ -63,6 +63,11 @@ module Mut : sig
   val mul_into : Fp.ctx -> t -> t -> t -> unit
   val sqr_into : Fp.ctx -> t -> t -> unit
 
+  val inv_into : Fp.ctx -> t -> t -> unit
+  (** Allocation-free inversion (norm, one limb-form extended-GCD
+      inversion, two products); [dst] may alias the operand. Raises
+      [Division_by_zero] on zero. *)
+
   val cyclo_sqr_into : Fp.ctx -> t -> t -> unit
   (** Squaring in the norm-1 (cyclotomic) subgroup: for a + bi with
       a^2 + b^2 = 1, (a + bi)^2 = (2a^2 - 1) + 2ab i — one base-field

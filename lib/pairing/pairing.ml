@@ -25,13 +25,22 @@ type x1_op =
    into two kernel-resident arrays: [ops] lists the accumulator
    operations in order (0 = square f, 1 = multiply f by the next
    recorded line), and [lines] holds the line coefficients as
-   consecutive (l0, lx, ly) triples of canonical residues — a scaled
-   line evaluated at phi(Q) = (-xq, i yq) as (l0 + lx*xq) + (ly*yq) i.
-   A flat spine with no options and no per-step records: evaluation is
-   one cache-friendly pass over two arrays. *)
+   consecutive (a0, ax) PAIRS of canonical residues. The recorded
+   tangent/chord line (l0 + lx*xq) + (ly*yq) i is divided through by its
+   (nonzero, GF(p)) y-coefficient at preparation time — one Montgomery
+   batch inversion for the whole schedule — so evaluation at
+   phi(Q) = (-xq, i yq) is (a0 + ax*xq) + yq i: one base-field
+   multiplication per line instead of two, and the imaginary part is Q's
+   own y-coordinate, no multiply at all. The dropped factor ly lies in
+   GF(p)*, which the final exponentiation annihilates, so pairing values
+   are unchanged. [sqrs] counts the squaring ops — the product kernel
+   interleaves schedules only when their squaring chains agree (a
+   NAF-recorded schedule and a binary-fallback one may differ in
+   length by one). A flat spine with no options and no per-step records:
+   evaluation is one cache-friendly pass over two arrays. *)
 type prepared =
   | Prep_inf
-  | Prep_xx of { ops : int array; lines : Fp.t array }
+  | Prep_xx of { ops : int array; lines : Fp.t array; sqrs : int }
   | Prep_x1 of x1_op list array
 
 type params = {
@@ -266,13 +275,34 @@ let record_xx prms pt digits ~legacy_keep =
       in
       fill_ops (!nops - 1) !ops;
       let zero = Fp.zero fp in
-      let lines_arr = Array.make !nlines zero in
+      let lines_arr = Array.make (Stdlib.max 1 !nlines) zero in
       let rec fill_lines i = function
         | [] -> ()
         | l :: rest -> lines_arr.(i) <- l; fill_lines (i - 1) rest
       in
       fill_lines (!nlines - 1) !lines;
-      Prep_xx { ops = ops_arr; lines = lines_arr }
+      (* Divide every line by its ly (= W Z^2 or Z', nonzero in both
+         emitting branches): ONE field inversion via the Montgomery
+         batch trick, then two muls per line to store (l0/ly, lx/ly). *)
+      let nl = !nlines / 3 in
+      let scaled = Array.make (Stdlib.max 1 (2 * nl)) zero in
+      if nl > 0 then begin
+        let prefix = Array.make nl one in
+        let acc = ref one in
+        for i = 0 to nl - 1 do
+          prefix.(i) <- !acc;
+          acc := Fp.mul fp !acc lines_arr.((3 * i) + 2)
+        done;
+        let suffix = ref (Fp.inv fp !acc) in
+        for i = nl - 1 downto 0 do
+          let ly_inv = Fp.mul fp !suffix prefix.(i) in
+          suffix := Fp.mul fp !suffix lines_arr.((3 * i) + 2);
+          scaled.(2 * i) <- Fp.mul fp lines_arr.(3 * i) ly_inv;
+          scaled.((2 * i) + 1) <- Fp.mul fp lines_arr.((3 * i) + 1) ly_inv
+        done
+      end;
+      let sqrs = Array.length digits - 1 in
+      Prep_xx { ops = ops_arr; lines = scaled; sqrs }
 
 let prepare_xx prms pt =
   try record_xx prms pt prms.q_naf ~legacy_keep:false
@@ -339,10 +369,21 @@ let prepare_x1 prms pt =
       done;
       Prep_x1 steps
 
-let prepare prms pt =
+let prepare_raw prms pt =
   match prms.family with
   | Y2_x3_x -> prepare_xx prms pt
   | Y2_x3_1 -> prepare_x1 prms pt
+
+let prepare prms pt =
+  (* Every long-lived verifier prepares the system generator (it is one
+     side of the paper's verification equation); hand back the
+     construction-time schedule instead of re-recording it. [g_prep]
+     itself is built through [prepare_raw] — and [Lazy.is_val] is true
+     WHILE a lazy is being forced, so this test must never be reachable
+     from the suspension. *)
+  if Curve.equal pt prms.g && Lazy.is_val prms.g_prep then
+    Lazy.force prms.g_prep
+  else prepare_raw prms pt
 
 let make ?(family = Y2_x3_x) ~name ~p ~q () =
   if not (Prime.is_probably_prime p) then invalid_arg "Pairing.make: p not prime";
@@ -370,16 +411,24 @@ let make ?(family = Y2_x3_x) ~name ~p ~q () =
   let final_exp = Bigint.div (Bigint.pred (Bigint.mul p p)) q in
   let zeta = match family with Y2_x3_x -> Fp2.one fp | Y2_x3_1 -> cube_root_of_unity fp in
   (* Signed-digit recodings fixed by the parameters: the NAF of q drives
-     both xx-family Miller walks, the width-5 wNAF of the cofactor
-     drives the cyclotomic final-exponentiation window. *)
+     both xx-family Miller walks, the wNAF of the cofactor drives the
+     cyclotomic final-exponentiation window. The window width adapts to
+     the cofactor size — a wide window on a small cofactor spends more
+     on the odd-power table than it saves in skipped multiplications
+     (the toy64 sets have ~32-bit cofactors, where width 5's 8-entry
+     table costs more than the whole remaining chain). *)
   let q_naf = wnaf_digits q 2 in
-  let cofactor_wnaf = wnaf_digits cofactor 5 in
+  let cofactor_wnaf =
+    let bits = Bigint.bit_length cofactor in
+    let w = if bits <= 32 then 2 else if bits <= 160 then 4 else 5 in
+    wnaf_digits cofactor w
+  in
   let rec prms =
     {
       name; family; p; q; cofactor; fp; curve; g; final_exp; zeta;
       q_naf; cofactor_wnaf;
       g_table = lazy (Curve.Table.create curve ~bits:(Bigint.bit_length q) g);
-      g_prep = lazy (prepare prms g);
+      g_prep = lazy (prepare_raw prms g);
     }
   in
   (* The generator precomputations are forced HERE, at construction, not
@@ -720,6 +769,171 @@ let miller_loop_xx_bin prms pt qt =
       done;
       f
 
+(* --- the shared xx-family NAF walker ---
+
+   The signed-digit Miller step, factored out of the single-pair loop so
+   that the product kernel below can drive SEVERAL walkers under one
+   shared f^2 squaring chain. A walker owns its Jacobian accumulator
+   (mx, my, mz) and the negated y (ypn); the temporaries u0..u5 and the
+   line-value buffers are transient within one step and shared across
+   all walkers of a product. Each step folds its line values into the
+   caller's f through the lazy-reduction product. *)
+
+type xx_walker = {
+  w_xp : Fp.t;
+  w_yp : Fp.t;
+  w_ypn : Fp.t; (* owned: -yp *)
+  w_xq : Fp.t;
+  w_yq : Fp.t;
+  w_mx : Fp.t; (* owned register file: Jacobian T *)
+  w_my : Fp.t;
+  w_mz : Fp.t;
+}
+
+(* Transient step scratch, shared by every walker of one Miller product
+   (each walker finishes its step before the next one starts). *)
+type xx_scratch = {
+  u0 : Fp.t;
+  u1 : Fp.t;
+  u2 : Fp.t;
+  u3 : Fp.t;
+  u4 : Fp.t;
+  u5 : Fp.t;
+  lre : Fp.t;
+  lim : Fp.t;
+  line : Fp2.t; (* { re = lre; im = lim } *)
+}
+
+let xx_scratch_alloc fp =
+  let lre = Fp.Mut.alloc fp and lim = Fp.Mut.alloc fp in
+  {
+    u0 = Fp.Mut.alloc fp;
+    u1 = Fp.Mut.alloc fp;
+    u2 = Fp.Mut.alloc fp;
+    u3 = Fp.Mut.alloc fp;
+    u4 = Fp.Mut.alloc fp;
+    u5 = Fp.Mut.alloc fp;
+    lre;
+    lim;
+    line = Fp2.make ~re:lre ~im:lim;
+  }
+
+let xx_walker_make fp ~xp ~yp ~xq ~yq =
+  let ypn = Fp.Mut.alloc fp in
+  Fp.Mut.neg_into fp ypn yp;
+  let mz = Fp.Mut.alloc fp in
+  Fp.Mut.set_one fp mz;
+  {
+    w_xp = xp;
+    w_yp = yp;
+    w_ypn = ypn;
+    w_xq = xq;
+    w_yq = yq;
+    w_mx = Fp.Mut.copy fp xp;
+    w_my = Fp.Mut.copy fp yp;
+    w_mz = mz;
+  }
+
+(* One signed digit of one walker: the doubling (with scaled tangent
+   line folded into [f]) and, for a nonzero digit, the mixed addition of
+   dP = (xp, +-yp) (with scaled chord line). Raises [Degenerate_chain]
+   on coincident addition operands — low-order inputs only. *)
+let xx_step fp sc w f d =
+  let { u0; u1; u2; u3; u4; u5; lre; lim; line } = sc in
+  let mx = w.w_mx and my = w.w_my and mz = w.w_mz in
+  let xp = w.w_xp and xq = w.w_xq and yq = w.w_yq in
+  let set_torsion () =
+    Fp.Mut.set_one fp mx;
+    Fp.Mut.set_one fp my;
+    Fp.Mut.set_zero fp mz
+  in
+  if Fp.is_zero fp mz then ()
+  else if Fp.is_zero fp my then set_torsion ()
+  else begin
+    (* Doubling with scaled tangent line (see the binary loop):
+       M = 3X^2 + Z^4, W = 2YZ;
+       l = [M*(Z^2 xq + X) - 2Y^2] + (W Z^2 yq) i. *)
+    Fp.Mut.sqr_into fp u0 my; (* u0 = Y^2 *)
+    Fp.Mut.sqr_into fp u1 mz; (* u1 = Z^2 *)
+    Fp.Mut.sqr_into fp u2 mx; (* u2 = X^2 *)
+    Fp.Mut.add_into fp u3 u2 u2;
+    Fp.Mut.add_into fp u3 u3 u2; (* u3 = 3X^2 *)
+    Fp.Mut.sqr_into fp u4 u1;
+    Fp.Mut.add_into fp u3 u3 u4; (* u3 = M *)
+    Fp.Mut.add_into fp u4 my my;
+    Fp.Mut.mul_into fp mz u4 mz; (* Z' = W = 2YZ; old Z^2 lives in u1 *)
+    Fp.Mut.mul_into fp u4 u1 xq;
+    Fp.Mut.add_into fp u4 u4 mx;
+    Fp.Mut.mul_into fp u4 u3 u4;
+    Fp.Mut.add_into fp u5 u0 u0;
+    Fp.Mut.sub_into fp lre u4 u5; (* re = M(Z^2 xq + X) - 2Y^2 *)
+    Fp.Mut.mul_into fp u4 mz u1;
+    Fp.Mut.mul_into fp lim u4 yq; (* im = W Z^2 yq *)
+    Fp2.Mut.mul_into fp f f line;
+    (* Complete the doubling. *)
+    Fp.Mut.mul_into fp u4 mx u0;
+    Fp.Mut.add_into fp u4 u4 u4;
+    Fp.Mut.add_into fp u4 u4 u4; (* u4 = s = 4XY^2 *)
+    Fp.Mut.sqr_into fp u2 u3;
+    Fp.Mut.sub_into fp u2 u2 u4;
+    Fp.Mut.sub_into fp u2 u2 u4; (* u2 = X' = M^2 - 2s *)
+    Fp.Mut.sqr_into fp u0 u0;
+    Fp.Mut.add_into fp u0 u0 u0;
+    Fp.Mut.add_into fp u0 u0 u0;
+    Fp.Mut.add_into fp u0 u0 u0; (* u0 = 8Y^4 *)
+    Fp.Mut.sub_into fp u4 u4 u2;
+    Fp.Mut.mul_into fp u4 u3 u4;
+    Fp.Mut.sub_into fp u4 u4 u0; (* u4 = Y' = M(s - X') - 8Y^4 *)
+    Fp.Mut.set fp mx u2;
+    Fp.Mut.set fp my u4
+  end;
+  if d <> 0 then begin
+    (* The digit's point is dP = (xp, +-yp). *)
+    let ypd = if d > 0 then w.w_yp else w.w_ypn in
+    if Fp.is_zero fp mz then begin
+      Fp.Mut.set fp mx xp;
+      Fp.Mut.set fp my ypd;
+      Fp.Mut.set_one fp mz
+    end
+    else begin
+      (* Mixed addition with scaled chord line:
+         H = xp Z^2 - X, R = yp' Z^3 - Y, Z' = Z H;
+         l = [R(xq + xp) - Z' yp'] + (Z' yq) i. *)
+      Fp.Mut.sqr_into fp u0 mz; (* u0 = Z^2 *)
+      Fp.Mut.mul_into fp u1 xp u0;
+      Fp.Mut.sub_into fp u1 u1 mx; (* u1 = H *)
+      Fp.Mut.mul_into fp u2 u0 mz;
+      Fp.Mut.mul_into fp u2 ypd u2;
+      Fp.Mut.sub_into fp u2 u2 my; (* u2 = R *)
+      if Fp.is_zero fp u1 then begin
+        if Fp.is_zero fp u2 then raise Degenerate_chain
+        else set_torsion () (* T = -dP: vertical chord, GF(p) factor *)
+      end
+      else begin
+        Fp.Mut.mul_into fp mz mz u1; (* Z' = Z H *)
+        Fp.Mut.add_into fp u3 xq xp;
+        Fp.Mut.mul_into fp u3 u2 u3;
+        Fp.Mut.mul_into fp u4 mz ypd;
+        Fp.Mut.sub_into fp lre u3 u4; (* re = R(xq + xp) - Z' yp' *)
+        Fp.Mut.mul_into fp lim mz yq; (* im = Z' yq *)
+        Fp2.Mut.mul_into fp f f line;
+        Fp.Mut.sqr_into fp u3 u1; (* u3 = H^2 *)
+        Fp.Mut.mul_into fp u4 u3 u1; (* u4 = H^3 *)
+        Fp.Mut.mul_into fp u3 mx u3; (* u3 = X H^2 *)
+        Fp.Mut.sqr_into fp u5 u2;
+        Fp.Mut.sub_into fp u5 u5 u4;
+        Fp.Mut.sub_into fp u5 u5 u3;
+        Fp.Mut.sub_into fp u5 u5 u3; (* u5 = X' = R^2 - H^3 - 2XH^2 *)
+        Fp.Mut.sub_into fp u3 u3 u5;
+        Fp.Mut.mul_into fp u3 u2 u3;
+        Fp.Mut.mul_into fp u4 my u4;
+        Fp.Mut.sub_into fp u3 u3 u4; (* u3 = Y' = R(XH^2 - X') - Y H^3 *)
+        Fp.Mut.set fp mx u5;
+        Fp.Mut.set fp my u3
+      end
+    end
+  end
+
 (* Production Miller loop for the x^3 + x family: the same in-place
    register discipline as [miller_loop_xx_bin], walking the signed-digit
    NAF schedule of q instead of its bits — ~bits/3 addition steps
@@ -735,119 +949,14 @@ let miller_loop_xx_naf prms pt qt =
   match (pt, qt) with
   | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one fp
   | Curve.Affine p', Curve.Affine q' ->
-      let xp = p'.x and yp = p'.y in
-      let xq = q'.x and yq = q'.y in
       let f = Fp2.Mut.alloc fp in
       Fp2.Mut.set_one fp f;
-      let mx = Fp.Mut.copy fp xp
-      and my = Fp.Mut.copy fp yp
-      and mz = Fp.Mut.alloc fp in
-      Fp.Mut.set_one fp mz;
-      let ypn = Fp.Mut.alloc fp in
-      Fp.Mut.neg_into fp ypn yp;
-      let u0 = Fp.Mut.alloc fp
-      and u1 = Fp.Mut.alloc fp
-      and u2 = Fp.Mut.alloc fp
-      and u3 = Fp.Mut.alloc fp
-      and u4 = Fp.Mut.alloc fp
-      and u5 = Fp.Mut.alloc fp in
-      let lre = Fp.Mut.alloc fp and lim = Fp.Mut.alloc fp in
-      let line = Fp2.make ~re:lre ~im:lim in
-      let set_torsion () =
-        Fp.Mut.set_one fp mx;
-        Fp.Mut.set_one fp my;
-        Fp.Mut.set_zero fp mz
-      in
+      let sc = xx_scratch_alloc fp in
+      let w = xx_walker_make fp ~xp:p'.x ~yp:p'.y ~xq:q'.x ~yq:q'.y in
       let digits = prms.q_naf in
       for i = 1 to Array.length digits - 1 do
         Fp2.Mut.sqr_into fp f f;
-        if Fp.is_zero fp mz then ()
-        else if Fp.is_zero fp my then set_torsion ()
-        else begin
-          (* Doubling with scaled tangent line (see the binary loop):
-             M = 3X^2 + Z^4, W = 2YZ;
-             l = [M*(Z^2 xq + X) - 2Y^2] + (W Z^2 yq) i. *)
-          Fp.Mut.sqr_into fp u0 my; (* u0 = Y^2 *)
-          Fp.Mut.sqr_into fp u1 mz; (* u1 = Z^2 *)
-          Fp.Mut.sqr_into fp u2 mx; (* u2 = X^2 *)
-          Fp.Mut.add_into fp u3 u2 u2;
-          Fp.Mut.add_into fp u3 u3 u2; (* u3 = 3X^2 *)
-          Fp.Mut.sqr_into fp u4 u1;
-          Fp.Mut.add_into fp u3 u3 u4; (* u3 = M *)
-          Fp.Mut.add_into fp u4 my my;
-          Fp.Mut.mul_into fp mz u4 mz; (* Z' = W = 2YZ; old Z^2 lives in u1 *)
-          Fp.Mut.mul_into fp u4 u1 xq;
-          Fp.Mut.add_into fp u4 u4 mx;
-          Fp.Mut.mul_into fp u4 u3 u4;
-          Fp.Mut.add_into fp u5 u0 u0;
-          Fp.Mut.sub_into fp lre u4 u5; (* re = M(Z^2 xq + X) - 2Y^2 *)
-          Fp.Mut.mul_into fp u4 mz u1;
-          Fp.Mut.mul_into fp lim u4 yq; (* im = W Z^2 yq *)
-          Fp2.Mut.mul_into fp f f line;
-          (* Complete the doubling. *)
-          Fp.Mut.mul_into fp u4 mx u0;
-          Fp.Mut.add_into fp u4 u4 u4;
-          Fp.Mut.add_into fp u4 u4 u4; (* u4 = s = 4XY^2 *)
-          Fp.Mut.sqr_into fp u2 u3;
-          Fp.Mut.sub_into fp u2 u2 u4;
-          Fp.Mut.sub_into fp u2 u2 u4; (* u2 = X' = M^2 - 2s *)
-          Fp.Mut.sqr_into fp u0 u0;
-          Fp.Mut.add_into fp u0 u0 u0;
-          Fp.Mut.add_into fp u0 u0 u0;
-          Fp.Mut.add_into fp u0 u0 u0; (* u0 = 8Y^4 *)
-          Fp.Mut.sub_into fp u4 u4 u2;
-          Fp.Mut.mul_into fp u4 u3 u4;
-          Fp.Mut.sub_into fp u4 u4 u0; (* u4 = Y' = M(s - X') - 8Y^4 *)
-          Fp.Mut.set fp mx u2;
-          Fp.Mut.set fp my u4
-        end;
-        let d = digits.(i) in
-        if d <> 0 then begin
-          (* The digit's point is dP = (xp, +-yp). *)
-          let ypd = if d > 0 then yp else ypn in
-          if Fp.is_zero fp mz then begin
-            Fp.Mut.set fp mx xp;
-            Fp.Mut.set fp my ypd;
-            Fp.Mut.set_one fp mz
-          end
-          else begin
-            (* Mixed addition with scaled chord line:
-               H = xp Z^2 - X, R = yp' Z^3 - Y, Z' = Z H;
-               l = [R(xq + xp) - Z' yp'] + (Z' yq) i. *)
-            Fp.Mut.sqr_into fp u0 mz; (* u0 = Z^2 *)
-            Fp.Mut.mul_into fp u1 xp u0;
-            Fp.Mut.sub_into fp u1 u1 mx; (* u1 = H *)
-            Fp.Mut.mul_into fp u2 u0 mz;
-            Fp.Mut.mul_into fp u2 ypd u2;
-            Fp.Mut.sub_into fp u2 u2 my; (* u2 = R *)
-            if Fp.is_zero fp u1 then begin
-              if Fp.is_zero fp u2 then raise Degenerate_chain
-              else set_torsion () (* T = -dP: vertical chord, GF(p) factor *)
-            end
-            else begin
-              Fp.Mut.mul_into fp mz mz u1; (* Z' = Z H *)
-              Fp.Mut.add_into fp u3 xq xp;
-              Fp.Mut.mul_into fp u3 u2 u3;
-              Fp.Mut.mul_into fp u4 mz ypd;
-              Fp.Mut.sub_into fp lre u3 u4; (* re = R(xq + xp) - Z' yp' *)
-              Fp.Mut.mul_into fp lim mz yq; (* im = Z' yq *)
-              Fp2.Mut.mul_into fp f f line;
-              Fp.Mut.sqr_into fp u3 u1; (* u3 = H^2 *)
-              Fp.Mut.mul_into fp u4 u3 u1; (* u4 = H^3 *)
-              Fp.Mut.mul_into fp u3 mx u3; (* u3 = X H^2 *)
-              Fp.Mut.sqr_into fp u5 u2;
-              Fp.Mut.sub_into fp u5 u5 u4;
-              Fp.Mut.sub_into fp u5 u5 u3;
-              Fp.Mut.sub_into fp u5 u5 u3; (* u5 = X' = R^2 - H^3 - 2XH^2 *)
-              Fp.Mut.sub_into fp u3 u3 u5;
-              Fp.Mut.mul_into fp u3 u2 u3;
-              Fp.Mut.mul_into fp u4 my u4;
-              Fp.Mut.sub_into fp u3 u3 u4; (* u3 = Y' = R(XH^2 - X') - Y H^3 *)
-              Fp.Mut.set fp mx u5;
-              Fp.Mut.set fp my u3
-            end
-          end
-        end
+        xx_step fp sc w f digits.(i)
       done;
       f
 
@@ -932,13 +1041,208 @@ let miller_loop_x1 prms pt qt =
       done;
       Fp2.mul fp !f_num (Fp2.inv fp !f_den)
 
+(* --- the x1-family Jacobian walker ---
+
+   Production Miller loop for y^2 = x^3 + 1: the affine reference above
+   pays ~1.5 field inversions per bit (one per slope); this walker runs
+   the same binary schedule in Jacobian coordinates with every line
+   SCALED by its GF(p)* denominator, so the whole loop performs no
+   inversion at all (one GF(p^2) inversion merges the num/den
+   accumulators at the end). Unlike the xx family the distorted
+   x-coordinate zeta*xq is a full GF(p^2) element, so vertical lines do
+   not collapse into GF(p) and the denominator chain must be kept — two
+   shared squaring chains in a product, still zero inversions.
+
+   Branch structure mirrors [miller_loop_x1] exactly (Z = 0 <=> T
+   at infinity, Y = 0 <=> vertical tangent, H = 0 <=> x = xp), so the
+   degenerate cases land in the same cases as the reference and no
+   [Degenerate_chain] escape is needed. Line values:
+   - tangent at T, scaled by W Z^2 (W = 2YZ, M = 3X^2):
+     [M X - 2Y^2 + W Z^2 yq] - M Z^2 (zeta xq)
+   - chord through T and P, evaluated at P, scaled by Z' = ZH:
+     [Z' yq - Z' yp + R xp] - R (zeta xq)
+   - verticals, scaled by Z^2: Z^2 (zeta xq) - X. *)
+
+type x1_walker = {
+  j_xp : Fp.t;
+  j_yp : Fp.t;
+  j_yq : Fp.t;
+  j_zxr : Fp.t; (* owned: re (zeta xq) *)
+  j_zxi : Fp.t; (* owned: im (zeta xq) *)
+  j_mx : Fp.t; (* owned register file: Jacobian T *)
+  j_my : Fp.t;
+  j_mz : Fp.t;
+}
+
+let x1_walker_make prms ~xp ~yp ~xq ~yq =
+  let fp = prms.fp in
+  let zxr = Fp.Mut.alloc fp and zxi = Fp.Mut.alloc fp in
+  Fp.Mut.mul_into fp zxr prms.zeta.Fp2.re xq;
+  Fp.Mut.mul_into fp zxi prms.zeta.Fp2.im xq;
+  let mz = Fp.Mut.alloc fp in
+  Fp.Mut.set_one fp mz;
+  {
+    j_xp = xp;
+    j_yp = yp;
+    j_yq = yq;
+    j_zxr = zxr;
+    j_zxi = zxi;
+    j_mx = Fp.Mut.copy fp xp;
+    j_my = Fp.Mut.copy fp yp;
+    j_mz = mz;
+  }
+
+(* One bit of one x1 walker: numerator lines fold into [fnum],
+   denominator verticals into [fden]; the shared squarings of both
+   accumulators are the driver's. Scratch discipline as in [xx_step]. *)
+let x1_step fp sc w ~fnum ~fden d =
+  let { u0; u1; u2; u3; u4; u5; lre; lim; line } = sc in
+  let mx = w.j_mx and my = w.j_my and mz = w.j_mz in
+  let xp = w.j_xp and yp = w.j_yp and yq = w.j_yq in
+  let zxr = w.j_zxr and zxi = w.j_zxi in
+  (if Fp.is_zero fp mz then ()
+   else if Fp.is_zero fp my then begin
+     (* Vertical tangent (2-torsion): num *= Z^2 xq2 - X; 2T = inf. *)
+     Fp.Mut.sqr_into fp u1 mz;
+     Fp.Mut.mul_into fp u2 u1 zxr;
+     Fp.Mut.sub_into fp lre u2 mx;
+     Fp.Mut.mul_into fp lim u1 zxi;
+     Fp2.Mut.mul_into fp fnum fnum line;
+     Fp.Mut.set_zero fp mz
+   end
+   else begin
+     (* Tangent line, scaled by W Z^2:
+        [M X - 2Y^2 + W Z^2 yq] - M Z^2 (zeta xq), M = 3X^2, W = 2YZ. *)
+     Fp.Mut.sqr_into fp u0 my; (* u0 = Y^2 *)
+     Fp.Mut.sqr_into fp u1 mz; (* u1 = Z^2 *)
+     Fp.Mut.sqr_into fp u2 mx; (* u2 = X^2 *)
+     Fp.Mut.add_into fp u3 u2 u2;
+     Fp.Mut.add_into fp u3 u3 u2; (* u3 = M = 3X^2 (a = 0) *)
+     Fp.Mut.add_into fp u4 my my;
+     Fp.Mut.mul_into fp mz u4 mz; (* Z' = W = 2YZ; old Z^2 lives in u1 *)
+     Fp.Mut.mul_into fp u4 u3 mx; (* u4 = M X *)
+     Fp.Mut.add_into fp u5 u0 u0;
+     Fp.Mut.sub_into fp u4 u4 u5; (* u4 = M X - 2Y^2 *)
+     Fp.Mut.mul_into fp u5 mz u1;
+     Fp.Mut.mul_into fp u5 u5 yq; (* u5 = W Z^2 yq *)
+     Fp.Mut.add_into fp u4 u4 u5;
+     Fp.Mut.mul_into fp u5 u3 u1; (* u5 = M Z^2 *)
+     Fp.Mut.mul_into fp u2 u5 zxr;
+     Fp.Mut.sub_into fp lre u4 u2;
+     Fp.Mut.mul_into fp lim u5 zxi;
+     Fp.Mut.neg_into fp lim lim;
+     Fp2.Mut.mul_into fp fnum fnum line;
+     (* Complete the doubling (a = 0): s = 4XY^2, X' = M^2 - 2s,
+        Y' = M(s - X') - 8Y^4. *)
+     Fp.Mut.mul_into fp u4 mx u0;
+     Fp.Mut.add_into fp u4 u4 u4;
+     Fp.Mut.add_into fp u4 u4 u4; (* u4 = s *)
+     Fp.Mut.sqr_into fp u2 u3;
+     Fp.Mut.sub_into fp u2 u2 u4;
+     Fp.Mut.sub_into fp u2 u2 u4; (* u2 = X' *)
+     Fp.Mut.sqr_into fp u0 u0;
+     Fp.Mut.add_into fp u0 u0 u0;
+     Fp.Mut.add_into fp u0 u0 u0;
+     Fp.Mut.add_into fp u0 u0 u0; (* u0 = 8Y^4 *)
+     Fp.Mut.sub_into fp u4 u4 u2;
+     Fp.Mut.mul_into fp u4 u3 u4;
+     Fp.Mut.sub_into fp u4 u4 u0; (* u4 = Y' *)
+     Fp.Mut.set fp mx u2;
+     Fp.Mut.set fp my u4;
+     (* Denominator vertical at 2T, scaled by Z'^2. *)
+     Fp.Mut.sqr_into fp u1 mz;
+     Fp.Mut.mul_into fp u2 u1 zxr;
+     Fp.Mut.sub_into fp lre u2 mx;
+     Fp.Mut.mul_into fp lim u1 zxi;
+     Fp2.Mut.mul_into fp fden fden line
+   end);
+  if d <> 0 then begin
+    if Fp.is_zero fp mz then begin
+      Fp.Mut.set fp mx xp;
+      Fp.Mut.set fp my yp;
+      Fp.Mut.set_one fp mz
+    end
+    else begin
+      Fp.Mut.sqr_into fp u0 mz; (* u0 = Z^2 *)
+      Fp.Mut.mul_into fp u1 xp u0;
+      Fp.Mut.sub_into fp u1 u1 mx; (* u1 = H *)
+      if Fp.is_zero fp u1 then begin
+        (* T = +-P: vertical chord at T; T + P treated as infinity,
+           mirroring the reference branch. *)
+        Fp.Mut.mul_into fp u2 u0 zxr;
+        Fp.Mut.sub_into fp lre u2 mx;
+        Fp.Mut.mul_into fp lim u0 zxi;
+        Fp2.Mut.mul_into fp fnum fnum line;
+        Fp.Mut.set_zero fp mz
+      end
+      else begin
+        Fp.Mut.mul_into fp u2 u0 mz;
+        Fp.Mut.mul_into fp u2 yp u2;
+        Fp.Mut.sub_into fp u2 u2 my; (* u2 = R = yp Z^3 - Y *)
+        Fp.Mut.mul_into fp mz mz u1; (* Z' = Z H *)
+        (* Chord through T and P, evaluated at P, scaled by Z':
+           [Z'(yq - yp) + R xp] - R (zeta xq). *)
+        Fp.Mut.mul_into fp u3 mz yq;
+        Fp.Mut.mul_into fp u4 mz yp;
+        Fp.Mut.sub_into fp u3 u3 u4;
+        Fp.Mut.mul_into fp u4 u2 xp;
+        Fp.Mut.add_into fp u3 u3 u4;
+        Fp.Mut.mul_into fp u4 u2 zxr;
+        Fp.Mut.sub_into fp lre u3 u4;
+        Fp.Mut.mul_into fp lim u2 zxi;
+        Fp.Mut.neg_into fp lim lim;
+        Fp2.Mut.mul_into fp fnum fnum line;
+        (* Complete the mixed addition (as in the xx kernel). *)
+        Fp.Mut.sqr_into fp u3 u1; (* u3 = H^2 *)
+        Fp.Mut.mul_into fp u4 u3 u1; (* u4 = H^3 *)
+        Fp.Mut.mul_into fp u3 mx u3; (* u3 = X H^2 *)
+        Fp.Mut.sqr_into fp u5 u2;
+        Fp.Mut.sub_into fp u5 u5 u4;
+        Fp.Mut.sub_into fp u5 u5 u3;
+        Fp.Mut.sub_into fp u5 u5 u3; (* u5 = X' *)
+        Fp.Mut.sub_into fp u3 u3 u5;
+        Fp.Mut.mul_into fp u3 u2 u3;
+        Fp.Mut.mul_into fp u4 my u4;
+        Fp.Mut.sub_into fp u3 u3 u4; (* u3 = Y' *)
+        Fp.Mut.set fp mx u5;
+        Fp.Mut.set fp my u3;
+        (* Denominator vertical at T + P, scaled by Z'^2. *)
+        Fp.Mut.sqr_into fp u0 mz;
+        Fp.Mut.mul_into fp u2 u0 zxr;
+        Fp.Mut.sub_into fp lre u2 mx;
+        Fp.Mut.mul_into fp lim u0 zxi;
+        Fp2.Mut.mul_into fp fden fden line
+      end
+    end
+  end
+
+let miller_loop_x1_jac prms pt qt =
+  let fp = prms.fp in
+  match (pt, qt) with
+  | Curve.Infinity, _ | _, Curve.Infinity -> Fp2.one fp
+  | Curve.Affine p', Curve.Affine q' ->
+      let fnum = Fp2.Mut.alloc fp and fden = Fp2.Mut.alloc fp in
+      Fp2.Mut.set_one fp fnum;
+      Fp2.Mut.set_one fp fden;
+      let sc = xx_scratch_alloc fp in
+      let w = x1_walker_make prms ~xp:p'.x ~yp:p'.y ~xq:q'.x ~yq:q'.y in
+      let q = prms.q in
+      for i = Bigint.bit_length q - 2 downto 0 do
+        Fp2.Mut.sqr_into fp fnum fnum;
+        Fp2.Mut.sqr_into fp fden fden;
+        x1_step fp sc w ~fnum ~fden (if Bigint.test_bit q i then 1 else 0)
+      done;
+      Fp2.mul fp fnum (Fp2.inv fp fden)
+
 (* --- evaluating prepared pairings --- *)
 
 (* One pass over the flat schedule: per op either an in-place GF(p^2)
-   squaring of f, or a line evaluation — two base-field muls, one add —
-   folded into f through the lazy-reduction product. The only per-call
-   allocations are f itself (returned to the caller) and the reusable
-   line value; the recorded coefficients are read in storage order. *)
+   squaring of f, or a line evaluation — ONE base-field mul and one add,
+   the imaginary part being Q's own y-coordinate (the lines are
+   pre-scaled by 1/ly at preparation) — folded into f through the
+   lazy-reduction product. The only per-call allocations are f itself
+   (returned to the caller) and the reusable line value; the recorded
+   coefficients are read in storage order. *)
 let miller_prepared_xx prms ops lines qt =
   let fp = prms.fp in
   match qt with
@@ -947,17 +1251,16 @@ let miller_prepared_xx prms ops lines qt =
       let xq = q'.x and yq = q'.y in
       let f = Fp2.Mut.alloc fp in
       Fp2.Mut.set_one fp f;
-      let lre = Fp.Mut.alloc fp and lim = Fp.Mut.alloc fp in
-      let line = Fp2.make ~re:lre ~im:lim in
+      let lre = Fp.Mut.alloc fp in
+      let line = Fp2.make ~re:lre ~im:yq in
       let li = ref 0 in
       for oi = 0 to Array.length ops - 1 do
         if ops.(oi) = 0 then Fp2.Mut.sqr_into fp f f
         else begin
-          let l0 = lines.(!li) and lx = lines.(!li + 1) and ly = lines.(!li + 2) in
-          li := !li + 3;
-          Fp.Mut.mul_into fp lre lx xq;
-          Fp.Mut.add_into fp lre l0 lre;
-          Fp.Mut.mul_into fp lim ly yq;
+          let a0 = lines.(!li) and ax = lines.(!li + 1) in
+          li := !li + 2;
+          Fp.Mut.mul_into fp lre ax xq;
+          Fp.Mut.add_into fp lre a0 lre;
           Fp2.Mut.mul_into fp f f line
         end
       done;
@@ -995,7 +1298,7 @@ let miller_prepared_x1 prms steps qt =
 let miller_loop_prepared prms prep qt =
   match prep with
   | Prep_inf -> Fp2.one prms.fp
-  | Prep_xx { ops; lines } -> miller_prepared_xx prms ops lines qt
+  | Prep_xx { ops; lines; sqrs = _ } -> miller_prepared_xx prms ops lines qt
   | Prep_x1 steps -> miller_prepared_x1 prms steps qt
 
 let miller_loop prms pt qt =
@@ -1009,7 +1312,7 @@ let miller_loop prms pt qt =
       if Curve.equal pt prms.g && Lazy.is_val prms.g_prep then
         miller_loop_prepared prms (Lazy.force prms.g_prep) qt
       else miller_loop_xx prms pt qt
-  | Y2_x3_1 -> miller_loop_x1 prms pt qt
+  | Y2_x3_1 -> miller_loop_x1_jac prms pt qt
 
 (* Functional-path dispatch, pinned as the reference the kernel path is
    measured and tested against. (The x^3 + 1 family has a single,
@@ -1019,6 +1322,217 @@ let miller_loop_ref prms pt qt =
   | Y2_x3_x -> miller_loop_xx_ref prms pt qt
   | Y2_x3_1 -> miller_loop_x1 prms pt qt
 
+(* --- the product-of-pairings kernel ---
+
+   prod_i f_{q,P_i}(phi Q_i) through ONE interleaved Miller loop: all
+   walkers share a single f^2 squaring chain — with N pairs the dominant
+   GF(p^2) squarings are paid once instead of N times — and every line
+   evaluation folds into the same accumulator through the lazy-reduction
+   product. Prepared schedules and live points mix freely; an xx-family
+   pair whose first argument is the system generator is promoted to the
+   construction-time prepared schedule.
+
+   Schedule compatibility: interleaving requires every walker to square
+   on the same step, i.e. identical squaring counts. Live xx walkers and
+   NAF-recorded schedules all follow the NAF of q; a binary-fallback
+   prepared schedule (degenerate recording) may differ in length by one,
+   so it is evaluated on its own and multiplied in — as is any live pair
+   whose walk hits the unmodelled coincident-addition case (low-order
+   inputs; never order-q ones). The x1 family's binary schedule is fixed
+   by q for every walker, so everything interleaves, with two shared
+   chains (numerator/denominator) and a single merging inversion. *)
+
+type pair_arg = Point of Curve.point | Prepared of prepared
+
+exception Degenerate_pair of int
+
+(* Cursor over one flattened prepared schedule inside a product: [pw_oi]
+   walks [ops] (each step consumes the recorded squaring — performed
+   once, shared — then folds the step's lines), [pw_li] walks the
+   pre-scaled line pairs. The line's re buffer is the product's shared
+   scratch; its im is the pair's own yq. *)
+type xx_prep_walker = {
+  pw_ops : int array;
+  pw_lines : Fp.t array;
+  pw_xq : Fp.t;
+  pw_line : Fp2.t;
+  mutable pw_oi : int;
+  mutable pw_li : int;
+}
+
+let xx_product prms items =
+  let fp = prms.fp in
+  let n_sqrs = Array.length prms.q_naf - 1 in
+  let extras = ref [] in
+  let preps = ref [] and lives = ref [] in
+  let classify_prep prep qt =
+    match (prep, qt) with
+    | Prep_inf, _ | _, Curve.Infinity -> ()
+    | Prep_xx { ops; lines; sqrs }, Curve.Affine q' when sqrs = n_sqrs ->
+        preps := (ops, lines, q'.x, q'.y) :: !preps
+    | _ -> extras := miller_loop_prepared prms prep qt :: !extras
+  in
+  List.iter
+    (fun (a, qt) ->
+      match (a, qt) with
+      | _, Curve.Infinity -> ()
+      | Prepared prep, _ -> classify_prep prep qt
+      | Point Curve.Infinity, _ -> ()
+      | Point pt, _ when Curve.equal pt prms.g && Lazy.is_val prms.g_prep ->
+          classify_prep (Lazy.force prms.g_prep) qt
+      | Point (Curve.Affine _ as pt), _ -> lives := (pt, qt) :: !lives)
+    items;
+  let preps = List.rev !preps in
+  let rec attempt lives =
+    let lv = Array.of_list lives in
+    let f = Fp2.Mut.alloc fp in
+    Fp2.Mut.set_one fp f;
+    if preps = [] && Array.length lv = 0 then f
+    else begin
+      let sc = xx_scratch_alloc fp in
+      let pws =
+        Array.of_list
+          (List.map
+             (fun (ops, lines, xq, yq) ->
+               {
+                 pw_ops = ops;
+                 pw_lines = lines;
+                 pw_xq = xq;
+                 pw_line = Fp2.make ~re:sc.lre ~im:yq;
+                 pw_oi = 0;
+                 pw_li = 0;
+               })
+             preps)
+      in
+      let lws =
+        Array.map
+          (fun (pt, qt) ->
+            match (pt, qt) with
+            | Curve.Affine p', Curve.Affine q' ->
+                xx_walker_make fp ~xp:p'.x ~yp:p'.y ~xq:q'.x ~yq:q'.y
+            | _ -> assert false)
+          lv
+      in
+      let digits = prms.q_naf in
+      try
+        for i = 1 to Array.length digits - 1 do
+          Fp2.Mut.sqr_into fp f f;
+          for k = 0 to Array.length pws - 1 do
+            let pw = pws.(k) in
+            pw.pw_oi <- pw.pw_oi + 1 (* the recorded squaring, shared *);
+            let ops = pw.pw_ops and lines = pw.pw_lines in
+            while pw.pw_oi < Array.length ops && ops.(pw.pw_oi) = 1 do
+              Fp.Mut.mul_into fp sc.lre lines.(pw.pw_li + 1) pw.pw_xq;
+              Fp.Mut.add_into fp sc.lre lines.(pw.pw_li) sc.lre;
+              pw.pw_li <- pw.pw_li + 2;
+              Fp2.Mut.mul_into fp f f pw.pw_line;
+              pw.pw_oi <- pw.pw_oi + 1
+            done
+          done;
+          let d = digits.(i) in
+          for k = 0 to Array.length lws - 1 do
+            try xx_step fp sc lws.(k) f d
+            with Degenerate_chain -> raise (Degenerate_pair k)
+          done
+        done;
+        f
+      with Degenerate_pair k ->
+        (* The k-th live pair hit the coincident-operand degeneracy
+           (low-order first argument): evaluate it alone on the binary
+           mirror schedule and interleave the rest without it. *)
+        let pt, qt = lv.(k) in
+        extras := miller_loop_xx_bin prms pt qt :: !extras;
+        attempt (List.filteri (fun j _ -> j <> k) lives)
+    end
+  in
+  let f = attempt (List.rev !lives) in
+  List.fold_left (fun acc m -> Fp2.mul fp acc m) f !extras
+
+let x1_product prms items =
+  let fp = prms.fp in
+  let preps = ref [] and lives = ref [] in
+  List.iter
+    (fun (a, qt) ->
+      match (a, qt) with
+      | _, Curve.Infinity -> ()
+      | Prepared Prep_inf, _ -> ()
+      | Prepared (Prep_x1 steps), Curve.Affine q' ->
+          preps := (steps, Fp2.mul_fp fp q'.x prms.zeta, q'.y) :: !preps
+      | Prepared (Prep_xx _), _ ->
+          invalid_arg "Pairing: xx-family prepared argument on an x1 family"
+      | Point Curve.Infinity, _ -> ()
+      | Point (Curve.Affine p'), Curve.Affine q' ->
+          lives := (p'.x, p'.y, q'.x, q'.y) :: !lives)
+    items;
+  let preps = Array.of_list (List.rev !preps) in
+  let lv = List.rev !lives in
+  if Array.length preps = 0 && lv = [] then Fp2.one fp
+  else begin
+    let fnum = Fp2.Mut.alloc fp and fden = Fp2.Mut.alloc fp in
+    Fp2.Mut.set_one fp fnum;
+    Fp2.Mut.set_one fp fden;
+    let sc = xx_scratch_alloc fp in
+    let lws =
+      Array.of_list
+        (List.map (fun (xp, yp, xq, yq) -> x1_walker_make prms ~xp ~yp ~xq ~yq) lv)
+    in
+    let q = prms.q in
+    let bits = Bigint.bit_length q in
+    for i = bits - 2 downto 0 do
+      Fp2.Mut.sqr_into fp fnum fnum;
+      Fp2.Mut.sqr_into fp fden fden;
+      let st = bits - 2 - i in
+      Array.iter
+        (fun (steps, xq2, yq) ->
+          List.iter
+            (function
+              | Num_line { l0; lmx } ->
+                  let v =
+                    Fp2.add fp
+                      (Fp2.of_fp fp (Fp.add fp l0 yq))
+                      (Fp2.mul_fp fp lmx xq2)
+                  in
+                  Fp2.Mut.mul_into fp fnum fnum v
+              | Num_vert x ->
+                  Fp2.Mut.mul_into fp fnum fnum (Fp2.sub fp xq2 (Fp2.of_fp fp x))
+              | Den_vert x ->
+                  Fp2.Mut.mul_into fp fden fden (Fp2.sub fp xq2 (Fp2.of_fp fp x)))
+            steps.(st))
+        preps;
+      let d = if Bigint.test_bit q i then 1 else 0 in
+      Array.iter (fun w -> x1_step fp sc w ~fnum ~fden d) lws
+    done;
+    Fp2.mul fp fnum (Fp2.inv fp fden)
+  end
+
+let miller_product_mixed prms pairs =
+  match prms.family with
+  | Y2_x3_x -> xx_product prms pairs
+  | Y2_x3_1 -> x1_product prms pairs
+
+let miller_product prms pairs =
+  miller_product_mixed prms (List.map (fun (pt, qt) -> (Point pt, qt)) pairs)
+
+(* Deciding prod_i e^(P_i, Q_i) = 1 from the raw Miller product m,
+   WITHOUT the final exponentiation: FE(m) = (conj(m)/m)^h = conj(u)/u
+   for u = m^h, so FE(m) = 1 exactly when u is fixed by conjugation
+   (the Frobenius), i.e. when m^h lands in GF(p). One cofactor
+   exponentiation and an is-zero test replace the easy part's field
+   inversion plus the full hard part of a canonical FE — and since the
+   equality is exact (not probabilistic), accept/reject decisions are
+   identical to computing the pairing product in full. Raises
+   [Division_by_zero] on m = 0, as the final exponentiation would. *)
+let product_is_one prms m =
+  let fp = prms.fp in
+  if Fp2.is_zero fp m then raise Division_by_zero;
+  let u = Fp2.pow fp m prms.cofactor in
+  Fp.is_zero fp u.Fp2.im
+
+let check_product_one_mixed prms pairs =
+  product_is_one prms (miller_product_mixed prms pairs)
+
+let check_product_one prms pairs = product_is_one prms (miller_product prms pairs)
+
 (* f^((p^2-1)/q): f^(p-1) = conj(f)/f via Frobenius, then pow by the
    cofactor h = (p+1)/q. Pinned reference: generic sliding-window GT
    exponentiation for the hard part. *)
@@ -1027,36 +1541,75 @@ let final_exponentiation_ref prms f =
   let fp1 = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
   Fp2.pow fp fp1 prms.cofactor
 
+(* Per-domain register file for the kernel final exponentiation: the
+   odd-power table, its conjugate views (inverses — shared re buffers,
+   own negated-im buffers), and the accumulator/easy-part temporary.
+   Keyed on limb count so parameter sets of the same width share one
+   file; rebuilt when the width changes. Every call copies its result
+   out fresh, so values never alias the scratch across calls. *)
+let fe_key :
+    (int * Fp2.t array * Fp2.t array * Fp2.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let fe_scratch fp =
+  let k = Limbs.limb_count (Fp.kernel fp) in
+  let cell = Domain.DLS.get fe_key in
+  match !cell with
+  | Some (k', tbl, tbln, acc) when k' = k -> (tbl, tbln, acc)
+  | _ ->
+      let tbl = Array.init 8 (fun _ -> Fp2.Mut.alloc fp) in
+      let tbln =
+        Array.map (fun t -> Fp2.make ~re:t.Fp2.re ~im:(Fp.Mut.alloc fp)) tbl
+      in
+      let acc = Fp2.Mut.alloc fp in
+      cell := Some (k, tbl, tbln, acc);
+      (tbl, tbln, acc)
+
 (* Kernel final exponentiation, same decomposition pushed further: after
    the easy part, f1 = f^(p-1) satisfies f1^(p+1) = f^(p^2-1) = 1, i.e.
    f1 has norm 1 — it lives in the cyclotomic subgroup. There
    - squaring is {!Fp2.Mut.cyclo_sqr_into} (a base-field squaring and a
      multiplication instead of two multiplications), and
-   - inversion is conjugation (free), so the cofactor's width-5 wNAF
-     costs ~bits/6 table multiplications with no extra table space for
-     the negative digits.
-   Same canonical result as [final_exponentiation_ref] for every f — the
-   differential tests pin the bit-identity. *)
+   - inversion is conjugation (free), so the cofactor's signed-digit
+     recoding costs ~bits/(w+1) table multiplications with no extra
+     table space for the negative digits.
+   The whole chain — easy part included, via {!Fp2.Mut.inv_into} — runs
+   in the per-domain register file; the only allocation is the returned
+   copy. The odd-power table is sized to the largest recoded digit, so
+   small-cofactor parameter sets (toy64: h fits 32 bits, width-2
+   recoding) no longer pay an 8-entry table build for a handful of
+   digits. Same canonical result as [final_exponentiation_ref] for every
+   f — the differential tests pin the bit-identity. *)
 let final_exponentiation prms f =
   let fp = prms.fp in
-  let f1 = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
   let digits = prms.cofactor_wnaf in
   let n = Array.length digits in
   if n = 0 then Fp2.one fp
   else begin
-    (* tbl.(j) = f1^(2j+1); everything in the table has norm 1, products
-       and cyclotomic squares of norm-1 elements stay norm-1. *)
-    let tbl = Array.init 8 (fun _ -> Fp2.Mut.alloc fp) in
-    Fp2.Mut.set fp tbl.(0) f1;
-    let f2 = Fp2.Mut.alloc fp in
-    Fp2.Mut.cyclo_sqr_into fp f2 f1;
-    for j = 1 to 7 do
-      Fp2.Mut.mul_into fp tbl.(j) tbl.(j - 1) f2
+    let tbl, tbln, acc = fe_scratch fp in
+    (* Easy part into tbl.(0): f1 = conj(f) * f^-1, allocation-free —
+       tbln.(0)'s im buffer moonlights as conj(f)'s im, and the lazy
+       product reads its operands out before touching the destination. *)
+    Fp2.Mut.inv_into fp acc f;
+    Fp.Mut.neg_into fp tbln.(0).Fp2.im f.Fp2.im;
+    Fp2.Mut.mul_into fp
+      tbl.(0)
+      (Fp2.make ~re:f.Fp2.re ~im:tbln.(0).Fp2.im)
+      acc;
+    (* tbl.(j) = f1^(2j+1), built only up to the largest digit the
+       recoding actually uses; everything in the table has norm 1,
+       products and cyclotomic squares of norm-1 elements stay norm-1. *)
+    let maxd = Array.fold_left (fun m d -> Stdlib.max m (abs d)) 1 digits in
+    let tsize = (maxd + 1) / 2 in
+    if tsize > 1 then begin
+      Fp2.Mut.cyclo_sqr_into fp acc tbl.(0);
+      for j = 1 to tsize - 1 do
+        Fp2.Mut.mul_into fp tbl.(j) tbl.(j - 1) acc
+      done
+    end;
+    for j = 0 to tsize - 1 do
+      Fp.Mut.neg_into fp tbln.(j).Fp2.im tbl.(j).Fp2.im
     done;
-    (* Conjugates are the inverses; they share their re buffers with the
-       table, which is frozen from here on. *)
-    let tbln = Array.map (Fp2.conj fp) tbl in
-    let acc = f2 (* dead once the table is built *) in
     Fp2.Mut.set fp acc tbl.((digits.(0) - 1) / 2);
     for i = 1 to n - 1 do
       Fp2.Mut.cyclo_sqr_into fp acc acc;
@@ -1064,7 +1617,9 @@ let final_exponentiation prms f =
       if d > 0 then Fp2.Mut.mul_into fp acc acc tbl.((d - 1) / 2)
       else if d < 0 then Fp2.Mut.mul_into fp acc acc tbln.((-d - 1) / 2)
     done;
-    acc
+    let out = Fp2.Mut.alloc fp in
+    Fp2.Mut.set fp out acc;
+    out
   end
 
 let pairing prms pt qt = final_exponentiation prms (miller_loop prms pt qt)
@@ -1073,43 +1628,39 @@ let pairing_ref prms pt qt =
   final_exponentiation_ref prms (miller_loop_ref prms pt qt)
 
 let pairing_product prms pairs =
-  let fp = prms.fp in
-  let product =
-    List.fold_left
-      (fun acc (pt, qt) -> Fp2.mul fp acc (miller_loop prms pt qt))
-      (Fp2.one fp) pairs
-  in
-  final_exponentiation prms product
+  (* A GT value is wanted (not just a decision), so the full final
+     exponentiation runs — but over ONE interleaved Miller loop. *)
+  final_exponentiation prms (miller_product prms pairs)
 
-let pairing_check prms pairs = Fp2.is_one prms.fp (pairing_product prms pairs)
+let pairing_check prms pairs = check_product_one prms pairs
 
 let pairing_equal_check prms ~lhs:(a, b) ~rhs:(c, d) =
-  (* e(a,b) = e(c,d)  <=>  e(a,b) * e(-c,d) = 1 — one shared final
-     exponentiation instead of two full pairings. *)
-  pairing_check prms [ (a, b); (Curve.neg prms.curve c, d) ]
+  (* e(a,b) = e(c,d)  <=>  e(a,b) * e(c,-d) = 1 — one interleaved Miller
+     loop and one membership test instead of two full pairings. The
+     inverse is taken by negating the *point* argument (the distortion
+     map commutes with negation), so a first argument equal to the
+     system generator keeps its construction-time prepared schedule. *)
+  check_product_one prms [ (a, b); (c, Curve.neg prms.curve d) ]
 
 (* --- prepared pairing entry points --- *)
 
 let pairing_prepared prms prep qt =
   final_exponentiation prms (miller_loop_prepared prms prep qt)
 
+let prepared_args pairs = List.map (fun (prep, qt) -> (Prepared prep, qt)) pairs
+
 let pairing_product_prepared prms pairs =
-  let fp = prms.fp in
-  let product =
-    List.fold_left
-      (fun acc (prep, qt) -> Fp2.mul fp acc (miller_loop_prepared prms prep qt))
-      (Fp2.one fp) pairs
-  in
-  final_exponentiation prms product
+  final_exponentiation prms (miller_product_mixed prms (prepared_args pairs))
 
 let pairing_check_prepared prms pairs =
-  Fp2.is_one prms.fp (pairing_product_prepared prms pairs)
+  check_product_one_mixed prms (prepared_args pairs)
 
 let pairing_equal_check_prepared prms ~lhs:(a, b) ~rhs:(c, d) =
   (* Prepared first arguments cannot be negated, but e(c,d)^-1 = e(c,-d)
      (the distortion map commutes with negation), so negate the point
      argument instead. *)
-  pairing_check_prepared prms [ (a, b); (c, Curve.neg prms.curve d) ]
+  check_product_one_mixed prms
+    [ (Prepared a, b); (Prepared c, Curve.neg prms.curve d) ]
 
 let mul_g prms k = Curve.Table.mul (Lazy.force prms.g_table) k
 

@@ -12,16 +12,19 @@ type family =
   | Y2_x3_x  (** E: y^2 = x^3 + x, p = 3 (mod 4), distortion (x,y) -> (-x, iy) *)
   | Y2_x3_1
       (** E: y^2 = x^3 + 1, p = 11 (mod 12), distortion (x,y) -> (zeta x, y)
-          — the Boneh-Franklin curve. Supported as a reference second
-          instantiation of the paper's "any GDH group"; its Miller loop is
-          the straightforward affine one with denominators, so it is
-          slower than {!Y2_x3_x}. *)
+          — the Boneh-Franklin curve. Supported as a second instantiation
+          of the paper's "any GDH group"; its production Miller loop runs
+          Jacobian in-place kernels with separate numerator/denominator
+          accumulators merged by a single inversion. *)
 
 type prepared
 (** A first pairing argument with its whole Miller-loop line-function
-    schedule precomputed ({!prepare}). Pairing against it
-    ({!pairing_prepared} and friends) skips all the loop's point
-    arithmetic and gives bit-identical results to {!pairing}. *)
+    schedule precomputed ({!prepare}) — on the {!Y2_x3_x} family the
+    lines are stored pre-scaled by their y-coefficient (one batched
+    inversion at prepare time), so evaluation is two base-field
+    operations per line. Pairing against it ({!pairing_prepared} and
+    friends) skips all the loop's point arithmetic and gives results
+    bit-identical to {!pairing}. *)
 
 type params = private {
   name : string;
@@ -38,9 +41,11 @@ type params = private {
       (** MSB-first non-adjacent form of q — the signed-digit schedule
           of the production Miller loop (~bits/3 addition steps) *)
   cofactor_wnaf : int array;
-      (** MSB-first width-5 wNAF of the cofactor, driving the
-          cyclotomic final-exponentiation window (negative digits are
-          free: inversion in the norm-1 subgroup is conjugation) *)
+      (** MSB-first wNAF of the cofactor, driving the cyclotomic
+          final-exponentiation window (negative digits are free:
+          inversion in the norm-1 subgroup is conjugation); the window
+          width adapts to the cofactor size so small parameter sets do
+          not overpay for the odd-power table *)
   g_table : Curve.Table.t Lazy.t;
       (** fixed-base precomputation for [g]; forced at construction, so a
           params value is safe to share across domains (a racing
@@ -130,20 +135,59 @@ val final_exponentiation_ref : params -> Fp2.t -> Fp2.t
 (** Pinned generic path: easy part, then sliding-window {!Fp2.pow} by
     the cofactor. *)
 
+(** {1 Products of pairings}
+
+    Every verification equation in the system is a product
+    [prod_i e^(P_i, Q_i) = 1]. The product kernel computes all N pairs
+    through ONE interleaved Miller loop — a single shared f^2 squaring
+    chain per loop bit (the squarings dominate; with N pairs they are
+    paid once instead of N times), every line evaluation folded into the
+    same accumulator — and at most one shared final exponentiation.
+    Decision-only checks skip even that: [FE(m) = 1] iff [m^h] lands in
+    GF(p), a cofactor exponentiation and an is-zero test. All results
+    and decisions are bit-identical to multiplying separate {!pairing}
+    values — the differential tests pin it. *)
+
+type pair_arg =
+  | Point of Curve.point
+  | Prepared of prepared
+      (** A product slot: a live first argument, or one prepared with
+          {!prepare}. Live {!Y2_x3_x} arguments equal to the system
+          generator are promoted to the construction-time schedule
+          automatically. *)
+
+val miller_product : params -> (Curve.point * Curve.point) list -> Fp2.t
+(** The raw interleaved Miller product [prod_i f_i] (pre final
+    exponentiation). The empty product is 1. *)
+
+val miller_product_mixed : params -> (pair_arg * Curve.point) list -> Fp2.t
+(** {!miller_product} with prepared and live first arguments mixed
+    freely in one loop. *)
+
+val check_product_one : params -> (Curve.point * Curve.point) list -> bool
+(** [prod_i e^(P_i, Q_i) = 1]? One interleaved Miller loop, then the
+    GF(p)-membership test of [m^h] in place of a final exponentiation.
+    The decision equals [Fp2.is_one (pairing_product prms pairs)]
+    exactly. *)
+
+val check_product_one_mixed : params -> (pair_arg * Curve.point) list -> bool
+(** {!check_product_one} over mixed prepared/live first arguments. *)
+
 val pairing_product : params -> (Curve.point * Curve.point) list -> Fp2.t
-(** [prod_i e^(P_i, Q_i)] with a single shared final exponentiation —
-    measurably cheaper than multiplying separate pairings whenever more
-    than one pairing feeds one equation (verification equations,
-    multi-server decryption). *)
+(** [prod_i e^(P_i, Q_i)] as a GT value: one interleaved Miller loop and
+    a single shared final exponentiation — for callers that need the
+    product itself (multi-server decryption), not just a decision. *)
 
 val pairing_check : params -> (Curve.point * Curve.point) list -> bool
-(** [prod_i e^(P_i, Q_i) = 1]? The natural form of all the scheme's
+(** [check_product_one]. The natural form of all the scheme's
     verification equations. *)
 
 val pairing_equal_check :
   params -> lhs:Curve.point * Curve.point -> rhs:Curve.point * Curve.point -> bool
-(** [e^(a,b) = e^(c,d)]? via [e^(a,b) * e^(-c,d) = 1] — one product, one
-    final exponentiation. *)
+(** [e^(a,b) = e^(c,d)]? via [e^(a,b) * e^(c,-d) = 1] — one interleaved
+    product, no final exponentiation. The right-hand side is inverted by
+    negating its point argument so a generator first argument keeps its
+    prepared schedule. *)
 
 (** {1 Precomputed pairings and fixed-base scalars}
 

@@ -433,6 +433,130 @@ let prop_kernel_pairing_matches_ref =
       let p = Curve.mul curve a g and q' = Curve.mul curve b g in
       Fp2.equal (Pairing.pairing prms p q') (Pairing.pairing_ref prms p q'))
 
+(* --- the product-of-pairings kernel vs the pinned reference: one
+   interleaved Miller loop + one final exponentiation (or the GF(p)
+   membership decision) must stay bit-identical to multiplying separate
+   [pairing_ref] results, for every pair count, argument shape and
+   degeneracy the verifiers can feed it --- *)
+
+let check_product_vs_reference prms =
+  let name = prms.Pairing.name in
+  let fp = prms.Pairing.fp in
+  let curve = prms.Pairing.curve in
+  let g = prms.Pairing.g in
+  let q = prms.Pairing.q in
+  let rng = Hashing.Drbg.create ~seed:("product-diff-" ^ name) () in
+  let rand_pt () = Curve.mul curve (Pairing.random_scalar prms rng) g in
+  let ref_product pairs =
+    List.fold_left
+      (fun acc (a, b) -> Fp2.mul fp acc (Pairing.pairing_ref prms a b))
+      (Fp2.one fp) pairs
+  in
+  let check_pairs label pairs =
+    let expected = ref_product pairs in
+    (* The raw interleaved Miller product, pushed through the PINNED
+       generic final exponentiation, must hit the reference value
+       bit-for-bit — and so must the kernel [pairing_product]. *)
+    Alcotest.(check bool) (name ^ ": miller_product = ref after exp " ^ label)
+      true
+      (Fp2.equal
+         (Pairing.final_exponentiation_ref prms
+            (Pairing.miller_product prms pairs))
+         expected);
+    Alcotest.(check bool) (name ^ ": pairing_product = ref " ^ label) true
+      (Fp2.equal (Pairing.pairing_product prms pairs) expected);
+    (* The no-final-exp membership decision must equal the reference
+       decision exactly — accept AND reject. *)
+    Alcotest.(check bool) (name ^ ": check_product_one = ref decision " ^ label)
+      (Fp2.is_one fp expected)
+      (Pairing.check_product_one prms pairs)
+  in
+  (* N = 1..4 random pairs. *)
+  for n = 1 to 4 do
+    check_pairs
+      (Printf.sprintf "N=%d" n)
+      (List.init n (fun _ -> (rand_pt (), rand_pt ())))
+  done;
+  (* A genuinely canceling product (the verification-equation shape) and
+     a tampered one: both decisions pinned. *)
+  let a = B.of_int 1234 and b = B.of_int 5678 in
+  let ab = B.erem (B.mul a b) q in
+  check_pairs "canceling"
+    [ (Curve.mul curve a g, Curve.mul curve b g);
+      (Curve.mul curve ab g, Curve.neg curve g) ];
+  check_pairs "tampered"
+    [ (Curve.mul curve a g, Curve.mul curve b g);
+      (Curve.mul curve (B.succ ab) g, Curve.neg curve g) ];
+  (* Infinity in either slot drops the pair; the empty product is 1. *)
+  check_pairs "infinity slots"
+    [ (Curve.infinity, rand_pt ()); (rand_pt (), Curve.infinity);
+      (rand_pt (), rand_pt ()) ];
+  check_pairs "empty" [];
+  check_pairs "all infinity" [ (Curve.infinity, Curve.infinity) ];
+  (* Low-order first arguments degenerate the shared NAF walk mid-loop
+     (coincident chord operands); the kernel must evict exactly that pair
+     to its own binary schedule and still match the reference. *)
+  let low i =
+    Curve.mul curve q
+      (Pairing.hash_to_g1_unclamped prms (Printf.sprintf "plow-%s-%d" name i))
+  in
+  check_pairs "low-order first arg" [ (low 1, rand_pt ()); (rand_pt (), rand_pt ()) ];
+  check_pairs "two low-order" [ (low 2, rand_pt ()); (low 3, rand_pt ()) ];
+  (* Mixed prepared/live products, including a degenerate (binary
+     fallback) prepared schedule that cannot share the NAF squaring
+     chain, and the generator's construction-time schedule. *)
+  let pa = rand_pt () and pb = rand_pt () and qb = rand_pt () in
+  let pc = rand_pt () and qc = rand_pt () in
+  let pl = low 4 and ql = rand_pt () in
+  let mixed =
+    [ (Pairing.Prepared (Pairing.prepare prms pa), pb);
+      (Pairing.Point g, qb);
+      (Pairing.Point pc, qc);
+      (Pairing.Prepared (Pairing.prepare prms pl), ql) ]
+  in
+  let expected = ref_product [ (pa, pb); (g, qb); (pc, qc); (pl, ql) ] in
+  Alcotest.(check bool) (name ^ ": mixed product = ref") true
+    (Fp2.equal
+       (Pairing.final_exponentiation_ref prms
+          (Pairing.miller_product_mixed prms mixed))
+       expected);
+  Alcotest.(check bool) (name ^ ": mixed check = ref decision")
+    (Fp2.is_one fp expected)
+    (Pairing.check_product_one_mixed prms mixed);
+  (* And the mixed decision on a canceling product. *)
+  Alcotest.(check bool) (name ^ ": mixed canceling accepts") true
+    (Pairing.check_product_one_mixed prms
+       [ (Pairing.Prepared (Lazy.force prms.Pairing.g_prep),
+          Curve.mul curve ab g);
+         (Pairing.Point (Curve.mul curve a g),
+          Curve.neg curve (Curve.mul curve b g)) ])
+
+let test_product_vs_ref_toy () =
+  check_product_vs_reference (Pairing.toy64 ());
+  check_product_vs_reference (Pairing.toy64b ())
+
+let test_product_vs_ref_all_sets () =
+  List.iter
+    (fun name -> check_product_vs_reference (Option.get (Pairing.by_name name)))
+    Pairing.all_names
+
+let prop_product_matches_ref =
+  QCheck2.Test.make ~name:"check_product_one = ref decision (random)" ~count:15
+    QCheck2.Gen.(pair gen_scalar gen_scalar)
+    (fun (a, b) ->
+      let pairs =
+        [ (Curve.mul curve a g, Curve.mul curve b g);
+          (Curve.mul curve (B.erem (B.mul a b) q) g, Curve.neg curve g) ]
+      in
+      let expected =
+        Fp2.is_one prms.Pairing.fp
+          (List.fold_left
+             (fun acc (x, y) ->
+               Pairing.gt_mul prms acc (Pairing.pairing_ref prms x y))
+             (Pairing.gt_one prms) pairs)
+      in
+      Pairing.check_product_one prms pairs = expected)
+
 let test_param_search_small () =
   let rng = Hashing.Drbg.create ~seed:"param-search-test" () in
   let p, q = Param_search.generate ~rng ~qbits:32 ~pbits:48 () in
@@ -484,6 +608,11 @@ let () =
         :: Alcotest.test_case "all sets differential" `Slow
              test_kernel_vs_ref_all_sets
         :: qc [ prop_kernel_pairing_matches_ref ] );
+      ( "product-vs-ref",
+        Alcotest.test_case "toy sets differential" `Quick test_product_vs_ref_toy
+        :: Alcotest.test_case "all sets differential" `Slow
+             test_product_vs_ref_all_sets
+        :: qc [ prop_product_matches_ref ] );
       ( "family2",
         [
           Alcotest.test_case "bilinear+nondegenerate" `Quick test_family2_bilinear_nondegenerate;

@@ -1,0 +1,140 @@
+(* Bench regression guard: parses BENCH_E1_KERNEL.json and fails (exit 1)
+   if any kernel-vs-reference speedup sits below its checked-in floor, or
+   if an expected row is missing entirely.
+
+   The floors are deliberately BELOW current measurements (see the table
+   — roughly 70–85% of the numbers in the checked-in JSON) so CI-runner
+   noise does not false-alarm, while silent structural regressions — a
+   fast path that stops engaging, a kernel quietly falling back to the
+   reference, a row dropped from the report — still fail the build. The
+   *b parameter sets sat at ~1.0x pairing speedup for two PRs precisely
+   because nothing gated them; these floors are the gate. *)
+
+let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_E1_KERNEL.json"
+
+(* (params, operation prefix, minimum speedup). Operations matched by
+   prefix so the parameterized "curve-steps (64 dbl+add)" row keys on its
+   stable stem. *)
+let floors =
+  [
+    (* field kernels: in-place vs generic Montgomery, all sets *)
+    ("toy64", "field-mul", 1.3); ("toy64b", "field-mul", 1.3);
+    ("mid128", "field-mul", 1.4); ("mid128b", "field-mul", 1.4);
+    ("std160", "field-mul", 1.4);
+    ("toy64", "field-sqr", 1.4); ("toy64b", "field-sqr", 1.4);
+    ("mid128", "field-sqr", 1.5); ("mid128b", "field-sqr", 1.5);
+    ("std160", "field-sqr", 1.5);
+    ("toy64", "field-inv", 2.5); ("toy64b", "field-inv", 2.5);
+    ("mid128", "field-inv", 2.0); ("mid128b", "field-inv", 2.0);
+    ("std160", "field-inv", 1.8);
+    ("toy64", "curve-steps", 0.9); ("toy64b", "curve-steps", 0.9);
+    ("mid128", "curve-steps", 0.9); ("mid128b", "curve-steps", 0.9);
+    ("std160", "curve-steps", 0.85);
+    (* the pairing stack: the *b floors are the satellite-2 regression
+       gate (Jacobian x1 kernel loop), the xx floors the PR-5 one *)
+    ("toy64", "pairing", 1.7); ("toy64b", "pairing", 3.0);
+    ("mid128", "pairing", 2.0); ("mid128b", "pairing", 4.0);
+    ("std160", "pairing", 1.6);
+    ("toy64", "miller-loop", 1.3); ("toy64b", "miller-loop", 2.5);
+    ("mid128", "miller-loop", 1.0); ("mid128b", "miller-loop", 4.5);
+    ("std160", "miller-loop", 0.95);
+    (* final exp: toy64's floor is the satellite-1 gate (was 0.97x when
+       the easy part still allocated) *)
+    ("toy64", "final-exp", 1.0); ("toy64b", "final-exp", 0.9);
+    ("mid128", "final-exp", 0.85); ("mid128b", "final-exp", 0.75);
+    ("std160", "final-exp", 0.9);
+    (* the product kernel: one interleaved Miller loop + membership test
+       vs two separate prepared pairings *)
+    ("toy64", "verify-2pair", 1.4); ("toy64b", "verify-2pair", 1.1);
+    ("mid128", "verify-2pair", 1.25); ("mid128b", "verify-2pair", 1.25);
+    ("std160", "verify-2pair", 1.4);
+  ]
+
+(* The JSON is the bench harness's own hand-rolled writer: one row object
+   per line, string values unescaped-simple, numbers plain. Line-oriented
+   field extraction is exact for that shape. *)
+let string_field line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  match String.index_opt line '{' with
+  | None -> None
+  | Some _ -> (
+      let plen = String.length pat in
+      let llen = String.length line in
+      let rec find i =
+        if i + plen > llen then None
+        else if String.sub line i plen = pat then
+          let j = ref (i + plen) in
+          while !j < llen && line.[!j] <> '"' do incr j done;
+          Some (String.sub line (i + plen) (!j - i - plen))
+        else find (i + 1)
+      in
+      find 0)
+
+let float_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat in
+  let llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then begin
+      let j = ref (i + plen) in
+      while !j < llen && line.[!j] <> ',' && line.[!j] <> '}' do incr j done;
+      float_of_string_opt (String.trim (String.sub line (i + plen) (!j - i - plen)))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let () =
+  let ic =
+    try open_in file
+    with Sys_error e ->
+      Printf.eprintf "bench-guard: cannot open %s: %s\n" file e;
+      exit 1
+  in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (string_field line "params", string_field line "operation",
+              float_field line "speedup") with
+       | Some p, Some op, Some s -> rows := (p, op, s) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  let rows = !rows in
+  let failures = ref 0 in
+  List.iter
+    (fun (params, op_prefix, floor) ->
+      let matches =
+        List.filter
+          (fun (p, op, _) ->
+            p = params
+            && String.length op >= String.length op_prefix
+            && String.sub op 0 (String.length op_prefix) = op_prefix)
+          rows
+      in
+      match matches with
+      | [] ->
+          incr failures;
+          Printf.printf "MISSING  %-8s %-14s (floor %.2fx): no such row in %s\n"
+            params op_prefix floor file
+      | l ->
+          List.iter
+            (fun (_, op, s) ->
+              if s < floor then begin
+                incr failures;
+                Printf.printf "FAIL     %-8s %-14s %.2fx < floor %.2fx\n" params
+                  op s floor
+              end
+              else
+                Printf.printf "ok       %-8s %-14s %.2fx >= %.2fx\n" params op s
+                  floor)
+            l)
+    floors;
+  if !failures > 0 then begin
+    Printf.printf "bench-guard: %d floor violation(s) in %s\n" !failures file;
+    exit 1
+  end
+  else Printf.printf "bench-guard: all %d floors hold in %s\n"
+      (List.length floors) file
