@@ -54,6 +54,7 @@ let json_append = ref false
 let unix_path = ref ""
 let backend_str = ref "auto"
 let no_writev = ref false
+let client_tier = ref "full"
 let quiet = ref false
 
 let spec =
@@ -86,6 +87,9 @@ let spec =
      "NAME server event backend: auto|select|epoll (default auto)");
     ("--no-writev", Arg.Set no_writev,
      " server sends one write per frame (the PR 6 baseline)");
+    ("--client-tier", Arg.Set_string client_tier,
+     "TIER sampled single verifies: full = on-device pairings, thin = \
+      blinded delegation to two helper daemons over sockets (default full)");
     ("--quiet", Arg.Set quiet, " deterministic output only (for cram)");
   ]
 
@@ -159,6 +163,91 @@ let send_all fd s =
     off := !off + Unix.write fd b !off (n - !off)
   done
 
+(* --------------------------------------------- delegation helper daemons
+
+   The thin-client tier outsources the sampled single verifies: two
+   helper daemons, each its own Unix socket, each blindly computing the
+   pairings of whatever Delegate queries arrive. They run the honest
+   [Delegate.serve] — the adversarial paths live in test_delegate.ml;
+   this harness measures the honest protocol over real sockets. *)
+
+let start_helper prms path =
+  if Sys.file_exists path then Sys.remove path;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 16;
+  let serve_client fd =
+    let dec = Frame.Decoder.create () in
+    let buf = Bytes.create 65536 in
+    let rec loop () =
+      let n = try Unix.read fd buf 0 (Bytes.length buf) with _ -> 0 in
+      if n > 0 then begin
+        (match Frame.Decoder.feed dec buf 0 n with
+        | Error _ -> ()
+        | Ok () ->
+            let rec drain () =
+              match Frame.Decoder.pop dec with
+              | Some p ->
+                  (match Netmsg.delegate_query_of_bytes prms p with
+                  | Ok q ->
+                      let values = Delegate.serve prms q.Netmsg.pairs in
+                      send_all fd
+                        (Frame.encode
+                           (Netmsg.delegate_response_to_bytes prms
+                              { Netmsg.response_id = q.Netmsg.query_id; values }))
+                  | Error e -> die "helper: undecodable query: %s" e);
+                  drain ()
+              | None -> ()
+            in
+            drain ());
+        loop ()
+      end
+    in
+    (try loop () with _ -> ());
+    try Unix.close fd with _ -> ()
+  in
+  let accepter =
+    Thread.create
+      (fun () ->
+        try
+          while true do
+            let fd, _ = Unix.accept lfd in
+            ignore (Thread.create serve_client fd)
+          done
+        with _ -> ())
+      ()
+  in
+  (lfd, accepter)
+
+(* One blocking request/response round trip per transport call — a thin
+   client pays two of these per delegated pairing wrap, in sequence,
+   which is the honest (unpipelined) cost the E13 row reports. *)
+let helper_transport prms fd : Delegate.transport =
+  let dec = Frame.Decoder.create () in
+  let buf = Bytes.create 65536 in
+  let qid = ref 0 in
+  fun pairs ->
+    incr qid;
+    send_all fd
+      (Frame.encode
+         (Netmsg.delegate_query_to_bytes prms { Netmsg.query_id = !qid; pairs }));
+    let rec await () =
+      match Frame.Decoder.pop dec with
+      | Some p -> (
+          match Netmsg.delegate_response_of_bytes prms p with
+          | Ok r when r.Netmsg.response_id = !qid -> r.Netmsg.values
+          | Ok _ -> await () (* stale id: keep draining *)
+          | Error e -> die "helper: undecodable response: %s" e)
+      | None ->
+          let n = Unix.read fd buf 0 (Bytes.length buf) in
+          if n = 0 then die "helper connection closed mid-query";
+          (match Frame.Decoder.feed dec buf 0 n with
+          | Ok () -> ()
+          | Error e -> die "helper framing: %s" e);
+          await ()
+    in
+    await ()
+
 (* ------------------------------------------------------------------ main *)
 
 let () =
@@ -176,6 +265,8 @@ let () =
   if effective_backend = Poller.Epoll && not (Poller.epoll_available ()) then
     die "--backend epoll: unavailable on this platform";
   if !conns < 1 then die "--conns must be >= 1";
+  if !client_tier <> "full" && !client_tier <> "thin" then
+    die "--client-tier must be full or thin";
   (match effective_backend with
   | Poller.Select ->
       (* The shard select loops cap real descriptors at FD_SETSIZE. *)
@@ -378,9 +469,18 @@ let () =
       incr epoch;
       incr burst_epochs;
       Net_server.tick srv !epoch;
-      (* keep honest readers drained so only the slow ones back up *)
-      if !burst_epochs mod 16 = 0 then
-        while pump_ready sub_pump 0 do () done
+      (* Gate each burst tick on the honest subscribers having seen it.
+         [tick] is asynchronous — shard domains drain their broadcast
+         inboxes on their own clock — so an unthrottled burst loop can
+         flood ANY reader's bounded queue once ticks get cheap relative
+         to shard scheduling (a drain-every-16-ticks cadence held only
+         as long as the pairing kernels kept ticks slow). Only the
+         deliberately-unread slow conns may back up, or the eviction
+         count this phase pins picks up honest readers. *)
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      while (not (all_caught_up !epoch)) && Unix.gettimeofday () < deadline do
+        ignore (pump_ready sub_pump 1)
+      done
     done;
     while pump_ready sub_pump 0 do () done;
     if evicted () < !slow_readers then
@@ -452,14 +552,42 @@ let () =
     die "batch verification failed";
   let vb_s = Unix.gettimeofday () -. vb_t0 in
   let single_n = min !verify_sample (List.length all_updates) in
+  let thin = !client_tier = "thin" in
+  (* Thin tier: two helper daemons come up on their own sockets and the
+     sampled singles go through blinded delegation (hardened check)
+     instead of on-device pairings — the same verdicts, no Miller loop
+     on the client. *)
+  let helpers =
+    if not thin then None
+    else begin
+      let h1 = start_helper prms (path ^ ".h1") in
+      let h2 = start_helper prms (path ^ ".h2") in
+      let c1 = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect c1 (Unix.ADDR_UNIX (path ^ ".h1"));
+      let c2 = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect c2 (Unix.ADDR_UNIX (path ^ ".h2"));
+      pin "thin tier: 2 delegation helpers up, hardened check active\n";
+      Some (h1, h2, c1, c2, helper_transport prms c1, helper_transport prms c2)
+    end
+  in
   let vs_t0 = Unix.gettimeofday () in
   List.iteri
     (fun i u ->
-      if i < single_n && not (Tre.verify_update_with prms verifier u) then
-        die "single verification failed")
+      if i < single_n then
+        let ok =
+          match helpers with
+          | Some (_, _, _, _, t1, t2) ->
+              Tre.Verifier.verify_update_delegated prms verifier rng ~helper1:t1
+                ~helper2:t2 u
+          | None -> Tre.verify_update_with prms verifier u
+        in
+        if not ok then die "single verification failed")
     all_updates;
   let vs_s = Unix.gettimeofday () -. vs_t0 in
-  pin "verified every distinct update (one BGR batch + %d singles)\n" single_n;
+  if thin then
+    pin "verified every distinct update (one BGR batch + %d delegated singles)\n"
+      single_n
+  else pin "verified every distinct update (one BGR batch + %d singles)\n" single_n;
   say "  batch of %d updates in %.3f ms\n" (List.length all_updates)
     (vb_s *. 1000.0);
 
@@ -609,6 +737,7 @@ let () =
     field "verify_batch_ms" "%.3f" (vb_s *. 1000.0);
     field "verify_batch_us_per_update" "%.1f"
       (vb_s *. 1e6 /. float_of_int (max 1 (List.length all_updates)));
+    field "client_tier" "%S" !client_tier;
     field "verify_single_us" "%.1f" (vs_s *. 1e6 /. float_of_int (max 1 single_n));
     field "decrypt_sample" "%d" dec_n;
     field "decrypt_ms_each" "%.3f" (dec_s *. 1000.0 /. float_of_int (max 1 dec_n));
@@ -659,6 +788,13 @@ let () =
   Array.iter (fun c -> try Unix.close c.fd with _ -> ()) subs;
   Array.iter (fun c -> try Unix.close c.fd with _ -> ()) slows;
   Array.iter (fun (c : conn) -> try Unix.close c.fd with _ -> ()) archives;
+  (match helpers with
+  | Some ((l1, _), (l2, _), c1, c2, _, _) ->
+      List.iter (fun fd -> try Unix.close fd with _ -> ()) [ c1; c2; l1; l2 ];
+      List.iter
+        (fun p -> try Sys.remove p with _ -> ())
+        [ path ^ ".h1"; path ^ ".h2" ]
+  | None -> ());
   (try Unix.close stat_conn.fd with _ -> ());
   Net_server.stop srv;
   (try Sys.remove path with _ -> ());

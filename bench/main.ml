@@ -20,6 +20,7 @@ open Toolkit
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 let e1kernel_only = Array.exists (fun a -> a = "--e1kernel") Sys.argv
+let e14delegate_only = Array.exists (fun a -> a = "--e14delegate") Sys.argv
 
 let json_path =
   let rec find = function
@@ -126,13 +127,17 @@ let write_json path rows =
   output_string oc "\n]\n";
   close_out oc
 
-(* Median-of-samples timer + allocation meter: robust against transient
-   load, used for all cross-scheme ratio tables (bechamel OLS estimates
-   remain for the E1 single-op listing). Every timed table row carries
-   both nanoseconds/op and allocated words/op — [Gc.allocated_bytes]
-   sampled over the same iterations the timing uses, so the perf
-   trajectory (time AND allocation) is machine-readable from the JSON
-   dumps. *)
+(* Min-of-samples timer + median-of-samples allocation meter: used for
+   all cross-scheme ratio tables (bechamel OLS estimates remain for the
+   E1 single-op listing). Timing noise on a shared machine is one-sided
+   — contention only ever makes a sample SLOWER — so the minimum over
+   >=20 ms samples is the least-contended estimate and keeps checked-in
+   speedup ratios (and the bench_guard floors over them) stable where a
+   median still wobbles by +-10% under load. Allocation is load-
+   independent, so its median stays. Every timed table row carries both
+   nanoseconds/op and allocated words/op — [Gc.allocated_bytes] sampled
+   over the same iterations the timing uses, so the perf trajectory
+   (time AND allocation) is machine-readable from the JSON dumps. *)
 let median_time_alloc ?(samples = 5) f =
   ignore (f ());
   (* Pick an iteration count that makes one sample >= ~20 ms. *)
@@ -151,12 +156,56 @@ let median_time_alloc ?(samples = 5) f =
         let dw = (Gc.allocated_bytes () -. a0) /. 8.0 /. float_of_int iters in
         (dt, dw))
   in
-  let sorted = List.sort compare samples_ in
-  match List.nth_opt sorted (List.length sorted / 2) with
-  | Some (t, w) -> (t *. 1e9, w)
-  | None -> (nan, nan)
+  let times = List.sort compare (List.map fst samples_) in
+  let words = List.sort compare (List.map snd samples_) in
+  match
+    (List.nth_opt times 0, List.nth_opt words (List.length words / 2))
+  with
+  | Some t, Some w -> (t *. 1e9, w)
+  | _ -> (nan, nan)
 
 let median_time ?samples f = fst (median_time_alloc ?samples f)
+
+(* Paired timer for speedup rows: reference and kernel samples strictly
+   ALTERNATE, so a sustained contention epoch (another job on the
+   machine, seconds long — longer than one >=20 ms sample but shorter
+   than a row's full sampling run) inflates both sides of the ratio
+   instead of whichever side happened to own that window. Separate
+   min-of-samples runs for the two sides showed exactly that failure
+   mode: single-run speedup swings of +-20% on rows whose true ratio is
+   stable. Returns ((ns, words) reference, (ns, words) kernel). *)
+let paired_time_alloc ?(samples = 5) fref fker =
+  let calibrate f =
+    ignore (f ());
+    let t0 = Sys.time () in
+    ignore (f ());
+    let once = Stdlib.max 1e-7 (Sys.time () -. t0) in
+    Stdlib.max 1 (int_of_float (0.02 /. once))
+  in
+  let iref = calibrate fref in
+  let iker = calibrate fker in
+  let one f iters =
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    let dt = (Sys.time () -. t0) /. float_of_int iters in
+    (dt, (Gc.allocated_bytes () -. a0) /. 8.0 /. float_of_int iters)
+  in
+  let sref = ref [] and sker = ref [] in
+  for _ = 1 to samples do
+    sref := one fref iref :: !sref;
+    sker := one fker iker :: !sker
+  done;
+  let pick l =
+    let times = List.sort compare (List.map fst l) in
+    let words = List.sort compare (List.map snd l) in
+    match (List.nth_opt times 0, List.nth_opt words (List.length words / 2)) with
+    | Some t, Some w -> (t *. 1e9, w)
+    | _ -> (nan, nan)
+  in
+  (pick !sref, pick !sker)
 
 let pp_words w =
   if Float.is_nan w then "n/a"
@@ -1088,11 +1137,10 @@ let e1kernel_report () =
         "ref w/op" "kernel" "ker w/op" "speedup";
       List.iter
         (fun r ->
-          let t_ker, w_ker = median_time_alloc r.kker in
-          let t_ref, w_ref =
+          let (t_ref, w_ref), (t_ker, w_ker) =
             match r.kref with
-            | Some f -> median_time_alloc f
-            | None -> (nan, nan)
+            | Some f -> paired_time_alloc f r.kker
+            | None -> ((nan, nan), median_time_alloc r.kker)
           in
           let fields =
             [ ("params", S set_name); ("operation", S r.krow_name);
@@ -1142,6 +1190,197 @@ let e1kernel_smoke () =
       Printf.printf "kernel-vs-ref %-12s OK\n" set_name)
     e1kernel_sets;
   Printf.printf "all kernel paths agree with the generic reference\n"
+
+(* --- E14: verifiable pairing delegation — thin client vs on-device ---
+
+   Client-side cost of outsourcing pairings to two untrusted helpers
+   (Delegate, hardened Liu-Cao-resistant check) against computing the
+   same result on-device with the kernel pairing stack. The helpers run
+   in-process; their serve time — and the offline blinding-tuple
+   generation — accumulates on an instrumented clock and is subtracted
+   INSIDE each sample window, so the client rows measure exactly the
+   thin client's online arithmetic (wrap, unwrap, the membership and
+   secret-exponent cross-run checks), not helper or precompute work.
+   Reference and client batches alternate as in [paired_time_alloc].
+
+   Before any timing, each set runs the forgery gate: the Liu-Cao
+   mu-shift MUST pass the published check (that bug is a reproduction
+   target, pinned here and in test_delegate.ml) and MUST be rejected by
+   the hardened check. A bench run on a build where either direction
+   flipped dies instead of reporting numbers for a broken protocol. *)
+
+let e14_paired_client ?(samples = 5) ~subtract fref fker =
+  let calibrate f =
+    ignore (f ());
+    let t0 = Sys.time () in
+    ignore (f ());
+    let once = Stdlib.max 1e-7 (Sys.time () -. t0) in
+    Stdlib.max 1 (int_of_float (0.02 /. once))
+  in
+  let iref = calibrate fref in
+  let iker = calibrate fker in
+  let one_ref () =
+    let t0 = Sys.time () in
+    for _ = 1 to iref do
+      ignore (fref ())
+    done;
+    (Sys.time () -. t0) /. float_of_int iref
+  in
+  let one_ker () =
+    let s0 = !subtract in
+    let t0 = Sys.time () in
+    for _ = 1 to iker do
+      ignore (fker ())
+    done;
+    (Sys.time () -. t0 -. (!subtract -. s0)) /. float_of_int iker
+  in
+  let sref = ref [] and sker = ref [] in
+  for _ = 1 to samples do
+    sref := one_ref () :: !sref;
+    sker := one_ker () :: !sker
+  done;
+  let best l = List.fold_left Stdlib.min infinity l *. 1e9 in
+  (best !sref, best !sker)
+
+let e14_forgery_gate p dctx drbg =
+  let a = Pairing.mul_g p (Pairing.random_scalar p drbg) in
+  let b = Pairing.mul_g p (Pairing.random_scalar p drbg) in
+  let expected = Pairing.pairing p a b in
+  let mu =
+    Pairing.gt_pow p (Pairing.pairing p p.Pairing.g p.Pairing.g)
+      (Bigint.of_int 271829)
+  in
+  let evil q =
+    let r = Delegate.serve p q in
+    r.(0) <- Pairing.gt_mul p r.(0) mu;
+    r
+  in
+  let honest q = Delegate.serve p q in
+  (match
+     Delegate.pair dctx ~mode:Delegate.Published drbg ~helper1:evil
+       ~helper2:honest ~a ~b
+   with
+  | Ok v when Pairing.gt_equal v (Pairing.gt_mul p expected mu) -> ()
+  | Ok _ -> failwith "E14: forgery produced an unexpected value"
+  | Error _ ->
+      failwith
+        "E14: published check rejected the Liu-Cao forgery (it must accept)");
+  match
+    Delegate.pair dctx ~mode:Delegate.Hardened drbg ~helper1:evil ~helper2:honest
+      ~a ~b
+  with
+  | Ok _ -> failwith "E14: hardened check accepted the Liu-Cao forgery"
+  | Error _ -> ()
+
+let e14delegate_report () =
+  heading "E14: pairing delegation — thin-client outsourcing vs on-device";
+  let e14_rows = ref [] in
+  let emit set_name op t_ref t_ker =
+    let fields =
+      [ ("params", S set_name); ("operation", S op); ("ns_reference", F t_ref);
+        ("ns_kernel", F t_ker); ("speedup", F (t_ref /. t_ker)) ]
+    in
+    record "E14-delegate" fields;
+    e14_rows := ("E14-delegate", fields) :: !e14_rows;
+    if Float.is_nan t_ref then
+      Printf.printf "%-26s %12s %12s %9s\n" op "-" (pp_time t_ker) "-"
+    else
+      Printf.printf "%-26s %12s %12s %8.2fx\n" op (pp_time t_ref) (pp_time t_ker)
+        (t_ref /. t_ker)
+  in
+  List.iter
+    (fun set_name ->
+      let p =
+        match Pairing.by_name set_name with
+        | Some p -> p
+        | None -> failwith ("E14: unknown set " ^ set_name)
+      in
+      let dctx = Delegate.make p in
+      let drbg = Hashing.Drbg.create ~seed:("e14|" ^ set_name) () in
+      e14_forgery_gate p dctx drbg;
+      Printf.printf "\n[%s]  forgery gate: published accepts, hardened rejects\n"
+        set_name;
+      Printf.printf "%-26s %12s %12s %9s\n" "operation" "on-device" "client"
+        "speedup";
+      let a = Pairing.mul_g p (Pairing.random_scalar p drbg) in
+      let b = Pairing.mul_g p (Pairing.random_scalar p drbg) in
+      (* everything on [clock] is NOT client online work *)
+      let clock = ref 0.0 in
+      let timed_serve q =
+        let t0 = Sys.time () in
+        let r = Delegate.serve p q in
+        clock := !clock +. (Sys.time () -. t0);
+        r
+      in
+      let blinds () =
+        let t0 = Sys.time () in
+        let bls = (Delegate.blind dctx drbg, Delegate.blind dctx drbg) in
+        clock := !clock +. (Sys.time () -. t0);
+        bls
+      in
+      (* raw pairing: on-device kernel vs delegated (hardened) *)
+      let tr, tk =
+        e14_paired_client ~subtract:clock
+          (fun () -> Pairing.pairing p a b)
+          (fun () ->
+            match
+              Delegate.pair dctx ~mode:Delegate.Hardened ~blindings:(blinds ())
+                drbg ~helper1:timed_serve ~helper2:timed_serve ~a ~b
+            with
+            | Ok v -> v
+            | Error e -> failwith ("E14 delegated pair: " ^ e))
+      in
+      emit set_name "delegate-pair-client" tr tk;
+      (* the scheme's verification equation: prepared 2-pair product
+         kernel on-device vs two delegated wraps (c folded into the
+         cofactor clearing) *)
+      let srv_sec14, srv_pub14 = Tre.Server.keygen p drbg in
+      let vrf = Tre.Verifier.create p srv_pub14 in
+      let upd14 = Tre.issue_update p srv_sec14 "e14-epoch" in
+      let tr, tk =
+        e14_paired_client ~subtract:clock
+          (fun () ->
+            if not (Tre.verify_update_with p vrf upd14) then
+              failwith "E14: on-device verify rejected a valid update")
+          (fun () ->
+            if
+              not
+                (Tre.Verifier.verify_update_delegated p vrf
+                   ~blindings:(blinds ()) drbg ~helper1:timed_serve
+                   ~helper2:timed_serve upd14)
+            then failwith "E14: delegated verify rejected a valid update")
+      in
+      emit set_name "delegate-verify" tr tk;
+      (* offline phase: one delegated operation's worth of tuples *)
+      let t_off =
+        median_time (fun () ->
+            (Delegate.blind dctx drbg, Delegate.blind dctx drbg))
+      in
+      emit set_name "delegate-offline (2 tuples)" nan t_off;
+      (* helper-side work for one wrap (its 2 + 3 query slots) *)
+      let w = Delegate.wrap dctx (Delegate.blind dctx drbg) ~a ~b in
+      let q1 = Delegate.queries1 w and q2 = Delegate.queries2 w in
+      let t_helper =
+        median_time (fun () -> (Delegate.serve p q1, Delegate.serve p q2))
+      in
+      emit set_name "delegate-helper (1 wrap)" nan t_helper)
+    e1kernel_sets;
+  write_json "BENCH_E14_DELEGATE.json" (List.rev !e14_rows);
+  Printf.printf "\nwrote %d rows to BENCH_E14_DELEGATE.json\n"
+    (List.length !e14_rows);
+  Printf.printf
+    "shape check: delegate-pair-client is the thin client's ONLINE cost of\n\
+     one outsourced pairing under the hardened check (helper serve time\n\
+     and offline blinding excluded). It wins from toy64b up and most\n\
+     clearly on the sparse-order sets (mid128b ~2x, std160 ~1.5x), where\n\
+     the avoided Miller loop is expensive relative to the check's GT\n\
+     work. delegate-verify is the deployed shape — the whole two-pairing\n\
+     update verification as two wraps, the secret exponent folded into\n\
+     cofactor clearing — and sits at parity or better everywhere except\n\
+     toy64; its client cost is dominated by the two full-width GT\n\
+     membership exponentiations the hardened check needs for soundness\n\
+     against non-subgroup shifts. tools/bench_guard.ml floors every row\n\
+     pair (lenient on the toys, where losing is the honest result).\n"
 
 (* [--smoke] for the batch/parallel layer: every batched or pool-sharded
    path must agree EXACTLY with its serial reference — same verdicts, same
@@ -1585,6 +1824,10 @@ let () =
   end;
   if e1kernel_only then begin
     e1kernel_report ();
+    exit 0
+  end;
+  if e14delegate_only then begin
+    e14delegate_report ();
     exit 0
   end;
   Printf.printf "timed-release-crypto benchmark harness%s\n"

@@ -47,6 +47,8 @@ type kind =
   | Net_tick
   | Net_stats_query
   | Net_stats
+  | Delegate_query
+  | Delegate_response
 
 let all_kinds =
   [
@@ -54,7 +56,7 @@ let all_kinds =
     Key_update; User_public; Server_public; User_secret; Server_secret;
     Bls_public; Bls_signature; Epoch_key; Threshold_partial; Multi_receiver;
     Net_hello; Net_subscribe; Net_archive_query; Net_archive_miss; Net_tick;
-    Net_stats_query; Net_stats;
+    Net_stats_query; Net_stats; Delegate_query; Delegate_response;
   ]
 
 let kind_tag = function
@@ -80,6 +82,8 @@ let kind_tag = function
   | Net_tick -> 0x14
   | Net_stats_query -> 0x15
   | Net_stats -> 0x16
+  | Delegate_query -> 0x17
+  | Delegate_response -> 0x18
 
 let kind_of_tag tag = List.find_opt (fun k -> kind_tag k = tag) all_kinds
 
@@ -106,6 +110,8 @@ let kind_label = function
   | Net_tick -> "NET TICK"
   | Net_stats_query -> "NET STATS QUERY"
   | Net_stats -> "NET STATS"
+  | Delegate_query -> "DELEGATE QUERY"
+  | Delegate_response -> "DELEGATE RESPONSE"
 
 let kind_of_label label = List.find_opt (fun k -> kind_label k = label) all_kinds
 
@@ -176,6 +182,14 @@ let add_scalar prms buf v =
   if Bigint.sign v <= 0 || Bigint.compare v prms.Pairing.q >= 0 then
     invalid_arg "Codec.add_scalar: scalar out of range [1, q-1]";
   Buffer.add_string buf (Bigint.to_bytes_be ~pad_to:(Pairing.scalar_bytes prms) v)
+
+let add_gt prms buf v =
+  let fp = prms.Pairing.fp in
+  if Fp2.is_zero fp v then invalid_arg "Codec.add_gt: zero is not a group element";
+  let raw = Fp2.to_bytes fp v in
+  if String.length raw <> Pairing.gt_bytes prms then
+    invalid_arg "Codec.add_gt: encoding width mismatch";
+  Buffer.add_string buf raw
 
 let add_envelope buf kind prms =
   Buffer.add_string buf magic;
@@ -270,6 +284,20 @@ let read_scalar ?(what = "scalar") prms r =
   if Bigint.sign v <= 0 || Bigint.compare v prms.Pairing.q >= 0 then
     fail "%s: scalar out of range [1, q-1]" what;
   v
+
+(* Deliberately NOT a subgroup-membership check: delegation responses
+   from an untrusted helper may sit anywhere in GF(p^2)* and the
+   protocol layer's hardened check must be the one to see and reject
+   them (that rejection is the whole point of the Liu-Cao fix). Only
+   canonicity and nonzero-ness are wire-level invariants. *)
+let read_gt ?(what = "gt element") prms r =
+  let fp = prms.Pairing.fp in
+  let s = read_fixed ~what r (Pairing.gt_bytes prms) in
+  match Fp2.of_bytes fp s with
+  | None -> fail "%s: non-canonical GF(p^2) encoding" what
+  | Some v ->
+      if Fp2.is_zero fp v then fail "%s: zero is not a group element" what;
+      v
 
 (* --- envelope checking --- *)
 

@@ -65,6 +65,8 @@ type kind =
   | Net_tick            (** daemon: broadcast preamble (label, send stamp) *)
   | Net_stats_query     (** daemon: operational counters request *)
   | Net_stats           (** daemon: operational counters *)
+  | Delegate_query      (** helper: blinded pairing query vector *)
+  | Delegate_response   (** helper: pairing values for a query vector *)
 
 val all_kinds : kind list
 val kind_tag : kind -> int
@@ -122,6 +124,10 @@ val add_scalar : Pairing.params -> Buffer.t -> Bigint.t -> unit
 (** Fixed-width big-endian scalar; raises [Invalid_argument] outside
     [1, q-1]. *)
 
+val add_gt : Pairing.params -> Buffer.t -> Fp2.t -> unit
+(** Fixed-width ([gt_bytes]) canonical GF(p^2) element; raises
+    [Invalid_argument] on zero or a width mismatch. *)
+
 (** {1 Strict decoding}
 
     Readers advance a cursor and raise an internal parse exception on any
@@ -159,6 +165,13 @@ val read_g1 : ?what:string -> Pairing.params -> reader -> Curve.point
 
 val read_scalar : ?what:string -> Pairing.params -> reader -> Bigint.t
 (** Fixed-width scalar in [1, q-1]. *)
+
+val read_gt : ?what:string -> Pairing.params -> reader -> Fp2.t
+(** Canonical nonzero GF(p^2) element. Deliberately NOT restricted to
+    the order-q subgroup: delegation responses from untrusted helpers
+    must reach the protocol layer's hardened check un-filtered, so the
+    check (and the tests mounting the Liu-Cao forgery) see exactly what
+    the helper sent. *)
 
 (** {1 Envelope peeking} — for armor and [info] tooling. *)
 

@@ -177,35 +177,55 @@ module Mut = struct
 
   (* Squaring restricted to the norm-1 (cyclotomic) subgroup
      {a + bi : a^2 + b^2 = 1} — where the final-exponentiation hard part
-     lives after the easy part maps everything to norm 1. There
-     a^2 - b^2 = 2a^2 - 1, so the real coefficient costs one base-field
-     SQUARING (plus a constant subtraction) instead of the general
-     formula's multiplication; the imaginary coefficient 2ab is shared.
-     Callers must guarantee the precondition — for other inputs the
-     result is simply wrong, which is why this lives on the [Mut] face
-     next to the other discipline-bearing kernels and not in the
-     functional API. [dst] may alias [a]: all reads of [a] happen before
-     either destination coefficient is written. *)
+     lives after the easy part maps everything to norm 1. The norm
+     relation buys BOTH coefficients a base-field squaring:
+       a^2 - b^2 = 2a^2 - 1           (since b^2 = 1 - a^2)
+       2ab = (a + b)^2 - 1            (since a^2 + b^2 = 1)
+     so the whole operation is two squarings and two constant
+     subtractions — no multiplication at all, where the general formula
+     needs two multiplications. (The earlier version kept 2ab as a
+     product, which measured no faster than the generic lazy squaring;
+     the multiplication-free form is what makes the cyclotomic chain
+     actually beat the reference exponentiation.) Callers must guarantee
+     the precondition — for other inputs the result is simply wrong,
+     which is why this lives on the [Mut] face next to the other
+     discipline-bearing kernels and not in the functional API. [dst] may
+     alias [a]: all reads of [a] happen before either destination
+     coefficient is written. *)
   let cyclo_sqr_into ctx dst a =
     let kern = Fp.kernel ctx in
     let s = scratch kern in
-    if Limbs.lazy_ok kern then begin
-      Limbs.mul_wide_into kern s.w1 a.re a.im;
-      Limbs.sqr_wide_into kern s.w0 a.re;
-      Limbs.wide_double_into kern s.w0;
-      Limbs.redc_into kern dst.re s.w0; (* 2 re^2, canonical *)
+    (* With only base-field SQUARINGS to do (the norm-1 identities leave
+       no cross products for lazy reduction to save), the fused
+       Montgomery squaring — one column pass with interleaved reduction,
+       no wide buffer — beats the sqr_wide/redc pipeline's buffer
+       traffic (zero-fill, carry propagation, doubling pass, copy-out)
+       at the narrow widths, and needs no [lazy_ok] headroom at all.
+       The column pass's short nested loops lose to the wide pipeline's
+       straight-line passes once the operand outgrows ~a dozen limbs
+       (measured crossover between k = 10 and k = 20), so wide widths
+       keep the lazy path. *)
+    if Limbs.limb_count kern <= 12 || not (Limbs.lazy_ok kern) then begin
+      Limbs.add_into kern s.s1 a.re a.im;
+      Limbs.sqr_into kern s.s2 a.re;
+      Limbs.sqr_into kern dst.im s.s1; (* (re+im)^2, canonical *)
+      Limbs.add_into kern dst.re s.s2 s.s2; (* 2 re^2 *)
       Limbs.set_one kern s.s1;
       Limbs.sub_into kern dst.re dst.re s.s1; (* re' = 2 re^2 - 1 *)
-      Limbs.wide_double_into kern s.w1;
-      Limbs.redc_into kern dst.im s.w1 (* im' = 2 re im *)
+      Limbs.sub_into kern dst.im dst.im s.s1 (* im' = (re+im)^2 - 1 *)
     end
     else begin
-      Limbs.mul_into kern s.s1 a.re a.im;
-      Limbs.sqr_into kern s.s2 a.re;
-      Limbs.add_into kern dst.re s.s2 s.s2;
+      (* s1 = re + im < 2p unreduced; s1^2 < 4p^2 stays within the same
+         redc bound the lazy products already rely on. *)
+      Limbs.add_nored_into kern s.s1 a.re a.im;
+      Limbs.sqr_wide_into kern s.w0 a.re;
+      Limbs.sqr_wide_into kern s.w1 s.s1;
+      Limbs.wide_double_into kern s.w0;
+      Limbs.redc_into kern dst.re s.w0; (* 2 re^2, canonical *)
       Limbs.set_one kern s.s2;
-      Limbs.sub_into kern dst.re dst.re s.s2;
-      Limbs.add_into kern dst.im s.s1 s.s1
+      Limbs.sub_into kern dst.re dst.re s.s2; (* re' = 2 re^2 - 1 *)
+      Limbs.redc_into kern dst.im s.w1; (* (re+im)^2, canonical *)
+      Limbs.sub_into kern dst.im dst.im s.s2 (* im' = (re+im)^2 - 1 *)
     end
 end
 

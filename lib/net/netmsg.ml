@@ -116,6 +116,62 @@ let stats_to_bytes prms (s : stats) =
       Codec.add_u32 buf (List.length s.shard_conns);
       List.iter (Codec.add_u64 buf) s.shard_conns)
 
+(* --- pairing delegation --- *)
+
+type delegate_query = {
+  query_id : int;
+  pairs : (Curve.point * Curve.point) array;
+}
+
+type delegate_response = { response_id : int; values : Fp2.t array }
+
+let max_delegate_pairs = 16
+
+let delegate_query_to_bytes prms (q : delegate_query) =
+  let n = Array.length q.pairs in
+  if n < 1 || n > max_delegate_pairs then
+    invalid_arg "Netmsg.delegate_query_to_bytes: pair count out of range";
+  Codec.encode prms Codec.Delegate_query (fun buf ->
+      Codec.add_u64 buf q.query_id;
+      Codec.add_u32 buf n;
+      Array.iter
+        (fun (p, q) ->
+          Codec.add_point prms buf p;
+          Codec.add_point prms buf q)
+        q.pairs)
+
+let delegate_query_of_bytes prms s =
+  Codec.decode prms Codec.Delegate_query s (fun r ->
+      let query_id = Codec.read_u64 ~what:"query id" r in
+      let n = Codec.read_u32 ~what:"pair count" ~max:max_delegate_pairs r in
+      if n = 0 then Codec.fail "pair count: zero";
+      let pairs =
+        Array.init n (fun _ ->
+            let p = Codec.read_g1 ~what:"query point" prms r in
+            let q = Codec.read_g1 ~what:"query point" prms r in
+            (p, q))
+      in
+      { query_id; pairs })
+
+let delegate_response_to_bytes prms (resp : delegate_response) =
+  let n = Array.length resp.values in
+  if n < 1 || n > max_delegate_pairs then
+    invalid_arg "Netmsg.delegate_response_to_bytes: value count out of range";
+  Codec.encode prms Codec.Delegate_response (fun buf ->
+      Codec.add_u64 buf resp.response_id;
+      Codec.add_u32 buf n;
+      Array.iter (Codec.add_gt prms buf) resp.values)
+
+let delegate_response_of_bytes prms s =
+  Codec.decode prms Codec.Delegate_response s (fun r ->
+      let response_id = Codec.read_u64 ~what:"response id" r in
+      let n = Codec.read_u32 ~what:"value count" ~max:max_delegate_pairs r in
+      if n = 0 then Codec.fail "value count: zero";
+      let values =
+        Array.init n (fun _ -> Codec.read_gt ~what:"pairing value" prms r)
+      in
+      { response_id; values })
+
 let stats_of_bytes prms s =
   Codec.decode prms Codec.Net_stats s (fun r ->
       let f what = Codec.read_u64 ~what r in

@@ -49,6 +49,27 @@ type stats = {
   shard_conns : int list;  (** open connections per shard, in shard order *)
 }
 
+type delegate_query = {
+  query_id : int;  (** echoed in the response so a thin client can
+                       pipeline queries over one connection *)
+  pairs : (Curve.point * Curve.point) array;
+      (** blinded pairing arguments, 1..{!max_delegate_pairs}; every
+          point must be a non-infinity order-q subgroup member (the
+          decoder enforces it — blinded queries never leave G1) *)
+}
+(** One blinded query vector of {!Delegate.wrap}, bound for a helper. *)
+
+type delegate_response = {
+  response_id : int;
+  values : Fp2.t array;
+      (** one pairing value per query slot. Decoded values are
+          canonical and nonzero but deliberately NOT subgroup-checked:
+          the hardened client-side check must see malicious responses
+          unfiltered (see {!Codec.read_gt}). *)
+}
+
+val max_delegate_pairs : int
+
 val hello_to_bytes : Pairing.params -> hello -> string
 val hello_of_bytes : Pairing.params -> string -> (hello, string) result
 val subscribe_to_bytes : Pairing.params -> string
@@ -64,3 +85,9 @@ val stats_query_to_bytes : Pairing.params -> string
 val stats_query_of_bytes : Pairing.params -> string -> (unit, string) result
 val stats_to_bytes : Pairing.params -> stats -> string
 val stats_of_bytes : Pairing.params -> string -> (stats, string) result
+val delegate_query_to_bytes : Pairing.params -> delegate_query -> string
+val delegate_query_of_bytes :
+  Pairing.params -> string -> (delegate_query, string) result
+val delegate_response_to_bytes : Pairing.params -> delegate_response -> string
+val delegate_response_of_bytes :
+  Pairing.params -> string -> (delegate_response, string) result

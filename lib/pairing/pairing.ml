@@ -412,16 +412,43 @@ let make ?(family = Y2_x3_x) ~name ~p ~q () =
   let zeta = match family with Y2_x3_x -> Fp2.one fp | Y2_x3_1 -> cube_root_of_unity fp in
   (* Signed-digit recodings fixed by the parameters: the NAF of q drives
      both xx-family Miller walks, the wNAF of the cofactor drives the
-     cyclotomic final-exponentiation window. The window width adapts to
-     the cofactor size — a wide window on a small cofactor spends more
-     on the odd-power table than it saves in skipped multiplications
-     (the toy64 sets have ~32-bit cofactors, where width 5's 8-entry
-     table costs more than the whole remaining chain). *)
+     cyclotomic final-exponentiation window. The width is chosen by
+     costing each candidate recoding of THIS cofactor rather than by a
+     bit-length threshold — the threshold form mispicked for cofactors
+     whose digit pattern doesn't match their size class (mid128b sat
+     below 1.0x against the reference for a full PR). The model charges
+     a cyclotomic squaring per chain step at 0.7x the price of a
+     multiplication (two base-field squarings vs three multiplications,
+     measured), one multiplication per nonzero digit past the first, and
+     the odd-power table build (one squaring plus tsize-1 products) when
+     any digit exceeds 1. The exponent is fixed per parameter set, so
+     the scan costs nothing on any hot path. *)
   let q_naf = wnaf_digits q 2 in
   let cofactor_wnaf =
-    let bits = Bigint.bit_length cofactor in
-    let w = if bits <= 32 then 2 else if bits <= 160 then 4 else 5 in
-    wnaf_digits cofactor w
+    let cost digits =
+      let n = Array.length digits in
+      if n = 0 then 0
+      else begin
+        let nz = ref 0 and maxd = ref 1 in
+        Array.iter
+          (fun d ->
+            if d <> 0 then incr nz;
+            if abs d > !maxd then maxd := abs d)
+          digits;
+        let tsize = (!maxd + 1) / 2 in
+        let table = if tsize > 1 then 7 + ((tsize - 1) * 10) else 0 in
+        ((n - 1) * 7) + ((!nz - 1) * 10) + table
+      end
+    in
+    (* Width 5 is the ceiling: the per-domain register file holds eight
+       odd powers (digits to 15), and no candidate exponent size here
+       amortizes a 16-entry table anyway. *)
+    let best = ref (wnaf_digits cofactor 2) in
+    for w = 3 to 5 do
+      let cand = wnaf_digits cofactor w in
+      if cost cand < cost !best then best := cand
+    done;
+    !best
   in
   let rec prms =
     {
@@ -1346,30 +1373,113 @@ type pair_arg = Point of Curve.point | Prepared of prepared
 
 exception Degenerate_pair of int
 
-(* Cursor over one flattened prepared schedule inside a product: [pw_oi]
-   walks [ops] (each step consumes the recorded squaring — performed
-   once, shared — then folds the step's lines), [pw_li] walks the
-   pre-scaled line pairs. The line's re buffer is the product's shared
-   scratch; its im is the pair's own yq. *)
-type xx_prep_walker = {
-  pw_ops : int array;
-  pw_lines : Fp.t array;
-  pw_xq : Fp.t;
-  pw_line : Fp2.t;
-  mutable pw_oi : int;
-  mutable pw_li : int;
+(* --- per-domain register file for the product kernel ---
+
+   The product paths used to allocate per call: a fresh accumulator and
+   step scratch, one cursor record (plus an [Fp2.make] line view) per
+   promoted prepared schedule, and — on the x1 family — a functional
+   GF(p^2) value per prepared line evaluation, which put the "faster"
+   kernel at tens of kilowords per verification. Everything below is the
+   once-per-domain replacement: fixed accumulators and step scratch, a
+   growable array of prepared-schedule slots whose buffers are reused
+   across calls (immutable inputs are re-pointed, per-pair values copied
+   into owned buffers), and the odd-power table the cofactor-membership
+   decision exponentiates through. Keyed on limb count like the
+   final-exponentiation file; results that escape a public API are
+   copied out fresh so no caller ever aliases the scratch. *)
+
+type pk_slot = {
+  (* xx-family prepared cursor: [ks_oi] walks [ks_ops] (each step
+     consumes the recorded squaring — performed once, shared — then
+     folds the step's lines), [ks_li] walks the pre-scaled line pairs.
+     The line view's re is the file's shared line scratch; its im is an
+     owned buffer the pair's yq is copied into. *)
+  mutable ks_ops : int array;
+  mutable ks_lines : Fp.t array;
+  mutable ks_xq : Fp.t;
+  ks_line : Fp2.t;
+  mutable ks_oi : int;
+  mutable ks_li : int;
+  (* x1-family prepared stream: the recorded per-step line lists, the
+     pair's zeta-scaled xq (owned buffers, recomputed per call) and yq. *)
+  mutable ks_steps : x1_op list array;
+  ks_xq2 : Fp2.t;
+  mutable ks_yq : Fp.t;
 }
+
+type pk_file = {
+  k_f : Fp2.t; (* xx accumulator / x1 numerator *)
+  k_fden : Fp2.t; (* x1 denominator *)
+  k_sc : xx_scratch;
+  k_tbl : Fp2.t array; (* membership-test odd-power table *)
+  k_acc : Fp2.t; (* membership-test accumulator *)
+  mutable k_slots : pk_slot array;
+}
+
+let pk_key : (int * pk_file) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let pk_slot_make fp sc =
+  let im = Fp.Mut.alloc fp in
+  {
+    ks_ops = [||];
+    ks_lines = [||];
+    ks_xq = im (* dummy; rebound before every use *);
+    ks_line = Fp2.make ~re:sc.lre ~im;
+    ks_oi = 0;
+    ks_li = 0;
+    ks_steps = [||];
+    ks_xq2 = Fp2.Mut.alloc fp;
+    ks_yq = im (* dummy; rebound before every use *);
+  }
+
+let pk_file fp =
+  let k = Limbs.limb_count (Fp.kernel fp) in
+  let cell = Domain.DLS.get pk_key in
+  match !cell with
+  | Some (k', file) when k' = k -> file
+  | _ ->
+      let sc = xx_scratch_alloc fp in
+      let file =
+        {
+          k_f = Fp2.Mut.alloc fp;
+          k_fden = Fp2.Mut.alloc fp;
+          k_sc = sc;
+          k_tbl = Array.init 8 (fun _ -> Fp2.Mut.alloc fp);
+          k_acc = Fp2.Mut.alloc fp;
+          k_slots = [||];
+        }
+      in
+      cell := Some (k, file);
+      file
+
+let pk_slots file fp n =
+  if Array.length file.k_slots < n then begin
+    let old = file.k_slots in
+    file.k_slots <-
+      Array.init n (fun i ->
+          if i < Array.length old then old.(i) else pk_slot_make fp file.k_sc)
+  end;
+  file.k_slots
 
 let xx_product prms items =
   let fp = prms.fp in
   let n_sqrs = Array.length prms.q_naf - 1 in
+  let file = pk_file fp in
+  let sc = file.k_sc in
+  let slots = pk_slots file fp (List.length items) in
   let extras = ref [] in
-  let preps = ref [] and lives = ref [] in
+  let nprep = ref 0 and lives = ref [] in
   let classify_prep prep qt =
     match (prep, qt) with
     | Prep_inf, _ | _, Curve.Infinity -> ()
     | Prep_xx { ops; lines; sqrs }, Curve.Affine q' when sqrs = n_sqrs ->
-        preps := (ops, lines, q'.x, q'.y) :: !preps
+        let s = slots.(!nprep) in
+        s.ks_ops <- ops;
+        s.ks_lines <- lines;
+        s.ks_xq <- q'.x;
+        Fp.Mut.set fp s.ks_line.Fp2.im q'.y;
+        incr nprep
     | _ -> extras := miller_loop_prepared prms prep qt :: !extras
   in
   List.iter
@@ -1382,28 +1492,17 @@ let xx_product prms items =
           classify_prep (Lazy.force prms.g_prep) qt
       | Point (Curve.Affine _ as pt), _ -> lives := (pt, qt) :: !lives)
     items;
-  let preps = List.rev !preps in
+  let nprep = !nprep in
+  let f = file.k_f in
   let rec attempt lives =
     let lv = Array.of_list lives in
-    let f = Fp2.Mut.alloc fp in
     Fp2.Mut.set_one fp f;
-    if preps = [] && Array.length lv = 0 then f
+    if nprep = 0 && Array.length lv = 0 then f
     else begin
-      let sc = xx_scratch_alloc fp in
-      let pws =
-        Array.of_list
-          (List.map
-             (fun (ops, lines, xq, yq) ->
-               {
-                 pw_ops = ops;
-                 pw_lines = lines;
-                 pw_xq = xq;
-                 pw_line = Fp2.make ~re:sc.lre ~im:yq;
-                 pw_oi = 0;
-                 pw_li = 0;
-               })
-             preps)
-      in
+      for k = 0 to nprep - 1 do
+        slots.(k).ks_oi <- 0;
+        slots.(k).ks_li <- 0
+      done;
       let lws =
         Array.map
           (fun (pt, qt) ->
@@ -1417,16 +1516,16 @@ let xx_product prms items =
       try
         for i = 1 to Array.length digits - 1 do
           Fp2.Mut.sqr_into fp f f;
-          for k = 0 to Array.length pws - 1 do
-            let pw = pws.(k) in
-            pw.pw_oi <- pw.pw_oi + 1 (* the recorded squaring, shared *);
-            let ops = pw.pw_ops and lines = pw.pw_lines in
-            while pw.pw_oi < Array.length ops && ops.(pw.pw_oi) = 1 do
-              Fp.Mut.mul_into fp sc.lre lines.(pw.pw_li + 1) pw.pw_xq;
-              Fp.Mut.add_into fp sc.lre lines.(pw.pw_li) sc.lre;
-              pw.pw_li <- pw.pw_li + 2;
-              Fp2.Mut.mul_into fp f f pw.pw_line;
-              pw.pw_oi <- pw.pw_oi + 1
+          for k = 0 to nprep - 1 do
+            let pw = slots.(k) in
+            pw.ks_oi <- pw.ks_oi + 1 (* the recorded squaring, shared *);
+            let ops = pw.ks_ops and lines = pw.ks_lines in
+            while pw.ks_oi < Array.length ops && ops.(pw.ks_oi) = 1 do
+              Fp.Mut.mul_into fp sc.lre lines.(pw.ks_li + 1) pw.ks_xq;
+              Fp.Mut.add_into fp sc.lre lines.(pw.ks_li) sc.lre;
+              pw.ks_li <- pw.ks_li + 2;
+              Fp2.Mut.mul_into fp f f pw.ks_line;
+              pw.ks_oi <- pw.ks_oi + 1
             done
           done;
           let d = digits.(i) in
@@ -1446,32 +1545,67 @@ let xx_product prms items =
     end
   in
   let f = attempt (List.rev !lives) in
-  List.fold_left (fun acc m -> Fp2.mul fp acc m) f !extras
+  List.iter (fun m -> Fp2.Mut.mul_into fp f f m) !extras;
+  f
+
+(* One doubling step's worth of prepared lines, folded into the shared
+   accumulators through the register file's line scratch. Top level on
+   purpose: a [List.iter (function ...)] in the bit loop builds a fresh
+   closure per slot per iteration — ~26 words/iteration, the last
+   allocation the product kernel had left (and one the word-granular
+   allocation counter rounds away: only the minor-GC rate exposed it). *)
+let rec x1_fold_steps fp sc ~xq2 ~yq ~fnum ~fden steps =
+  match steps with
+  | [] -> ()
+  | op :: tl ->
+      (match op with
+      | Num_line { l0; lmx } ->
+          Fp.Mut.mul_into fp sc.lre lmx xq2.Fp2.re;
+          Fp.Mut.add_into fp sc.lre sc.lre l0;
+          Fp.Mut.add_into fp sc.lre sc.lre yq;
+          Fp.Mut.mul_into fp sc.lim lmx xq2.Fp2.im;
+          Fp2.Mut.mul_into fp fnum fnum sc.line
+      | Num_vert x ->
+          Fp.Mut.sub_into fp sc.lre xq2.Fp2.re x;
+          Fp.Mut.set fp sc.lim xq2.Fp2.im;
+          Fp2.Mut.mul_into fp fnum fnum sc.line
+      | Den_vert x ->
+          Fp.Mut.sub_into fp sc.lre xq2.Fp2.re x;
+          Fp.Mut.set fp sc.lim xq2.Fp2.im;
+          Fp2.Mut.mul_into fp fden fden sc.line);
+      x1_fold_steps fp sc ~xq2 ~yq ~fnum ~fden tl
 
 let x1_product prms items =
   let fp = prms.fp in
-  let preps = ref [] and lives = ref [] in
+  let file = pk_file fp in
+  let sc = file.k_sc in
+  let slots = pk_slots file fp (List.length items) in
+  let nprep = ref 0 and lives = ref [] in
   List.iter
     (fun (a, qt) ->
       match (a, qt) with
       | _, Curve.Infinity -> ()
       | Prepared Prep_inf, _ -> ()
       | Prepared (Prep_x1 steps), Curve.Affine q' ->
-          preps := (steps, Fp2.mul_fp fp q'.x prms.zeta, q'.y) :: !preps
+          let s = slots.(!nprep) in
+          s.ks_steps <- steps;
+          Fp.Mut.mul_into fp s.ks_xq2.Fp2.re prms.zeta.Fp2.re q'.x;
+          Fp.Mut.mul_into fp s.ks_xq2.Fp2.im prms.zeta.Fp2.im q'.x;
+          s.ks_yq <- q'.y;
+          incr nprep
       | Prepared (Prep_xx _), _ ->
           invalid_arg "Pairing: xx-family prepared argument on an x1 family"
       | Point Curve.Infinity, _ -> ()
       | Point (Curve.Affine p'), Curve.Affine q' ->
           lives := (p'.x, p'.y, q'.x, q'.y) :: !lives)
     items;
-  let preps = Array.of_list (List.rev !preps) in
+  let nprep = !nprep in
   let lv = List.rev !lives in
-  if Array.length preps = 0 && lv = [] then Fp2.one fp
+  let fnum = file.k_f and fden = file.k_fden in
+  Fp2.Mut.set_one fp fnum;
+  if nprep = 0 && lv = [] then fnum
   else begin
-    let fnum = Fp2.Mut.alloc fp and fden = Fp2.Mut.alloc fp in
-    Fp2.Mut.set_one fp fnum;
     Fp2.Mut.set_one fp fden;
-    let sc = xx_scratch_alloc fp in
     let lws =
       Array.of_list
         (List.map (fun (xp, yp, xq, yq) -> x1_walker_make prms ~xp ~yp ~xq ~yq) lv)
@@ -1482,33 +1616,38 @@ let x1_product prms items =
       Fp2.Mut.sqr_into fp fnum fnum;
       Fp2.Mut.sqr_into fp fden fden;
       let st = bits - 2 - i in
-      Array.iter
-        (fun (steps, xq2, yq) ->
-          List.iter
-            (function
-              | Num_line { l0; lmx } ->
-                  let v =
-                    Fp2.add fp
-                      (Fp2.of_fp fp (Fp.add fp l0 yq))
-                      (Fp2.mul_fp fp lmx xq2)
-                  in
-                  Fp2.Mut.mul_into fp fnum fnum v
-              | Num_vert x ->
-                  Fp2.Mut.mul_into fp fnum fnum (Fp2.sub fp xq2 (Fp2.of_fp fp x))
-              | Den_vert x ->
-                  Fp2.Mut.mul_into fp fden fden (Fp2.sub fp xq2 (Fp2.of_fp fp x)))
-            steps.(st))
-        preps;
+      (* Prepared lines evaluate through the shared line scratch — the
+         same two buffers every walker's step uses — instead of building
+         a functional GF(p^2) value per line (the per-call kiloword
+         blowup this file exists to kill). *)
+      for k = 0 to nprep - 1 do
+        let s = slots.(k) in
+        x1_fold_steps fp sc ~xq2:s.ks_xq2 ~yq:s.ks_yq ~fnum ~fden
+          s.ks_steps.(st)
+      done;
       let d = if Bigint.test_bit q i then 1 else 0 in
-      Array.iter (fun w -> x1_step fp sc w ~fnum ~fden d) lws
+      for k = 0 to Array.length lws - 1 do
+        x1_step fp sc lws.(k) ~fnum ~fden d
+      done
     done;
-    Fp2.mul fp fnum (Fp2.inv fp fden)
+    Fp2.Mut.inv_into fp fden fden;
+    Fp2.Mut.mul_into fp fnum fnum fden;
+    fnum
   end
 
-let miller_product_mixed prms pairs =
+(* Internal face: the returned accumulator ALIASES the per-domain
+   register file and is only valid until the next product-kernel call on
+   this domain. The public faces below copy it out fresh. *)
+let miller_product_raw prms pairs =
   match prms.family with
   | Y2_x3_x -> xx_product prms pairs
   | Y2_x3_1 -> x1_product prms pairs
+
+let miller_product_mixed prms pairs =
+  let m = miller_product_raw prms pairs in
+  let out = Fp2.Mut.alloc prms.fp in
+  Fp2.Mut.set prms.fp out m;
+  out
 
 let miller_product prms pairs =
   miller_product_mixed prms (List.map (fun (pt, qt) -> (Point pt, qt)) pairs)
@@ -1525,13 +1664,73 @@ let miller_product prms pairs =
 let product_is_one prms m =
   let fp = prms.fp in
   if Fp2.is_zero fp m then raise Division_by_zero;
-  let u = Fp2.pow fp m prms.cofactor in
-  Fp.is_zero fp u.Fp2.im
+  (* In-place sliding-window m^h through the register file's odd-power
+     table (generic squarings — m is not norm-1, so the cyclotomic
+     shortcut is off limits); [Fp2.pow] would rebuild its table on the
+     heap every verification. The table caps the window at 4; at the
+     largest named cofactor (352 bits) that costs ~11 extra products
+     over width 5, noise against the Miller loop it follows. [m] may
+     alias the file's own accumulator: it is only read, and only before
+     the accumulator-table phase ends. *)
+  let n = prms.cofactor in
+  let bits = Bigint.bit_length n in
+  let file = pk_file fp in
+  let acc = file.k_acc in
+  if bits <= 8 then begin
+    Fp2.Mut.set_one fp acc;
+    for i = bits - 1 downto 0 do
+      Fp2.Mut.sqr_into fp acc acc;
+      if Bigint.test_bit n i then Fp2.Mut.mul_into fp acc acc m
+    done
+  end
+  else begin
+    let w = if bits <= 96 then 3 else 4 in
+    let tbl = file.k_tbl in
+    let tn = 1 lsl (w - 1) in
+    (* tbl.(i) = m^(2i+1); acc holds m^2 during the build. *)
+    Fp2.Mut.set fp tbl.(0) m;
+    Fp2.Mut.sqr_into fp acc m;
+    for i = 1 to tn - 1 do
+      Fp2.Mut.mul_into fp tbl.(i) tbl.(i - 1) acc
+    done;
+    let started = ref false in
+    let i = ref (bits - 1) in
+    while !i >= 0 do
+      if not (Bigint.test_bit n !i) then begin
+        if !started then Fp2.Mut.sqr_into fp acc acc;
+        decr i
+      end
+      else begin
+        let l = ref (Stdlib.max 0 (!i - w + 1)) in
+        while not (Bigint.test_bit n !l) do
+          incr l
+        done;
+        let v = ref 0 in
+        for j = !i downto !l do
+          v := (!v lsl 1) lor (if Bigint.test_bit n j then 1 else 0)
+        done;
+        if !started then begin
+          for _ = 1 to !i - !l + 1 do
+            Fp2.Mut.sqr_into fp acc acc
+          done;
+          Fp2.Mut.mul_into fp acc acc tbl.((!v - 1) / 2)
+        end
+        else begin
+          Fp2.Mut.set fp acc tbl.((!v - 1) / 2);
+          started := true
+        end;
+        i := !l - 1
+      end
+    done
+  end;
+  Fp.is_zero fp acc.Fp2.im
 
 let check_product_one_mixed prms pairs =
-  product_is_one prms (miller_product_mixed prms pairs)
+  product_is_one prms (miller_product_raw prms pairs)
 
-let check_product_one prms pairs = product_is_one prms (miller_product prms pairs)
+let check_product_one prms pairs =
+  check_product_one_mixed prms
+    (List.map (fun (pt, qt) -> (Point pt, qt)) pairs)
 
 (* f^((p^2-1)/q): f^(p-1) = conj(f)/f via Frobenius, then pow by the
    cofactor h = (p+1)/q. Pinned reference: generic sliding-window GT

@@ -58,12 +58,20 @@ let verify_update prms (pub : Server.public) upd =
 type verifier = {
   vg : Pairing.prepared;
   vsg : Pairing.prepared;
+  vgp : Curve.point;  (* the raw points: delegated verification sends *)
+  vsgp : Curve.point; (* them (blinded) instead of pairing on-device *)
+  vdel : Delegate.ctx Lazy.t;
+      (* forced only on the thin-client path (costs one pairing);
+         verifiers are single-domain values, so the lazy is safe *)
   vkey : string;
 }
 
 let make_verifier prms (pub : Server.public) =
   { vg = Pairing.prepare prms pub.Server.g;
     vsg = Pairing.prepare prms pub.Server.sg;
+    vgp = pub.Server.g;
+    vsgp = pub.Server.sg;
+    vdel = lazy (Delegate.make prms);
     vkey =
       Curve.to_bytes prms.Pairing.curve pub.Server.g
       ^ Curve.to_bytes prms.Pairing.curve pub.Server.sg }
@@ -216,6 +224,40 @@ module Verifier = struct
 
   let create = make_verifier
   let verify_update = verify_update_with
+
+  (* Thin-client verification: the equation e(sG, H1(T)) = e(G, U) is
+     outsourced as two blinded delegations under the hardened check's
+     secret exponent c — the left side delegates e(sG, c.H1(T)) so the
+     cross-run relation L' = R'^c both verifies the helpers AND decides
+     the equation; c itself rides along for free by folding it into the
+     cofactor clearing of the H1 lift (one (h.c)-mult where the plain
+     verifier already pays an h-mult). Rejecting malformed helper
+     replies, not just wrong equations, is the point: the published
+     outsourcing check would accept a consistent shift (Liu-Cao), and
+     then this verifier would sign off on a forged key update. *)
+  let verify_update_delegated prms vrf ?blindings rng ~helper1 ~helper2 upd =
+    Pairing.in_g1 prms upd.update_value
+    && (not (Curve.is_infinity upd.update_value))
+    &&
+    let curve = prms.Pairing.curve in
+    let ctx = Lazy.force vrf.vdel in
+    let c = Delegate.random_small_exponent prms rng in
+    let ch =
+      let raw = Pairing.hash_to_g1_unclamped prms upd.update_time in
+      let p = Curve.mul curve (Bigint.mul prms.Pairing.cofactor c) raw in
+      (* the unclamped lift clears to infinity only on hash_to_g1's
+         internal re-roll inputs (fraction < 2^-64) — fall back to the
+         clamped point rather than reject a valid update *)
+      if Curve.is_infinity p then
+        Curve.mul curve c (Pairing.hash_to_g1 prms upd.update_time)
+      else p
+    in
+    match
+      Delegate.equal_with ctx ?blindings rng ~helper1 ~helper2 ~c
+        ~lhs:(vrf.vsgp, ch) ~rhs:(vrf.vgp, upd.update_value)
+    with
+    | Ok decision -> decision
+    | Error _ -> false
 
   let verify_updates ?pool prms vrf updates =
     if updates = [] then true

@@ -86,6 +86,24 @@ module Verifier : sig
   val verify_update : Pairing.params -> t -> update -> bool
   (** Alias of {!verify_update_with}. *)
 
+  val verify_update_delegated :
+    Pairing.params -> t -> ?blindings:Delegate.blinding * Delegate.blinding ->
+    Hashing.Drbg.t ->
+    helper1:Delegate.transport -> helper2:Delegate.transport ->
+    update -> bool
+  (** Thin-client {!verify_update}: the two pairings of the equation are
+      outsourced to two untrusted helpers via blinded {!Delegate}
+      queries under the {e hardened} (Liu–Cao-resistant) check — the
+      secret cross-run exponent [c] simultaneously authenticates the
+      helpers' replies and decides the equation ([L' = R'^c]), and is
+      folded into H1's cofactor clearing so it costs nothing extra.
+      False on a bad update {e or} on any malformed helper reply; true
+      agrees with {!verify_update} when helpers are honest (up to the
+      hardened check's ~2^-64 soundness slack). The client does curve
+      arithmetic and GT multiplications only — no Miller loops.
+      [?blindings] supplies precomputed one-time tuples (the offline
+      phase, {!Delegate.blind}); omitted, they are drawn inline. *)
+
   val verify_updates : ?pool:Pool.t -> Pairing.params -> t -> update list -> bool
   (** True iff every update in the list would pass {!verify_update},
       except with probability ~2^-64 per batch. The exponents d_i are

@@ -33,6 +33,26 @@ output stays identical.
   encode-once: one frame per epoch, byte-identical across 10 subscribers
   clean shutdown
 
+The thin-client tier: the sampled single verifies are outsourced to two
+delegation helper daemons over their own Unix sockets, under the
+hardened (Liu-Cao-resistant) check — same verdicts, no Miller loops on
+the client:
+
+  $ ../bench/loadgen.exe --quiet --params toy64 --clients 1000 --conns 8 \
+  >   --slow-readers 2 --archive-conns 2 --archive-lookups 30 --ticks 5 \
+  >   --verify-sample 4 --decrypt-sample 3 --seed smoke --json "" \
+  >   --client-tier thin
+  loadgen: 1000 simulated clients over 8 connections (+2 slow, 2 archive)
+  subscribed 8 connections
+  broadcast 5 epochs to all connections
+  slow readers evicted 2/2 under bounded queues
+  archive served 30 lookups (30 hits), refused future + foreign labels
+  thin tier: 2 delegation helpers up, hardened check active
+  verified every distinct update (one BGR batch + 4 delegated singles)
+  decrypted 3 ciphertexts end-to-end
+  encode-once: one frame per epoch, byte-identical across 10 subscribers
+  clean shutdown
+
 The harness itself under an explicit backend and the one-write-per-frame
 fallback path (the deterministic lines are unchanged; only the measured
 syscall counts differ, and those are timing lines):

@@ -1,0 +1,330 @@
+(* Pairing outsourcing: honest agreement with the on-device pairing,
+   the Liu-Cao forgery against the published check (arXiv:1512.05413),
+   and the adversary battery against the hardened check — on every
+   parameter set. The forgery test is the regression pin for the bug
+   this module exists to document: a malicious helper that multiplies
+   the main slot of BOTH blinded runs by one factor mu passes every
+   published verification equation and shifts the output by mu. *)
+
+module B = Bigint
+
+let rng = Hashing.Drbg.create ~seed:"delegate-tests" ()
+
+let with_set name f =
+  match Pairing.by_name name with
+  | None -> Alcotest.failf "unknown parameter set %s" name
+  | Some prms -> f prms (Delegate.make prms)
+
+let honest prms : Delegate.transport = fun queries -> Delegate.serve prms queries
+
+(* A malicious helper: serve honestly, then multiply the main slot of
+   every reply by [mu]. Consistent across runs — the Liu-Cao shape. *)
+let shift_slot0 prms mu : Delegate.transport =
+ fun queries ->
+  let r = Delegate.serve prms queries in
+  r.(0) <- Pairing.gt_mul prms r.(0) mu;
+  r
+
+let random_point prms =
+  let s = Pairing.random_scalar prms rng in
+  Curve.mul prms.Pairing.curve s prms.Pairing.g
+
+(* --- honest runs agree with the on-device pairing, both modes --- *)
+
+let check_honest_set name =
+  with_set name (fun prms ctx ->
+      let a = random_point prms and b = random_point prms in
+      let expected = Pairing.pairing prms a b in
+      let h1 = honest prms and h2 = honest prms in
+      (match Delegate.pair ctx ~mode:Published rng ~helper1:h1 ~helper2:h2 ~a ~b with
+      | Ok v ->
+          Alcotest.(check bool)
+            (name ^ ": published honest value") true
+            (Pairing.gt_equal v expected)
+      | Error e -> Alcotest.failf "%s published honest: %s" name e);
+      match Delegate.pair ctx ~mode:Hardened rng ~helper1:h1 ~helper2:h2 ~a ~b with
+      | Ok v ->
+          Alcotest.(check bool)
+            (name ^ ": hardened honest value") true
+            (Pairing.gt_equal v expected)
+      | Error e -> Alcotest.failf "%s hardened honest: %s" name e)
+
+let test_honest_toy () = List.iter check_honest_set [ "toy64"; "toy64b" ]
+let test_honest_all () = List.iter check_honest_set Pairing.all_names
+
+let prop_honest_agreement =
+  let prms = Pairing.toy64 () in
+  let ctx = Delegate.make prms in
+  QCheck2.Test.make ~name:"delegated pair = on-device pair (hardened)" ~count:10
+    QCheck2.Gen.(pair (map B.of_int (int_range 1 1_000_000)) (map B.of_int (int_range 1 1_000_000)))
+    (fun (x, y) ->
+      let a = Curve.mul prms.Pairing.curve x prms.Pairing.g in
+      let b = Curve.mul prms.Pairing.curve y prms.Pairing.g in
+      match
+        Delegate.pair ctx ~mode:Hardened rng ~helper1:(honest prms)
+          ~helper2:(honest prms) ~a ~b
+      with
+      | Ok v -> Pairing.gt_equal v (Pairing.pairing prms a b)
+      | Error _ -> false)
+
+(* --- the Liu-Cao forgery ---
+
+   mu in GT: the published check accepts and the output is off by mu.
+   The hardened check's secret exponent c breaks the consistency the
+   forgery relies on (mu^c = mu only with probability 2^-64). *)
+
+let check_forgery_set name =
+  with_set name (fun prms ctx ->
+      let a = random_point prms and b = random_point prms in
+      let expected = Pairing.pairing prms a b in
+      let mu =
+        Pairing.gt_pow prms (Pairing.pairing prms prms.Pairing.g prms.Pairing.g)
+          (B.of_int 123457)
+      in
+      let evil1 = shift_slot0 prms mu and h2 = honest prms in
+      (match Delegate.pair ctx ~mode:Published rng ~helper1:evil1 ~helper2:h2 ~a ~b with
+      | Ok v ->
+          Alcotest.(check bool)
+            (name ^ ": forgery PASSES the published check") true
+            (Pairing.gt_equal v (Pairing.gt_mul prms expected mu));
+          Alcotest.(check bool)
+            (name ^ ": forged output is wrong") false
+            (Pairing.gt_equal v expected)
+      | Error e -> Alcotest.failf "%s: published check caught the forgery (%s)?" name e);
+      match Delegate.pair ctx ~mode:Hardened rng ~helper1:evil1 ~helper2:h2 ~a ~b with
+      | Ok _ -> Alcotest.failf "%s: hardened check accepted the forgery" name
+      | Error _ -> ())
+
+let test_forgery_toy () = List.iter check_forgery_set [ "toy64"; "toy64b" ]
+let test_forgery_all () = List.iter check_forgery_set Pairing.all_names
+
+(* --- adversary battery against the hardened check --- *)
+
+(* Wrong-subgroup shift: mu = 2 lives in GF(p)* and (q odd, q | p+1,
+   gcd(q, p-1) = 1) meets the order-q subgroup only at 1, so the shift
+   escapes GT. The published check STILL accepts — both runs shift
+   alike — which is exactly Liu-Cao's point that the equations do no
+   membership filtering; the hardened check catches it via R^q = 1. *)
+let check_wrong_subgroup name =
+  with_set name (fun prms ctx ->
+      let fp = prms.Pairing.fp in
+      let a = random_point prms and b = random_point prms in
+      let mu = Fp2.add fp (Fp2.one fp) (Fp2.one fp) in
+      let evil1 = shift_slot0 prms mu and h2 = honest prms in
+      (match Delegate.pair ctx ~mode:Published rng ~helper1:evil1 ~helper2:h2 ~a ~b with
+      | Ok v ->
+          Alcotest.(check bool)
+            (name ^ ": non-GT forgery passes published check") false
+            (Pairing.gt_equal v (Pairing.pairing prms a b))
+      | Error e -> Alcotest.failf "%s: published caught non-GT shift (%s)?" name e);
+      match Delegate.pair ctx ~mode:Hardened rng ~helper1:evil1 ~helper2:h2 ~a ~b with
+      | Ok _ -> Alcotest.failf "%s: hardened accepted non-GT shift" name
+      | Error _ -> ())
+
+(* Identity smuggling: a helper that blanks its main slot to 1. *)
+let check_identity_smuggle name =
+  with_set name (fun prms ctx ->
+      let a = random_point prms and b = random_point prms in
+      let evil1 : Delegate.transport =
+       fun queries ->
+        let r = Delegate.serve prms queries in
+        r.(0) <- Pairing.gt_one prms;
+        r
+      in
+      match
+        Delegate.pair ctx ~mode:Hardened rng ~helper1:evil1 ~helper2:(honest prms)
+          ~a ~b
+      with
+      | Ok _ -> Alcotest.failf "%s: hardened accepted identity-valued slot" name
+      | Error _ -> ())
+
+(* Response reordering: helper 2 swaps its second main slot with the
+   anchored test slot. (Swapping the two MAIN slots of helper 2 leaves
+   the recovered product unchanged — not a forgery — so the detectable
+   case is displacing the anchor.) *)
+let check_response_swap name =
+  with_set name (fun prms ctx ->
+      let a = random_point prms and b = random_point prms in
+      let evil2 : Delegate.transport =
+       fun queries ->
+        let r = Delegate.serve prms queries in
+        if Array.length r = 3 then begin
+          let t = r.(1) in
+          r.(1) <- r.(2);
+          r.(2) <- t
+        end;
+        r
+      in
+      (match
+         Delegate.pair ctx ~mode:Published rng ~helper1:(honest prms) ~helper2:evil2
+           ~a ~b
+       with
+      | Ok _ -> Alcotest.failf "%s: published accepted swapped responses" name
+      | Error _ -> ());
+      match
+        Delegate.pair ctx ~mode:Hardened rng ~helper1:(honest prms) ~helper2:evil2
+          ~a ~b
+      with
+      | Ok _ -> Alcotest.failf "%s: hardened accepted swapped responses" name
+      | Error _ -> ())
+
+(* Arity mismatch: a helper that returns the wrong number of slots. *)
+let check_arity name =
+  with_set name (fun prms ctx ->
+      let a = random_point prms and b = random_point prms in
+      let evil1 : Delegate.transport =
+       fun queries ->
+        let r = Delegate.serve prms queries in
+        Array.append r [| Pairing.gt_one prms |]
+      in
+      match
+        Delegate.pair ctx ~mode:Hardened rng ~helper1:evil1 ~helper2:(honest prms)
+          ~a ~b
+      with
+      | Ok _ -> Alcotest.failf "%s: accepted extra response slot" name
+      | Error e ->
+          Alcotest.(check string)
+            (name ^ ": arity error") "helper response arity mismatch" e)
+
+(* Replayed blinding tuple: a second wrap under the same tuple must
+   raise — reuse lets a helper correlate the two queries and cancel
+   the blinding. *)
+let check_replay name =
+  with_set name (fun prms ctx ->
+      let a = random_point prms and b = random_point prms in
+      let bl = Delegate.blind ctx rng in
+      let (_ : Delegate.wrap) = Delegate.wrap ctx bl ~a ~b in
+      Alcotest.check_raises (name ^ ": spent tuple rejected")
+        (Invalid_argument "Delegate.wrap: blinding tuple already spent") (fun () ->
+          ignore (Delegate.wrap ctx bl ~a ~b)))
+
+let adversaries_on names () =
+  List.iter
+    (fun name ->
+      check_wrong_subgroup name;
+      check_identity_smuggle name;
+      check_response_swap name;
+      check_arity name;
+      check_replay name)
+    names
+
+(* --- blinding tuple audit --- *)
+
+let test_audit () =
+  List.iter
+    (fun name ->
+      with_set name (fun prms ctx ->
+          let bl = Delegate.blind ctx rng in
+          Alcotest.(check bool) (name ^ ": fresh tuple audits") true
+            (Delegate.audit ctx rng bl);
+          (* tampered point: correction no longer matches *)
+          let t1 = { bl with Delegate.v1 = random_point prms } in
+          Alcotest.(check bool) (name ^ ": tampered v1 rejected") false
+            (Delegate.audit ctx rng t1);
+          (* tampered exponent *)
+          let t2 = { bl with Delegate.w_chi = B.succ bl.Delegate.w_chi } in
+          Alcotest.(check bool) (name ^ ": tampered w_chi rejected") false
+            (Delegate.audit ctx rng t2);
+          (* mix-and-match: corrections swapped between slots *)
+          let t3 =
+            { bl with Delegate.chi = bl.Delegate.chi34; chi34 = bl.Delegate.chi }
+          in
+          Alcotest.(check bool) (name ^ ": swapped corrections rejected") false
+            (Delegate.audit ctx rng t3);
+          (* a second fresh tuple from the same stream still audits *)
+          Alcotest.(check bool) (name ^ ": next tuple audits") true
+            (Delegate.audit ctx rng (Delegate.blind ctx rng))))
+    [ "toy64"; "toy64b" ]
+
+(* --- delegated equality: the shape Tre verification uses --- *)
+
+let test_delegated_equality () =
+  List.iter
+    (fun name ->
+      with_set name (fun prms ctx ->
+          let curve = prms.Pairing.curve in
+          let g = prms.Pairing.g in
+          let s = Pairing.random_scalar prms rng in
+          let h = random_point prms in
+          let sg = Curve.mul curve s g in
+          let sh = Curve.mul curve s h in
+          let h1 = honest prms and h2 = honest prms in
+          (* e(sG, H) = e(G, sH): true *)
+          (match
+             Delegate.equal ctx rng ~helper1:h1 ~helper2:h2 ~lhs:(sg, h) ~rhs:(g, sh)
+           with
+          | Ok v -> Alcotest.(check bool) (name ^ ": equal holds") true v
+          | Error e -> Alcotest.failf "%s equality: %s" name e);
+          (* perturbed right side: false *)
+          let bad = Curve.add curve sh g in
+          match
+            Delegate.equal ctx rng ~helper1:h1 ~helper2:h2 ~lhs:(sg, h) ~rhs:(g, bad)
+          with
+          | Ok v -> Alcotest.(check bool) (name ^ ": inequality detected") false v
+          | Error e -> Alcotest.failf "%s inequality: %s" name e))
+    [ "toy64"; "toy64b" ]
+
+(* --- the thin-client tier end to end: Tre key-update verification --- *)
+
+let test_tre_delegated_verify () =
+  List.iter
+    (fun name ->
+      with_set name (fun prms _ctx ->
+          let srv_sec, srv_pub = Tre.Server.keygen prms rng in
+          let vrf = Tre.Verifier.create prms srv_pub in
+          let upd = Tre.issue_update prms srv_sec "epoch-7" in
+          let h1 = honest prms and h2 = honest prms in
+          Alcotest.(check bool) (name ^ ": honest helpers accept a valid update")
+            true
+            (Tre.Verifier.verify_update_delegated prms vrf rng ~helper1:h1
+               ~helper2:h2 upd);
+          (* forged update: valid point, wrong signature *)
+          let forged = Tre.issue_update prms srv_sec "epoch-8" in
+          let bad = { upd with Tre.update_value = forged.Tre.update_value } in
+          Alcotest.(check bool) (name ^ ": forged update rejected") false
+            (Tre.Verifier.verify_update_delegated prms vrf rng ~helper1:h1
+               ~helper2:h2 bad);
+          (* Liu-Cao helper: consistent GT shift on the main slot must
+             not flip a forged update to valid or corrupt a valid one *)
+          let mu =
+            Pairing.gt_pow prms
+              (Pairing.pairing prms prms.Pairing.g prms.Pairing.g)
+              (B.of_int 999331)
+          in
+          let evil1 = shift_slot0 prms mu in
+          Alcotest.(check bool) (name ^ ": malicious helper rejected") false
+            (Tre.Verifier.verify_update_delegated prms vrf rng ~helper1:evil1
+               ~helper2:h2 upd);
+          (* agreement with the on-device verifier on both verdicts *)
+          Alcotest.(check bool) (name ^ ": on-device agrees (valid)") true
+            (Tre.Verifier.verify_update prms vrf upd);
+          Alcotest.(check bool) (name ^ ": on-device agrees (forged)") false
+            (Tre.Verifier.verify_update prms vrf bad)))
+    [ "toy64"; "toy64b" ]
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "delegate"
+    [
+      ( "honest",
+        Alcotest.test_case "toy sets both modes" `Quick test_honest_toy
+        :: Alcotest.test_case "all sets both modes" `Slow test_honest_all
+        :: qc [ prop_honest_agreement ] );
+      ( "liu-cao forgery",
+        [
+          Alcotest.test_case "toy sets" `Quick test_forgery_toy;
+          Alcotest.test_case "all sets" `Slow test_forgery_all;
+        ] );
+      ( "adversaries",
+        [
+          Alcotest.test_case "toy sets" `Quick (adversaries_on [ "toy64"; "toy64b" ]);
+          Alcotest.test_case "all sets" `Slow (adversaries_on Pairing.all_names);
+        ] );
+      ( "blinding",
+        [
+          Alcotest.test_case "audit" `Quick test_audit;
+          Alcotest.test_case "delegated equality" `Quick test_delegated_equality;
+        ] );
+      ( "tre thin client",
+        [ Alcotest.test_case "delegated update verify" `Quick test_tre_delegated_verify ] );
+    ]

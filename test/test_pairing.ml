@@ -557,6 +557,47 @@ let prop_product_matches_ref =
       in
       Pairing.check_product_one prms pairs = expected)
 
+(* The product kernel's verify path must stay allocation-lean: every
+   accumulator, line scratch and window-table slot lives in the
+   per-domain register file, so a steady-state [check_product_one_mixed]
+   call touches the minor heap only incidentally. The bound is ~10x the
+   measured steady state (2-6 words/call) and far below what any of the
+   known regressions cost — the functional prepared-line path was
+   ~840-47000 words/call, and even a single per-iteration closure in the
+   Miller bit loop shows up at >100 apparent words/call. Measured over a
+   batch with a fresh minor arena so a GC boundary (where OCaml 5's
+   allocation accounting jumps) cannot land inside the window. *)
+let test_product_alloc_bound () =
+  List.iter
+    (fun name ->
+      let prms = Option.get (Pairing.by_name name) in
+      let curve = prms.Pairing.curve in
+      let g = prms.Pairing.g in
+      let a = B.of_int 1234 and b = B.of_int 5678 in
+      let ab = B.erem (B.mul a b) prms.Pairing.q in
+      let pairs =
+        [ (Pairing.Prepared (Pairing.prepare prms (Curve.mul curve a g)),
+           Curve.mul curve b g);
+          (Pairing.Prepared (Pairing.prepare prms (Curve.mul curve ab g)),
+           Curve.neg curve g) ]
+      in
+      (* Warm the per-domain register file so growth is behind us. *)
+      for _ = 1 to 3 do
+        ignore (Pairing.check_product_one_mixed prms pairs)
+      done;
+      Gc.minor ();
+      let rounds = 50 in
+      let before = Gc.allocated_bytes () in
+      for _ = 1 to rounds do
+        ignore (Sys.opaque_identity (Pairing.check_product_one_mixed prms pairs))
+      done;
+      let words = (Gc.allocated_bytes () -. before) /. 8. in
+      let per_op = words /. float_of_int rounds in
+      if per_op > 64.0 then
+        Alcotest.failf "check_product_one_mixed allocates %.1f words/op at %s"
+          per_op name)
+    Pairing.all_names
+
 let test_param_search_small () =
   let rng = Hashing.Drbg.create ~seed:"param-search-test" () in
   let p, q = Param_search.generate ~rng ~qbits:32 ~pbits:48 () in
@@ -612,6 +653,8 @@ let () =
         Alcotest.test_case "toy sets differential" `Quick test_product_vs_ref_toy
         :: Alcotest.test_case "all sets differential" `Slow
              test_product_vs_ref_all_sets
+        :: Alcotest.test_case "verify path alloc bound" `Slow
+             test_product_alloc_bound
         :: qc [ prop_product_matches_ref ] );
       ( "family2",
         [

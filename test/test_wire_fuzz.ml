@@ -199,6 +199,36 @@ let targets prms =
           };
       decode_reencode = re Netmsg.stats_of_bytes Netmsg.stats_to_bytes;
     };
+    (* Pairing-delegation traffic: blinded queries and the untrusted
+       helpers' replies. The response decoder accepts any canonical
+       nonzero GF(p^2) value (no subgroup filter — the hardened check
+       upstairs needs the raw value), so its sample uses an honest
+       serve over a real wrap. *)
+    {
+      kind = Codec.Delegate_query;
+      sample =
+        (let dctx = Delegate.make prms in
+         let bl = Delegate.blind dctx rng in
+         let w =
+           Delegate.wrap dctx bl ~a:srv_pub.Tre.Server.sg ~b:alice_pub.Tre.User.ag
+         in
+         Netmsg.delegate_query_to_bytes prms
+           { Netmsg.query_id = 7; pairs = Delegate.queries2 w });
+      decode_reencode = re Netmsg.delegate_query_of_bytes Netmsg.delegate_query_to_bytes;
+    };
+    {
+      kind = Codec.Delegate_response;
+      sample =
+        (let dctx = Delegate.make prms in
+         let bl = Delegate.blind dctx rng in
+         let w =
+           Delegate.wrap dctx bl ~a:srv_pub.Tre.Server.sg ~b:alice_pub.Tre.User.ag
+         in
+         Netmsg.delegate_response_to_bytes prms
+           { Netmsg.response_id = 7; values = Delegate.serve prms (Delegate.queries1 w) });
+      decode_reencode =
+        re Netmsg.delegate_response_of_bytes Netmsg.delegate_response_to_bytes;
+    };
   ]
 
 let kind_name k = Codec.kind_label k

@@ -1,21 +1,24 @@
-(* Bench regression guard: parses BENCH_E1_KERNEL.json and fails (exit 1)
-   if any kernel-vs-reference speedup sits below its checked-in floor, or
-   if an expected row is missing entirely.
+(* Bench regression guard: parses the benchmark JSON artifacts and fails
+   (exit 1) if any kernel-vs-reference speedup sits below its checked-in
+   floor, or if an expected row is missing entirely.
 
-   The floors are deliberately BELOW current measurements (see the table
-   — roughly 70–85% of the numbers in the checked-in JSON) so CI-runner
-   noise does not false-alarm, while silent structural regressions — a
-   fast path that stops engaging, a kernel quietly falling back to the
+   Each artifact carries its own floor set, keyed by file basename:
+   BENCH_E1_KERNEL.json (the E1 kernel-vs-reference table) and
+   BENCH_E14_DELEGATE.json (the E14 thin-client delegation table). Run
+   with explicit paths, or with no arguments to check both defaults.
+
+   The floors are deliberately BELOW current measurements (roughly
+   70–85% of the numbers in the checked-in JSONs) so CI-runner noise
+   does not false-alarm, while silent structural regressions — a fast
+   path that stops engaging, a kernel quietly falling back to the
    reference, a row dropped from the report — still fail the build. The
    *b parameter sets sat at ~1.0x pairing speedup for two PRs precisely
    because nothing gated them; these floors are the gate. *)
 
-let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_E1_KERNEL.json"
-
 (* (params, operation prefix, minimum speedup). Operations matched by
    prefix so the parameterized "curve-steps (64 dbl+add)" row keys on its
    stable stem. *)
-let floors =
+let e1_floors =
   [
     (* field kernels: in-place vs generic Montgomery, all sets *)
     ("toy64", "field-mul", 1.3); ("toy64b", "field-mul", 1.3);
@@ -38,21 +41,64 @@ let floors =
     ("toy64", "miller-loop", 1.3); ("toy64b", "miller-loop", 2.5);
     ("mid128", "miller-loop", 1.0); ("mid128b", "miller-loop", 4.5);
     ("std160", "miller-loop", 0.95);
-    (* final exp: toy64's floor is the satellite-1 gate (was 0.97x when
-       the easy part still allocated) *)
-    ("toy64", "final-exp", 1.0); ("toy64b", "final-exp", 0.9);
-    ("mid128", "final-exp", 0.85); ("mid128b", "final-exp", 0.75);
-    ("std160", "final-exp", 0.9);
+    (* final exp: every set must beat the reference outright — the
+       kernel exists for no other reason. mid128b sat at 0.89x for a PR
+       because its floor (0.75) tolerated losing to the reference; the
+       multiplication-free cyclotomic squaring and the costed window
+       scan put all five sets at 1.05–1.10x, and 1.0 is the floor that
+       makes "kernel slower than reference" a build failure. *)
+    ("toy64", "final-exp", 1.0); ("toy64b", "final-exp", 1.0);
+    ("mid128", "final-exp", 1.0); ("mid128b", "final-exp", 1.0);
+    ("std160", "final-exp", 1.0);
     (* the product kernel: one interleaved Miller loop + membership test
-       vs two separate prepared pairings *)
-    ("toy64", "verify-2pair", 1.4); ("toy64b", "verify-2pair", 1.1);
+       vs two separate prepared pairings. The toy64 floor came down from
+       1.4 when the cyclotomic final exp sped up: the REFERENCE side of
+       this ratio pays two final exponentiations and the product kernel
+       none, so every fexp win compresses the ratio — at toy64's sizes
+       (fexp ~10% of a pairing) from ~1.5x to a stable ~1.3x. *)
+    ("toy64", "verify-2pair", 1.2); ("toy64b", "verify-2pair", 1.1);
     ("mid128", "verify-2pair", 1.25); ("mid128b", "verify-2pair", 1.25);
-    ("std160", "verify-2pair", 1.4);
+    ("std160", "verify-2pair", 1.25);
   ]
 
+(* E14: thin-client ONLINE cost of the hardened (Liu–Cao-resistant)
+   delegation vs computing on-device. The reference side is the full
+   kernel pairing stack, so these ratios measure "what outsourcing buys
+   a client that could also compute locally". The toy floors are
+   documentation floors: at 64-bit sizes a pairing is cheaper than the
+   hardened check's GT membership exponentiations, so the thin client
+   legitimately loses there and the floor only pins that it does not
+   get dramatically worse. mid128b/std160 are the sets where delegation
+   must pay off (sparse group order → expensive Miller loop), and their
+   floors require an outright win on the raw pairing row. The offline
+   (blinding) and helper (serve) rows have no reference and carry no
+   floor — they are reported for the E14 table, not gated. *)
+let e14_floors =
+  [
+    ("toy64", "delegate-pair-client", 0.45);
+    ("toy64b", "delegate-pair-client", 0.85);
+    ("mid128", "delegate-pair-client", 0.90);
+    ("mid128b", "delegate-pair-client", 1.50);
+    ("std160", "delegate-pair-client", 1.25);
+    ("toy64", "delegate-verify", 0.45);
+    ("toy64b", "delegate-verify", 0.80);
+    ("mid128", "delegate-verify", 0.75);
+    ("mid128b", "delegate-verify", 1.05);
+    ("std160", "delegate-verify", 0.85);
+  ]
+
+let floor_sets =
+  [ ("BENCH_E1_KERNEL.json", e1_floors); ("BENCH_E14_DELEGATE.json", e14_floors) ]
+
+let files =
+  if Array.length Sys.argv > 1 then List.tl (Array.to_list Sys.argv)
+  else List.map fst floor_sets
+
 (* The JSON is the bench harness's own hand-rolled writer: one row object
-   per line, string values unescaped-simple, numbers plain. Line-oriented
-   field extraction is exact for that shape. *)
+   per line, string values unescaped-simple, numbers plain (NaN written
+   as null, which float_field rejects — no-reference rows carry no
+   speedup and are invisible here). Line-oriented field extraction is
+   exact for that shape. *)
 let string_field line key =
   let pat = Printf.sprintf "\"%s\": \"" key in
   match String.index_opt line '{' with
@@ -85,7 +131,15 @@ let float_field line key =
   in
   find 0
 
-let () =
+let check_file file =
+  let floors =
+    match List.assoc_opt (Filename.basename file) floor_sets with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "bench-guard: no floor set for %s (known: %s)\n" file
+          (String.concat ", " (List.map fst floor_sets));
+        exit 1
+  in
   let ic =
     try open_in file
     with Sys_error e ->
@@ -117,18 +171,18 @@ let () =
       match matches with
       | [] ->
           incr failures;
-          Printf.printf "MISSING  %-8s %-14s (floor %.2fx): no such row in %s\n"
+          Printf.printf "MISSING  %-8s %-20s (floor %.2fx): no such row in %s\n"
             params op_prefix floor file
       | l ->
           List.iter
             (fun (_, op, s) ->
               if s < floor then begin
                 incr failures;
-                Printf.printf "FAIL     %-8s %-14s %.2fx < floor %.2fx\n" params
+                Printf.printf "FAIL     %-8s %-20s %.2fx < floor %.2fx\n" params
                   op s floor
               end
               else
-                Printf.printf "ok       %-8s %-14s %.2fx >= %.2fx\n" params op s
+                Printf.printf "ok       %-8s %-20s %.2fx >= %.2fx\n" params op s
                   floor)
             l)
     floors;
@@ -136,5 +190,8 @@ let () =
     Printf.printf "bench-guard: %d floor violation(s) in %s\n" !failures file;
     exit 1
   end
-  else Printf.printf "bench-guard: all %d floors hold in %s\n"
-      (List.length floors) file
+  else
+    Printf.printf "bench-guard: all %d floors hold in %s\n" (List.length floors)
+      file
+
+let () = List.iter check_file files
